@@ -1,0 +1,208 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation switches one mechanism off (or swaps its policy) and
+re-evaluates the Basic protocol, quantifying what the mechanism buys:
+
+* **adjustment on/off** — the linear transformation's contribution;
+* **composition policy** — auto-derived factors vs the paper's fixed
+  0.27/0.85 constants;
+* **max-vs-sum kind combination** is structural (the estimator takes the
+  bottleneck kind); instead we ablate the **noise level** to show the
+  protocol's decisions are robust to realistic measurement jitter.
+"""
+
+import pytest
+
+from repro.analysis.correlation import correlation_data
+from repro.analysis.errors import evaluation_rows, worst_regret
+from repro.analysis.tables import render_table
+from repro.core.composition import CompositionPolicy
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.hpl.driver import NoiseSpec
+
+SEED = 2004
+
+
+def _rows_summary(pipeline):
+    rows = evaluation_rows(pipeline)
+    return {
+        "worst |est err|": max(abs(r.estimate_error) for r in rows),
+        "worst regret": worst_regret(rows),
+    }
+
+
+def test_ablation_adjustment(benchmark, spec, write_result):
+    with_adj = EstimationPipeline(
+        spec, PipelineConfig(protocol="basic", seed=SEED, adjust=True)
+    )
+    without_adj = EstimationPipeline(
+        spec, PipelineConfig(protocol="basic", seed=SEED, adjust=False)
+    )
+    on = _rows_summary(with_adj)
+    off = _rows_summary(without_adj)
+    corr_on = correlation_data(with_adj, 6400).mean_abs_deviation(adjusted=True)
+    corr_off = correlation_data(without_adj, 6400).mean_abs_deviation(adjusted=True)
+    write_result(
+        "ablation_adjustment",
+        render_table(
+            ["variant", "worst |est err|", "worst regret", "mean|dev|@6400"],
+            [
+                ["adjusted", f"{on['worst |est err|']:.3f}", f"{on['worst regret']:.3f}", f"{corr_on:.3f}"],
+                ["raw", f"{off['worst |est err|']:.3f}", f"{off['worst regret']:.3f}", f"{corr_off:.3f}"],
+            ],
+            title="Ablation: linear adjustment (Basic protocol)",
+        ),
+    )
+    # the adjustment tightens the correlation scatter...
+    assert corr_on < corr_off
+    # ...and never worsens the headline estimate error
+    assert on["worst |est err|"] <= off["worst |est err|"] + 0.02
+
+    benchmark(lambda: _rows_summary(with_adj))
+
+
+def test_ablation_composition_policy(benchmark, spec, write_result):
+    variants = {
+        "auto (derived ratio)": CompositionPolicy(mode="auto"),
+        "paper (0.27 / 0.85)": CompositionPolicy(mode="paper"),
+        "fixed 0.20 / 1.00": CompositionPolicy(mode="fixed", ta_factor=0.20, tc_factor=1.0),
+    }
+    rows = []
+    metrics = {}
+    for label, policy in variants.items():
+        pipeline = EstimationPipeline(
+            spec,
+            PipelineConfig(protocol="basic", seed=SEED, composition=policy),
+        )
+        summary = _rows_summary(pipeline)
+        metrics[label] = summary
+        rows.append(
+            [label, f"{summary['worst |est err|']:.3f}", f"{summary['worst regret']:.3f}"]
+        )
+    write_result(
+        "ablation_composition",
+        render_table(
+            ["composition policy", "worst |est err|", "worst regret"],
+            rows,
+            title="Ablation: P-T model composition factors",
+        ),
+    )
+    # every sane policy keeps decisions good (the adjustment mops up the
+    # per-policy bias), but auto should not be worse than a blind guess
+    assert metrics["auto (derived ratio)"]["worst regret"] <= 0.06
+    assert metrics["paper (0.27 / 0.85)"]["worst regret"] <= 0.10
+
+    # time the composition step itself (store fit + compose)
+    warm = EstimationPipeline(
+        spec, PipelineConfig(protocol="basic", seed=SEED)
+    )
+    dataset = warm.campaign.dataset
+    from repro.core.model_store import ModelStore
+
+    def fit_and_compose():
+        store = ModelStore.fit_dataset(dataset)
+        CompositionPolicy(mode="auto").compose_missing(store, "athlon", "pentium2")
+        return store
+
+    benchmark(fit_and_compose)
+
+
+def test_ablation_overlap_assumption(benchmark, spec, write_result):
+    """Robustness of the paper's no-overlap assumption (Section 3.1).
+
+    The models assume ``T = Ta + Tc`` with no computation/communication
+    overlap.  Real HPL overlaps (look-ahead, bcast progress during
+    update).  We re-run the NL protocol against a substrate configured to
+    overlap aggressively (panel waits 70% hidden, deeper ring pipelining)
+    and check the decisions survive.  Finding: estimate accuracy is
+    unchanged (the models are fitted to measurements of the same
+    overlapping system, so the assumption's inaccuracy mostly cancels),
+    but overlap compresses the configuration ties, so near-tie misses
+    grow somewhat — worst regret roughly 0.12 vs 0.02 without overlap.
+    """
+    from repro.hpl.schedule import HPLParameters
+
+    overlapping = HPLParameters(
+        pfact_wait_factor=0.3, ring_pipeline_factor=0.25
+    )
+    rows = []
+    summaries = {}
+    for label, params in (
+        ("no overlap (paper assumption)", None),
+        ("aggressive overlap", overlapping),
+    ):
+        pipeline = EstimationPipeline(
+            spec, PipelineConfig(protocol="nl", seed=SEED, hpl_params=params)
+        )
+        summary = _rows_summary(pipeline)
+        summaries[label] = summary
+        rows.append(
+            [label, f"{summary['worst |est err|']:.3f}", f"{summary['worst regret']:.3f}"]
+        )
+    write_result(
+        "ablation_overlap",
+        render_table(
+            ["substrate behaviour", "worst |est err|", "worst regret"],
+            rows,
+            title="Ablation: computation/communication overlap vs the model's T = Ta + Tc",
+        ),
+    )
+    # estimate accuracy unaffected; decisions stay usable
+    assert (
+        summaries["aggressive overlap"]["worst |est err|"]
+        <= summaries["no overlap (paper assumption)"]["worst |est err|"] + 0.03
+    )
+    assert summaries["aggressive overlap"]["worst regret"] <= 0.15
+
+    benchmark.pedantic(
+        lambda: _rows_summary(
+            EstimationPipeline(
+                spec,
+                PipelineConfig(protocol="nl", seed=SEED, hpl_params=overlapping),
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_ablation_noise_level(benchmark, spec, write_result):
+    """Noise sensitivity of the NL protocol.
+
+    Finding: at the paper-realistic ~1.5% jitter, decisions are solid; at
+    5%+ jitter the NL protocol degrades sharply — its N-T models are fitted
+    on exactly four sizes (an interpolation, not a regression), so noise
+    passes straight into the extrapolated coefficients.  This is the same
+    amplification mechanism that sinks the NS protocol, and it is why the
+    paper's Basic grid oversamples N ("more than necessary").
+    """
+    summaries = {}
+
+    def run_all():
+        for sigma in (0.0, 0.015, 0.05):
+            noise = (
+                NoiseSpec(sigma_compute=sigma, sigma_comm=2 * sigma) if sigma else None
+            )
+            pipeline = EstimationPipeline(
+                spec, PipelineConfig(protocol="nl", seed=SEED, noise=noise)
+            )
+            summaries[sigma] = _rows_summary(pipeline)
+        return summaries
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_result(
+        "ablation_noise",
+        render_table(
+            ["sigma", "worst |est err|", "worst regret"],
+            [
+                [f"{s:.3f}", f"{v['worst |est err|']:.3f}", f"{v['worst regret']:.3f}"]
+                for s, v in sorted(summaries.items())
+            ],
+            title="Ablation: measurement-noise sensitivity (NL protocol)",
+        ),
+    )
+    # paper-realistic noise: decisions stay in the paper's band
+    assert summaries[0.0]["worst regret"] <= 0.06
+    assert summaries[0.015]["worst regret"] <= 0.06
+    # heavy noise: the 4-point N-T fits amplify it into bad decisions
+    assert summaries[0.05]["worst regret"] > summaries[0.015]["worst regret"]

@@ -1,0 +1,38 @@
+"""Figure 1: HPL Gflops of a single Athlon running n = 1..4 processes,
+MPICH 1.2.1 vs 1.2.2.
+
+Paper shape: with 1.2.1 multiprocessing collapses drastically (the Sasou
+anomaly); with 1.2.2 the loss is much smaller.  The benchmark times one
+full four-curve sweep.
+"""
+
+from repro.analysis.figures import fig1_series, series_table
+
+
+def _render(version: str) -> str:
+    series = fig1_series(version)
+    return series_table(series, "N")
+
+
+def test_fig01_multiprocessing(benchmark, write_result):
+    tables = {}
+
+    def run():
+        tables["1.2.1"] = _render("1.2.1")
+        tables["1.2.2"] = _render("1.2.2")
+        return tables
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    write_result(
+        "fig01_multiprocessing",
+        "Figure 1(a) — MPICH 1.2.1 [Gflops]\n"
+        + tables["1.2.1"]
+        + "\n\nFigure 1(b) — MPICH 1.2.2 [Gflops]\n"
+        + tables["1.2.2"],
+    )
+    # shape assertions: the collapse is version-dependent
+    old = fig1_series("1.2.1", sizes=[5000])
+    new = fig1_series("1.2.2", sizes=[5000])
+    loss_old = old[3].y[0] / old[0].y[0]
+    loss_new = new[3].y[0] / new[0].y[0]
+    assert loss_old < loss_new < 1.0

@@ -1,0 +1,43 @@
+"""Figure 2: intra-node communication throughput vs block size for MPICH
+1.2.1 and 1.2.2, measured NetPIPE-style.
+
+Paper shape: 1.2.2 saturates near 2.2 Gbit/s; 1.2.1 peaks mid-size and
+collapses for large blocks.  The benchmark times the event-driven
+ping-pong probe (the closed-form sweep is effectively free).
+"""
+
+from repro.analysis.figures import fig2_series, series_table
+from repro.cluster.config import ClusterConfig
+from repro.cluster.placement import place_processes
+from repro.cluster.presets import single_node_cluster
+from repro.simnet.netpipe import probe_transport, standard_block_sizes
+from repro.simnet.transport import Transport
+from repro.units import to_gbps
+
+
+def test_fig02_netpipe(benchmark, write_result):
+    series = fig2_series()
+    write_result(
+        "fig02_netpipe",
+        "Figure 2 — intra-node throughput [Gbit/s] vs block size [KB]\n"
+        + series_table(series, "KB"),
+    )
+
+    spec = single_node_cluster(cpus=1, mpich="1.2.2")
+    transport = Transport(
+        spec, place_processes(spec, ClusterConfig.of(athlon=(1, 2)))
+    )
+    blocks = standard_block_sizes()
+
+    def event_driven_probe():
+        return probe_transport(transport, blocks, repeats=3)
+
+    points = benchmark(event_driven_probe)
+    # event-driven and closed-form agree at the largest block
+    closed = dict(zip(series[1].x, series[1].y))
+    assert to_gbps(points[-1].throughput_bps) > 1.8
+    # version shapes
+    by_label = {s.label: s for s in series}
+    assert max(by_label["mpich-1.2.2"].y) > 2.0
+    old = by_label["mpich-1.2.1"].y
+    assert old[-1] < max(old) / 2  # the large-block collapse

@@ -1,0 +1,40 @@
+"""Figure 3: HPL performance of heterogeneous subsets.
+
+(a) load imbalance: "Ath x 1 + P2 x 4" sinks to "P2 x 5" level despite the
+Athlon's speed, and the lone Athlon collapses at N = 10000 (memory).
+(b) multiprocessing dissolves the imbalance, with the best n growing
+with N.  The benchmark times the full two-panel sweep.
+"""
+
+from repro.analysis.figures import FIG3_SIZES, fig3a_series, fig3b_series, series_table
+
+
+def test_fig03_heterogeneous(benchmark, spec, write_result):
+    result = {}
+
+    def run():
+        result["a"] = fig3a_series(spec=spec)
+        result["b"] = fig3b_series(spec=spec)
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    write_result(
+        "fig03_heterogeneous",
+        "Figure 3(a) — load imbalance [Gflops]\n"
+        + series_table(result["a"], "N")
+        + "\n\nFigure 3(b) — multiprocessing [Gflops]\n"
+        + series_table(result["b"], "N"),
+    )
+
+    a = {s.label: dict(zip(s.x, s.y)) for s in result["a"]}
+    b = {s.label: dict(zip(s.x, s.y)) for s in result["b"]}
+
+    # (a) the heterogeneous config is dragged toward the all-P2 level...
+    assert a["Ath x 1 + P2 x 4"][8000] < 1.35 * a["P2 x 5"][8000]
+    # ...and the lone Athlon hits the memory cliff at N=10000
+    assert a["Athlon x 1"][10000] < 0.75 * a["Athlon x 1"][9000]
+
+    # (b) multiprocessing recovers the lost performance at large N
+    assert b["n = 3"][10000] > 1.15 * b["n = 1"][10000]
+    # but hurts at small N (the paper's crossover story)
+    assert b["n = 4"][2000] < b["n = 1"][2000]

@@ -1,0 +1,56 @@
+"""Extension bench: process-grid shape study (paper Section 3.1's "any
+other process grid").
+
+For the paper's cluster the 1 x P grid is actually sensible (pivoting over
+rows of a Pr > 1 grid pays per-column all-reduces on fast Ethernet); on a
+larger process count the near-square grid wins on broadcast volume.  This
+bench quantifies both sides.
+"""
+
+from repro.analysis.tables import render_table
+from repro.cluster.config import ClusterConfig
+from repro.cluster.network import gigabit_sx
+from repro.cluster.presets import synthetic_cluster
+from repro.exts.grid2d import grid_shapes, simulate_schedule_2d
+
+KINDS = ("athlon", "pentium2")
+
+
+def test_grid_shape_study(benchmark, spec, write_result):
+    config = ClusterConfig.from_tuple(KINDS, (1, 4, 8, 1))  # P = 12
+    n = 8000
+    rows = []
+    times = {}
+    for shape in grid_shapes(12):
+        result = simulate_schedule_2d(spec, config, n, shape)
+        times[str(shape)] = result.wall_time_s
+        rows.append(
+            [
+                str(shape),
+                f"{result.wall_time_s:.1f}",
+                f"{result.phase_arrays['bcast'].mean():.1f}",
+                f"{result.phase_arrays['mxswp'].sum():.2f}",
+            ]
+        )
+    write_result(
+        "grid2d_shapes",
+        render_table(
+            ["grid", "wall [s]", "mean bcast/proc [s]", "total mxswp [s]"],
+            rows,
+            title=f"Process-grid shapes, paper cluster, N={n}, P=12",
+        ),
+    )
+    # 2-D grids trade broadcast volume against pivot communication; both
+    # effects must be visible
+    assert times["2x6"] != times["1x12"]
+
+    # On a bigger, better-connected cluster the near-square grid wins.
+    big = synthetic_cluster([0.5] * 4, nodes_per_kind=4, network=gigabit_sx())
+    big_config = ClusterConfig.of(
+        kind0=(4, 1), kind1=(4, 1), kind2=(4, 1), kind3=(4, 1)
+    )
+    flat = simulate_schedule_2d(big, big_config, 12000, grid_shapes(16)[0])
+    square = simulate_schedule_2d(big, big_config, 12000, grid_shapes(16)[-1])
+    assert square.phase_arrays["bcast"].mean() < flat.phase_arrays["bcast"].mean()
+
+    benchmark(lambda: simulate_schedule_2d(spec, config, n, grid_shapes(12)[-1]))

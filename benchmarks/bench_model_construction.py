@@ -1,0 +1,46 @@
+"""Model-construction and search speed: the paper's micro-claims.
+
+Paper Section 4: fitting all 54 Basic models takes 0.69 ms on an AthlonXP
+2600+, and estimating 62 configurations x 5 sizes takes ~35 ms — i.e. the
+method's cost is measurement, never math.  We reproduce the claims'
+*structure*: model construction and exhaustive estimation are orders of
+magnitude cheaper than a single construction measurement.
+"""
+
+from repro.core.model_store import ModelStore
+
+
+def test_model_construction_speed(benchmark, basic_pipeline, write_result):
+    dataset = basic_pipeline.campaign.dataset
+
+    store = benchmark(lambda: ModelStore.fit_dataset(dataset))
+
+    cheapest_measurement = min(r.wall_time_s for r in dataset)
+    write_result(
+        "model_construction_speed",
+        f"Fitted {store.model_count} models ({len(store.nt)} N-T + "
+        f"{len(store.pt)} P-T) in {store.build_seconds * 1e3:.2f} ms\n"
+        f"(cheapest single construction measurement: "
+        f"{cheapest_measurement:.2f} simulated seconds; paper: 0.69 ms "
+        f"for 54 configurations)",
+    )
+    assert store.model_count == 60
+    assert store.build_seconds < 0.25 * cheapest_measurement
+
+
+def test_estimation_sweep_speed(benchmark, basic_pipeline, write_result):
+    """62 configurations x 5 sizes, the paper's 35 ms workload."""
+    optimizer = basic_pipeline.optimizer()
+    sizes = basic_pipeline.plan.evaluation_sizes
+
+    def full_sweep():
+        return [optimizer.optimize(n) for n in sizes]
+
+    outcomes = benchmark(full_sweep)
+    total = sum(o.search_seconds for o in outcomes)
+    write_result(
+        "estimation_sweep_speed",
+        f"Estimated {len(outcomes) * 62} (config, N) pairs in "
+        f"{total * 1e3:.1f} ms (paper: ~35 ms on an AthlonXP 2600+)",
+    )
+    assert total < 30.0

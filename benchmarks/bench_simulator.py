@@ -1,0 +1,31 @@
+"""Substrate performance: the HPL schedule walker itself.
+
+Measurement campaigns simulate hundreds of runs; the walker must stay in
+the millisecond range per run for the harness to regenerate every table in
+seconds.  This bench tracks the walker's throughput at the paper's largest
+evaluation size and the 2-D variant's overhead.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.exts.grid2d import GridShape, simulate_schedule_2d
+from repro.hpl.schedule import simulate_schedule
+
+KINDS = ("athlon", "pentium2")
+
+
+def _config():
+    return ClusterConfig.from_tuple(KINDS, (1, 4, 8, 1))
+
+
+def test_schedule_walker_speed(benchmark, spec):
+    config = _config()
+    result = benchmark(lambda: simulate_schedule(spec, config, 9600))
+    assert result.wall_time_s > 0
+
+
+def test_schedule_walker_2d_speed(benchmark, spec):
+    config = _config()
+    result = benchmark(
+        lambda: simulate_schedule_2d(spec, config, 9600, GridShape(3, 4))
+    )
+    assert result.wall_time_s > 0

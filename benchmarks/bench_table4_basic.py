@@ -1,0 +1,33 @@
+"""Table 4: errors of the Basic model's estimated best configurations.
+
+Paper: estimate errors -1.9%..+3.7%, regret 0%..3.6%, the Athlon-only
+configuration winning at N=3200 and full-cluster multiprocess configs at
+N >= 8000.  The benchmark times one 62-candidate optimization (the paper
+reports ~35 ms for 62 configurations x 5 sizes on an AthlonXP 2600+).
+"""
+
+from repro.analysis.errors import evaluation_rows
+from repro.analysis.report import verification_table
+
+
+def test_table4_basic_errors(benchmark, basic_pipeline, write_result):
+    write_result(
+        "table4_basic_errors",
+        f"Adjustment: {basic_pipeline.adjustment.describe()}\n\n"
+        + verification_table(basic_pipeline),
+    )
+
+    rows = evaluation_rows(basic_pipeline)
+    by_n = {row.n: row for row in rows}
+
+    # paper shape: small-N optimum is the Athlon alone
+    assert by_n[3200].actual_config.label(basic_pipeline.plan.kinds) == "1,1,0,0"
+    # errors stay in the paper's few-percent band
+    for row in rows:
+        assert abs(row.estimate_error) < 0.10
+        assert row.regret <= 0.05
+    # large-N optima are full-cluster multiprocess configurations
+    assert by_n[9600].actual_config.procs_per_pe("athlon") >= 3
+
+    optimizer = basic_pipeline.optimizer()
+    benchmark(lambda: optimizer.optimize(6400))

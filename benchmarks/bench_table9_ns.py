@@ -1,0 +1,36 @@
+"""Table 9: errors of the NS model's estimated best configurations — the
+paper's cautionary tale.
+
+Paper: NS (fitted on N = 400..1600, ten minutes of measurement) looks fine
+at N = 1600 but underestimates execution times by 30%..94% for N >= 3200,
+keeps choosing undersized configurations (the Athlon alone), and pays
+28%..82% regret.  The benchmark times the NS end-to-end decision path.
+"""
+
+from repro.analysis.errors import evaluation_rows
+from repro.analysis.report import verification_table
+
+
+def test_table9_ns_errors(benchmark, ns_pipeline, basic_pipeline, write_result):
+    write_result(
+        "table9_ns_errors",
+        f"Adjustment: {ns_pipeline.adjustment.describe()}\n\n"
+        + verification_table(ns_pipeline),
+    )
+
+    rows = evaluation_rows(ns_pipeline)
+    by_n = {row.n: row for row in rows}
+
+    # fine at a construction size...
+    assert abs(by_n[1600].estimate_error) < 0.05
+    # ...catastrophic underestimation beyond it (paper: -30%..-94%)
+    for n in (4800, 6400, 8000, 9600):
+        assert by_n[n].estimate_error < -0.30
+    # materially worse decisions than the Basic model
+    ns_worst = max(row.regret for row in rows if row.n >= 3200)
+    basic_worst = max(
+        row.regret for row in evaluation_rows(basic_pipeline)
+    )
+    assert ns_worst > 0.10 and ns_worst > 2 * basic_worst
+
+    benchmark(lambda: ns_pipeline.optimize(9600))

@@ -1,0 +1,47 @@
+"""What-if bench: the gigabit network the paper never used.
+
+The testbed had 1000base-SX installed but every measurement ran over
+100base-TX.  The substrate can answer what the paper could have measured:
+with a ~7x faster interconnect, communication stops punishing wide
+configurations, so the full cluster wins from *smaller* N and higher
+Athlon process counts become viable earlier — the crossover structure of
+Tables 4/7 is a property of the network, not of the machines.
+"""
+
+from repro.analysis.whatif import compare_variants, comparison_table
+from repro.cluster.presets import kishimoto_cluster
+
+SIZES = (1600, 3200, 4800, 9600)
+
+
+def test_whatif_gigabit_network(benchmark, write_result):
+    variants = {
+        "100base-tx (paper)": kishimoto_cluster(network="100base-tx"),
+        "1000base-sx (installed, unused)": kishimoto_cluster(network="1000base-sx"),
+    }
+    outcomes = compare_variants(variants, protocol="nl", seed=2004, sizes=SIZES)
+    kinds = ("athlon", "pentium2")
+    write_result("whatif_network", comparison_table(outcomes, kinds))
+
+    fast_eth, gigabit = outcomes
+
+    # gigabit is never slower at the optimum...
+    for n in SIZES:
+        assert gigabit.time_at(n) <= fast_eth.time_at(n) * 1.02
+    # ...and moves the athlon-only -> cluster crossover down: at N=3200 the
+    # fast network's optimum already uses the Pentium-IIs
+    assert fast_eth.config_at(3200).pe_count("pentium2") == 0
+    assert gigabit.config_at(3200).pe_count("pentium2") > 0
+    # at scale the speedup from the better network is substantial
+    assert gigabit.time_at(9600) < 0.9 * fast_eth.time_at(9600)
+
+    benchmark.pedantic(
+        lambda: compare_variants(
+            {"gig": variants["1000base-sx (installed, unused)"]},
+            protocol="nl",
+            seed=2004,
+            sizes=(3200,),
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: it computes
+the experiment's data (cached, seeded pipelines), *prints* the rendered
+rows/series so ``pytest benchmarks/ --benchmark-only -s`` shows them, and
+writes them under ``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+The ``benchmark`` fixture times the computational core of each experiment
+(model fitting, optimization, simulation sweeps).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.presets import kishimoto_cluster
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: One seed for every bench so the written results are a coherent campaign.
+SEED = 2004
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return kishimoto_cluster()
+
+
+@pytest.fixture(scope="session")
+def basic_pipeline(spec):
+    pipeline = EstimationPipeline(spec, PipelineConfig(protocol="basic", seed=SEED))
+    _ = pipeline.store, pipeline.adjustment  # warm the caches
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def nl_pipeline(spec):
+    pipeline = EstimationPipeline(spec, PipelineConfig(protocol="nl", seed=SEED))
+    _ = pipeline.store, pipeline.adjustment
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def ns_pipeline(spec):
+    pipeline = EstimationPipeline(spec, PipelineConfig(protocol="ns", seed=SEED))
+    _ = pipeline.store, pipeline.adjustment
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Persist a bench's rendered output and echo it to the terminal."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}")
+
+    return _write

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scenario: you just upgraded a homogeneous cluster with a fast node.
+
+This is the situation the paper's introduction motivates: a lab owns four
+dual Pentium-II nodes and adds one Athlon.  Conventional HPL distributes
+work equally, so naively adding the fast node barely helps (it waits at
+every synchronization).  The estimation pipeline answers, per problem
+size: should the Athlon run alone, should the old nodes run alone, or
+should they cooperate — and with how many processes on the Athlon?
+
+Run:  python examples/cluster_upgrade.py
+"""
+
+from repro import ClusterConfig, EstimationPipeline, PipelineConfig, kishimoto_cluster
+from repro.analysis.tables import render_table
+from repro.hpl.driver import run_hpl
+
+spec = kishimoto_cluster()
+KINDS = ("athlon", "pentium2")
+
+# The three "obvious" strategies people try by hand:
+naive = {
+    "old nodes only (P2 x 8)": ClusterConfig.from_tuple(KINDS, (0, 0, 8, 1)),
+    "new node only (Athlon)": ClusterConfig.from_tuple(KINDS, (1, 1, 0, 0)),
+    "everything, 1 proc/PE": ClusterConfig.from_tuple(KINDS, (1, 1, 8, 1)),
+}
+
+pipeline = EstimationPipeline(spec, PipelineConfig(protocol="nl", seed=7))
+
+rows = []
+for n in (1600, 3200, 4800, 6400, 8000, 9600):
+    measured = {
+        label: run_hpl(spec, config, n).wall_time_s for label, config in naive.items()
+    }
+    best = pipeline.optimize(n).best
+    model_time = run_hpl(spec, best.config, n).wall_time_s
+    naive_best = min(measured.values())
+    rows.append(
+        [
+            n,
+            *(f"{measured[label]:.1f}" for label in naive),
+            best.config.label(KINDS),
+            f"{model_time:.1f}",
+            f"{(naive_best - model_time) / naive_best:+.1%}",
+        ]
+    )
+
+print(
+    render_table(
+        ["N", *naive.keys(), "model's pick", "its time [s]", "vs best naive"],
+        rows,
+        title="Upgrading 4x dual-P-II with one Athlon: what should run where?",
+    )
+)
+
+print(
+    "\nReading: at small N the new node alone wins (communication would "
+    "drown the old nodes);\nat large N the model invokes multiple processes "
+    "on the Athlon to balance the load,\nbeating every naive strategy "
+    "without touching the application."
+)

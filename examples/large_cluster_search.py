@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Future work, implemented: heuristic search on a larger cluster.
+
+The paper's conclusion: "For larger clusters, it is essential to find a
+way to reduce the search space.  Approximation algorithms (i.e.,
+heuristics) are also worth considering."  This example builds a synthetic
+five-generation cluster (two nodes per generation, rates spanning 16x),
+uses an analytic objective with the real problem's structure, and compares
+exhaustive enumeration against greedy growth and simulated annealing.
+
+Run:  python examples/large_cluster_search.py
+"""
+
+import time
+
+from repro import synthetic_cluster
+from repro.analysis.tables import render_table
+from repro.core.optimizer import ExhaustiveOptimizer
+from repro.exts.heuristics import (
+    GreedyGrowth,
+    HillClimber,
+    SimulatedAnnealing,
+    full_candidate_space,
+)
+
+spec = synthetic_cluster([0.2, 0.4, 0.8, 1.6, 3.2], nodes_per_kind=2, cpus_per_node=1)
+print(spec.describe(), "\n")
+
+rates = {kind.name: kind.peak_gflops * 1e9 for kind in spec.kinds}
+
+
+def objective(config, n):
+    """Bottleneck-kind time + a P-growing communication tax — the shape the
+    fitted models produce, in closed form so the example runs instantly."""
+    p = config.total_processes
+    work = (2.0 / 3.0) * float(n) ** 3
+    slowest = max(
+        work
+        * alloc.processes
+        / p
+        / (rates[alloc.kind_name] * alloc.pe_count)
+        * (1 + 0.05 * (alloc.procs_per_pe - 1))
+        for alloc in config.active
+    )
+    return slowest + 2e-7 * float(n) ** 2 * (1 + 0.1 * p)
+
+
+N = 20000
+MAX_PROCS = 4
+
+start = time.perf_counter()
+space = full_candidate_space(spec, max_procs=MAX_PROCS)
+exhaustive = ExhaustiveOptimizer(objective, space).optimize(N)
+exhaustive_s = time.perf_counter() - start
+
+methods = {
+    "greedy growth": GreedyGrowth(spec, objective, max_procs=MAX_PROCS).search(N),
+    "hill climbing (4 restarts)": HillClimber(spec, objective, max_procs=MAX_PROCS).search(
+        N, restarts=4, seed=1
+    ),
+    "simulated annealing": SimulatedAnnealing(spec, objective, max_procs=MAX_PROCS).search(
+        N, steps=600, seed=1
+    ),
+}
+
+kinds = spec.kind_names
+rows = [
+    [
+        "exhaustive",
+        len(space),
+        exhaustive.best.config.label(kinds),
+        f"{exhaustive.best.estimate_s:.1f}",
+        "1.000",
+    ]
+]
+for label, stats in methods.items():
+    rows.append(
+        [
+            label,
+            stats.evaluations,
+            stats.best_config.label(kinds),
+            f"{stats.best_estimate:.1f}",
+            f"{stats.best_estimate / exhaustive.best.estimate_s:.3f}",
+        ]
+    )
+
+print(
+    render_table(
+        ["method", "evaluations", "best config", "estimate [s]", "vs optimal"],
+        rows,
+        title=f"Configuration search over {len(space):,} candidates (N={N:,})",
+    )
+)
+print(
+    f"\nexhaustive enumeration took {exhaustive_s:.2f} s here; on a model "
+    "that costs milliseconds\nper estimate that is already minutes, and the "
+    "space grows exponentially with kinds —\nthe heuristics reach ~optimal "
+    "allocations with orders of magnitude fewer evaluations."
+)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""How much measurement does a trustworthy model need?
+
+The paper's central practical question: the Basic grid costs ~6 hours of
+cluster time, NL ~3 hours, NS ~10 minutes.  This example runs all three
+protocols and prints the cost-vs-quality frontier — including the NS
+cautionary tale (cheap measurements at small N produce a model that
+confidently makes terrible large-N decisions).
+
+Run:  python examples/model_cost_tradeoff.py
+"""
+
+from repro import EstimationPipeline, PipelineConfig, kishimoto_cluster
+from repro.analysis.errors import evaluation_rows
+from repro.analysis.tables import render_table
+from repro.units import pretty_seconds
+
+spec = kishimoto_cluster()
+
+rows = []
+details = {}
+for protocol in ("basic", "nl", "ns"):
+    pipeline = EstimationPipeline(spec, PipelineConfig(protocol=protocol, seed=13))
+    cost = pipeline.campaign.total_cost_s
+    eval_rows = evaluation_rows(pipeline)
+    large_n = [r for r in eval_rows if r.n >= 4800]
+    rows.append(
+        [
+            protocol,
+            pipeline.plan.construction_count,
+            pretty_seconds(cost),
+            f"{max(abs(r.estimate_error) for r in large_n):.1%}",
+            f"{max(r.regret for r in large_n):.1%}",
+        ]
+    )
+    details[protocol] = eval_rows
+
+print(
+    render_table(
+        [
+            "protocol",
+            "runs",
+            "measurement cost",
+            "worst |est err| (N>=4800)",
+            "worst regret (N>=4800)",
+        ],
+        rows,
+        title="Measurement budget vs decision quality",
+    )
+)
+
+print("\nThe NS failure, size by size:")
+print(
+    render_table(
+        ["N", "NS thinks [s]", "reality [s]", "underestimation"],
+        [
+            [r.n, f"{r.tau:.1f}", f"{r.tau_hat:.1f}", f"{r.estimate_error:+.1%}"]
+            for r in details["ns"]
+        ],
+    )
+)
+print(
+    "\nMoral (the paper's): models must be constructed from problem sizes "
+    "in the regime\nthey will decide about.  Small-N measurements see the "
+    "efficiency ramp, not the\nasymptotic cubic cost, and no linear patch "
+    "recovers the lost information."
+)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Probe the messaging substrate NetPIPE-style (the paper's Figure 2).
+
+Shows three things:
+
+1. the two MPICH shared-memory curves (the cause of the paper's Figure 1
+   multiprocessing anomaly);
+2. that the event-driven simulated ping-pong agrees with the closed-form
+   link model (the discrete-event engine is exercised for real);
+3. the inter-node networks for comparison (the testbed had both 100base-TX
+   and 1000base-SX; only the former was used in the paper).
+
+Run:  python examples/netpipe_throughput.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.cluster.config import ClusterConfig
+from repro.cluster.network import fast_ethernet, gigabit_sx
+from repro.cluster.placement import place_processes
+from repro.cluster.presets import single_node_cluster
+from repro.simnet.mpich import mpich_1_2_1, mpich_1_2_2
+from repro.simnet.netpipe import probe_link, probe_transport, standard_block_sizes
+from repro.simnet.transport import Transport
+from repro.units import to_gbps
+
+blocks = standard_block_sizes(1024, 131072, points_per_octave=1)
+
+links = {
+    "mpich-1.2.1 (shm)": mpich_1_2_1(),
+    "mpich-1.2.2 (shm)": mpich_1_2_2(),
+    "100base-tx": fast_ethernet(),
+    "1000base-sx": gigabit_sx(),
+}
+curves = {label: probe_link(link, blocks) for label, link in links.items()}
+
+rows = []
+for i, block in enumerate(blocks):
+    rows.append(
+        [f"{block / 1024:.0f} KB"]
+        + [f"{to_gbps(curves[label][i].throughput_bps):.3f}" for label in links]
+    )
+print(
+    render_table(
+        ["block", *links.keys()],
+        rows,
+        title="Ping-pong throughput [Gbit/s] (closed form)",
+    )
+)
+
+# Cross-check one curve against the event-driven engine: two processes on
+# one Athlon CPU exchanging real (simulated) messages.
+spec = single_node_cluster(mpich="1.2.2")
+transport = Transport(spec, place_processes(spec, ClusterConfig.of(athlon=(1, 2))))
+event_points = probe_transport(transport, blocks, repeats=3)
+worst = max(
+    abs(e.throughput_bps - c.throughput_bps) / c.throughput_bps
+    for e, c in zip(event_points, curves["mpich-1.2.2 (shm)"])
+)
+print(
+    f"\nevent-driven vs closed-form (mpich-1.2.2): worst relative "
+    f"difference {worst:.2e} — the engine and the model agree."
+)
+print(
+    "\nNote the 1.2.1 collapse past ~16-32 KB: HPL panels are megabytes, "
+    "so every panel\nbroadcast between co-resident processes lands in the "
+    "collapsed region — the paper's\nexplanation for why multiprocessing "
+    "looked broken before MPICH 1.2.2."
+)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Operations workflow: measure once, decide forever.
+
+The expensive half of the method is the measurement campaign (hours of
+cluster time); everything after it is milliseconds.  So the natural
+deployment is: run the campaign once, persist what was learned, and let
+any later session load the models and answer "how should I run N = X?"
+instantly — no cluster access needed.
+
+Run:  python examples/persist_and_reuse.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import EstimationPipeline, PipelineConfig, kishimoto_cluster
+from repro.core.persistence import load_pipeline, save_pipeline
+
+workdir = Path(tempfile.mkdtemp(prefix="repro-pipeline-"))
+
+# --- session 1: the one with cluster access -------------------------------
+print("session 1: measuring and fitting (the expensive part)...")
+started = time.perf_counter()
+pipeline = EstimationPipeline(kishimoto_cluster(), PipelineConfig(protocol="nl", seed=3))
+campaign_cost = pipeline.campaign.total_cost_s
+_ = pipeline.store, pipeline.adjustment
+saved_to = save_pipeline(pipeline, workdir / "nl-models")
+print(
+    f"  campaign: {campaign_cost:,.0f} s of simulated cluster time "
+    f"({time.perf_counter() - started:.1f} s of real time here)"
+)
+print(f"  saved to {saved_to} ({sum(1 for _ in saved_to.iterdir())} files)\n")
+
+# --- session 2: any later process, no cluster needed -----------------------
+print("session 2: loading and deciding (the cheap part)...")
+started = time.perf_counter()
+restored = load_pipeline(saved_to)
+load_s = time.perf_counter() - started
+
+for n in (2000, 5000, 9000):
+    tick = time.perf_counter()
+    best = restored.optimize(n).best
+    decide_ms = (time.perf_counter() - tick) * 1e3
+    print(
+        f"  N={n:>5}: run as {best.config.label(restored.plan.kinds)}  "
+        f"(estimated {best.estimate_s:8.1f} s, decided in {decide_ms:.1f} ms)"
+    )
+
+print(
+    f"\nload took {load_s * 1e3:.0f} ms; every decision reuses the one "
+    f"{campaign_cost / 3600:.1f}-hour campaign.\nThe saved directory is plain "
+    "JSON — auditable, diffable, and portable across machines."
+)

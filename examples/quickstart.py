@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: estimate the optimal configuration of a heterogeneous
+cluster in ~30 lines.
+
+The scenario is the paper's: an Athlon 1.33 GHz node plus four dual
+Pentium-II nodes, HPL as the application, and the question "which PEs
+should run it, with how many processes each, for my problem size?"
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterConfig, EstimationPipeline, PipelineConfig, kishimoto_cluster
+from repro.hpl.lu import hpl_reference_run
+
+# 1. Describe the cluster (or build your own ClusterSpec).
+spec = kishimoto_cluster()
+print(spec.describe(), "\n")
+
+# 2. Sanity-check the numeric substrate: this really factors matrices.
+residual, passed, flops = hpl_reference_run(n=256, nb=64)
+print(
+    f"numeric HPL check: residual {residual:.3e} "
+    f"({'PASSED' if passed else 'FAILED'}), {flops.total / 1e6:.1f} Mflop\n"
+)
+
+# 3. Run the NL protocol: measure the construction grid (simulated here;
+#    on real hardware these are timed HPL runs), fit the N-T and P-T
+#    models, compose the Athlon models, calibrate the adjustment.
+pipeline = EstimationPipeline(spec, PipelineConfig(protocol="nl", seed=42))
+print(f"measurement cost: {pipeline.campaign.total_cost_s:,.0f} simulated seconds")
+print(pipeline.store.summary())
+print(f"adjustment: {pipeline.adjustment.describe()}\n")
+
+# 4. Ask for the best configuration at the size you care about.
+for n in (1600, 4800, 9600):
+    outcome = pipeline.optimize(n)
+    best = outcome.best
+    print(
+        f"N={n:>5}: run as (P1,M1,P2,M2) = {best.config.label(pipeline.plan.kinds)}"
+        f"  (estimated {best.estimate_s:,.1f} s, "
+        f"search took {outcome.search_seconds * 1e3:.1f} ms)"
+    )
+
+# 5. Verify one decision against ground truth (a simulated measurement).
+n = 9600
+best = pipeline.optimize(n).best
+actual_config, actual_time = pipeline.actual_best(n)
+chosen_time = pipeline.measured_time(best.config, n)
+print(
+    f"\nverification at N={n}: chosen config runs in {chosen_time:,.1f} s; "
+    f"true optimum {actual_config.label(pipeline.plan.kinds)} "
+    f"runs in {actual_time:,.1f} s "
+    f"(regret {(chosen_time - actual_time) / actual_time:+.1%})"
+)

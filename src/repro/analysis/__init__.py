@@ -1,0 +1,25 @@
+"""Analysis and reporting: the paper's tables and figures from pipelines.
+
+* :mod:`repro.analysis.errors` — best-configuration error rows
+  (Tables 4, 7, 9) from a pipeline.
+* :mod:`repro.analysis.correlation` — estimate-vs-measurement scatter data
+  (Figures 6-15) with goodness metrics.
+* :mod:`repro.analysis.tables` — plain-text/markdown table rendering.
+* :mod:`repro.analysis.figures` — the data series of Figures 1-3 and an
+  ASCII scatter renderer for terminal output.
+* :mod:`repro.analysis.report` — full experiment reports.
+"""
+
+from repro.analysis.correlation import CorrelationData, ScatterPoint, correlation_data
+from repro.analysis.errors import EvaluationRow, evaluation_rows
+from repro.analysis.tables import render_markdown_table, render_table
+
+__all__ = [
+    "CorrelationData",
+    "EvaluationRow",
+    "ScatterPoint",
+    "correlation_data",
+    "evaluation_rows",
+    "render_markdown_table",
+    "render_table",
+]

@@ -1,0 +1,112 @@
+"""Estimate-vs-measurement correlation data (Figures 6-15).
+
+The paper's correlation figures scatter the estimated time ``T`` against
+the measured time ``t`` for every evaluation configuration at one problem
+order, grouped by ``M1`` (the Athlon's process count), before and after
+the linear adjustment.  Points on the diagonal are perfect estimates; the
+systematic below/above-diagonal drift of the ``M1 >= 3`` groups is what
+motivates the adjustment, and the NS model's residual drift at large ``N``
+is its failure signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.core.pipeline import EstimationPipeline
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One configuration's (estimate, measurement) pair."""
+
+    config: ClusterConfig
+    group_mi: int  # the paper groups points by M1 (first kind's Mi; 0 if unused)
+    estimate_raw: float
+    estimate_adjusted: float
+    measured: float
+
+    def deviation(self, adjusted: bool = True) -> float:
+        est = self.estimate_adjusted if adjusted else self.estimate_raw
+        return (est - self.measured) / self.measured
+
+
+@dataclass
+class CorrelationData:
+    """All scatter points of one problem order."""
+
+    n: int
+    points: List[ScatterPoint]
+
+    def groups(self) -> Dict[int, List[ScatterPoint]]:
+        grouped: Dict[int, List[ScatterPoint]] = {}
+        for point in self.points:
+            grouped.setdefault(point.group_mi, []).append(point)
+        return grouped
+
+    # -- goodness metrics ------------------------------------------------------
+
+    def _arrays(self, adjusted: bool) -> tuple[np.ndarray, np.ndarray]:
+        est = np.array(
+            [p.estimate_adjusted if adjusted else p.estimate_raw for p in self.points]
+        )
+        meas = np.array([p.measured for p in self.points])
+        return est, meas
+
+    def r_squared(self, adjusted: bool = True) -> float:
+        """Coefficient of determination of the estimate against the
+        diagonal ``t = T`` (1.0 = all points on the diagonal)."""
+        est, meas = self._arrays(adjusted)
+        ss_res = float(np.sum((meas - est) ** 2))
+        ss_tot = float(np.sum((meas - np.mean(meas)) ** 2))
+        if ss_tot == 0:
+            return 1.0 if ss_res == 0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+    def mean_abs_deviation(self, adjusted: bool = True) -> float:
+        est, meas = self._arrays(adjusted)
+        return float(np.mean(np.abs(est - meas) / meas))
+
+    def worst_deviation(self, adjusted: bool = True) -> float:
+        est, meas = self._arrays(adjusted)
+        return float(np.max(np.abs(est - meas) / meas))
+
+    def systematic_slope(self, adjusted: bool = True) -> float:
+        """Least-squares slope of measurement on estimate through the
+        origin; 1.0 means no systematic scaling error."""
+        est, meas = self._arrays(adjusted)
+        denom = float(est @ est)
+        if denom == 0:
+            raise MeasurementError("all estimates are zero")
+        return float(est @ meas) / denom
+
+
+def correlation_data(
+    pipeline: EstimationPipeline,
+    n: int,
+    configs: Optional[Sequence[ClusterConfig]] = None,
+) -> CorrelationData:
+    """Scatter of every evaluation configuration at problem order ``n``."""
+    candidates = (
+        list(configs) if configs is not None else list(pipeline.plan.evaluation_configs)
+    )
+    first_kind = pipeline.plan.kinds[0]
+    points = []
+    for config in candidates:
+        estimate = pipeline.estimate(config, n)
+        measured = pipeline.measured_time(config, n)
+        points.append(
+            ScatterPoint(
+                config=config,
+                group_mi=config.procs_per_pe(first_kind),
+                estimate_raw=estimate.raw_total,
+                estimate_adjusted=estimate.adjusted_total,
+                measured=measured,
+            )
+        )
+    return CorrelationData(n=n, points=points)

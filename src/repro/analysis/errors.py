@@ -1,0 +1,106 @@
+"""Best-configuration error analysis: the rows of Tables 4, 7 and 9.
+
+For each evaluated problem order the paper reports:
+
+* the **estimated best** configuration, its estimate ``tau`` and its
+  *measured* execution time ``tau_hat``;
+* the **actual best** configuration and its measured time ``T_hat``;
+* two errors: ``(tau - T_hat) / T_hat`` (how far the estimate is from the
+  true optimum's time — the model-quality signal) and
+  ``(tau_hat - T_hat) / T_hat`` (the *regret*: how much slower the chosen
+  configuration actually runs than the true optimum — the decision-quality
+  signal, 0 when the right configuration was picked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.config import ClusterConfig
+from repro.core.pipeline import EstimationPipeline
+
+
+@dataclass(frozen=True)
+class EvaluationRow:
+    """One row of a Table 4/7/9-style report."""
+
+    n: int
+    estimated_config: ClusterConfig
+    tau: float  # estimated time of the estimated-best configuration
+    tau_hat: float  # measured time of the estimated-best configuration
+    actual_config: ClusterConfig
+    t_hat: float  # measured time of the actual-best configuration
+
+    @property
+    def estimate_error(self) -> float:
+        """``(tau - T_hat) / T_hat``."""
+        return (self.tau - self.t_hat) / self.t_hat
+
+    @property
+    def regret(self) -> float:
+        """``(tau_hat - T_hat) / T_hat`` — execution-time loss from picking
+        the estimated configuration instead of the true optimum."""
+        return (self.tau_hat - self.t_hat) / self.t_hat
+
+    @property
+    def picked_optimum(self) -> bool:
+        return self.estimated_config.key() == self.actual_config.key()
+
+    def as_cells(self, kinds: Optional[Sequence[str]] = None) -> List[str]:
+        return [
+            str(self.n),
+            self.estimated_config.label(kinds),
+            f"{self.tau:.1f}",
+            f"{self.tau_hat:.1f}",
+            self.actual_config.label(kinds),
+            f"{self.t_hat:.1f}",
+            f"{self.estimate_error:+.3f}",
+            f"{self.regret:+.3f}",
+        ]
+
+
+EVALUATION_HEADERS = [
+    "N",
+    "est. best (P1,M1,P2,M2)",
+    "tau",
+    "tau^",
+    "actual best",
+    "T^",
+    "(tau-T^)/T^",
+    "(tau^-T^)/T^",
+]
+
+
+def evaluation_row(pipeline: EstimationPipeline, n: int) -> EvaluationRow:
+    """Compute one verification row at problem order ``n``."""
+    outcome = pipeline.optimize(n)
+    est_best = outcome.best
+    tau_hat = pipeline.measured_time(est_best.config, n)
+    actual_config, t_hat = pipeline.actual_best(n)
+    return EvaluationRow(
+        n=n,
+        estimated_config=est_best.config,
+        tau=est_best.estimate_s,
+        tau_hat=tau_hat,
+        actual_config=actual_config,
+        t_hat=t_hat,
+    )
+
+
+def evaluation_rows(
+    pipeline: EstimationPipeline, sizes: Optional[Sequence[int]] = None
+) -> List[EvaluationRow]:
+    """All verification rows of a pipeline (Tables 4/7/9)."""
+    selected = sizes if sizes is not None else pipeline.plan.evaluation_sizes
+    return [evaluation_row(pipeline, int(n)) for n in selected]
+
+
+def worst_abs_estimate_error(rows: Sequence[EvaluationRow]) -> float:
+    """Largest |(tau - T^)/T^| across the rows."""
+    return max(abs(row.estimate_error) for row in rows)
+
+
+def worst_regret(rows: Sequence[EvaluationRow]) -> float:
+    """Largest execution-time regret across the rows."""
+    return max(row.regret for row in rows)

@@ -1,0 +1,153 @@
+"""CSV export of every experiment's data, for external plotting.
+
+The library deliberately ships no plotting dependency; these exporters
+write plain CSV that gnuplot/matplotlib/spreadsheets ingest directly.
+:func:`export_protocol` and :func:`export_figures` produce one file per
+table/figure; the CLI's ``export`` command drives them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.correlation import CorrelationData, correlation_data
+from repro.analysis.errors import evaluation_rows
+from repro.analysis.figures import Series, fig1_series, fig2_series, fig3a_series, fig3b_series
+from repro.core.pipeline import EstimationPipeline
+
+
+def series_to_csv(series: Sequence[Series], x_label: str) -> str:
+    """Several labelled series sharing an x grid, as wide-format CSV."""
+    if not series:
+        return f"{x_label}\n"
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow([x_label, *(s.label for s in series)])
+    for i, x in enumerate(series[0].x):
+        writer.writerow(
+            [f"{x:g}"] + [f"{s.y[i]:.6f}" if i < len(s.y) else "" for s in series]
+        )
+    return out.getvalue()
+
+
+def correlation_to_csv(data: CorrelationData) -> str:
+    """One row per evaluation configuration: estimates and measurement."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        ["config", "m1_group", "estimate_raw", "estimate_adjusted", "measured"]
+    )
+    for point in data.points:
+        writer.writerow(
+            [
+                point.config.label(),
+                point.group_mi,
+                f"{point.estimate_raw:.6f}",
+                f"{point.estimate_adjusted:.6f}",
+                f"{point.measured:.6f}",
+            ]
+        )
+    return out.getvalue()
+
+
+def verification_to_csv(pipeline: EstimationPipeline) -> str:
+    """The Tables 4/7/9 rows as CSV."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        [
+            "n",
+            "estimated_best",
+            "tau",
+            "tau_hat",
+            "actual_best",
+            "t_hat",
+            "estimate_error",
+            "regret",
+        ]
+    )
+    for row in evaluation_rows(pipeline):
+        writer.writerow(
+            [
+                row.n,
+                row.estimated_config.label(pipeline.plan.kinds),
+                f"{row.tau:.4f}",
+                f"{row.tau_hat:.4f}",
+                row.actual_config.label(pipeline.plan.kinds),
+                f"{row.t_hat:.4f}",
+                f"{row.estimate_error:.6f}",
+                f"{row.regret:.6f}",
+            ]
+        )
+    return out.getvalue()
+
+
+def cost_to_csv(pipeline: EstimationPipeline) -> str:
+    """The Tables 3/6 measurement-cost ledger as CSV."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    kinds = list(pipeline.plan.kinds)
+    writer.writerow(["n", *kinds])
+    campaign = pipeline.campaign
+    for n in pipeline.plan.construction_sizes:
+        writer.writerow(
+            [n] + [f"{campaign.cost_for_n(kind, n):.3f}" for kind in kinds]
+        )
+    writer.writerow(
+        ["total"] + [f"{campaign.cost_for_kind(kind):.3f}" for kind in kinds]
+    )
+    return out.getvalue()
+
+
+def export_protocol(
+    pipeline: EstimationPipeline,
+    out_dir: Path | str,
+    correlation_sizes: Optional[Sequence[int]] = None,
+) -> List[Path]:
+    """Write a protocol's cost table, verification table and per-size
+    correlation scatter; returns the written paths."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = pipeline.plan.name
+    written = []
+
+    def write(filename: str, text: str) -> None:
+        path = directory / filename
+        path.write_text(text)
+        written.append(path)
+
+    write(f"{name}_cost.csv", cost_to_csv(pipeline))
+    write(f"{name}_verification.csv", verification_to_csv(pipeline))
+    sizes = (
+        correlation_sizes
+        if correlation_sizes is not None
+        else pipeline.plan.evaluation_sizes
+    )
+    for n in sizes:
+        write(
+            f"{name}_correlation_n{n}.csv",
+            correlation_to_csv(correlation_data(pipeline, int(n))),
+        )
+    return written
+
+
+def export_figures(out_dir: Path | str, seed: int = 0, spec=None) -> List[Path]:
+    """Write the Figure 1-3 series as CSV; returns the written paths."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    def write(filename: str, text: str) -> None:
+        path = directory / filename
+        path.write_text(text)
+        written.append(path)
+
+    write("fig1_mpich121.csv", series_to_csv(fig1_series("1.2.1", seed=seed), "N"))
+    write("fig1_mpich122.csv", series_to_csv(fig1_series("1.2.2", seed=seed), "N"))
+    write("fig2_netpipe.csv", series_to_csv(fig2_series(), "block_kb"))
+    write("fig3a_imbalance.csv", series_to_csv(fig3a_series(seed=seed, spec=spec), "N"))
+    write("fig3b_multiprocess.csv", series_to_csv(fig3b_series(seed=seed, spec=spec), "N"))
+    return written

@@ -1,0 +1,107 @@
+"""Full experiment reports: one protocol run rendered as text.
+
+:func:`protocol_report` runs (or reuses) a pipeline and renders everything
+the paper reports for that protocol: measurement cost, model inventory,
+adjustment, the verification table and per-size correlation quality.  The
+benches write these to ``benchmarks/results/`` and EXPERIMENTS.md quotes
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.correlation import correlation_data
+from repro.analysis.errors import EVALUATION_HEADERS, evaluation_rows
+from repro.analysis.tables import render_table
+from repro.core.pipeline import EstimationPipeline
+from repro.units import pretty_seconds
+
+
+def cost_table(pipeline: EstimationPipeline) -> str:
+    """The paper's Table 3/6 analog: measurement seconds per kind per N."""
+    campaign = pipeline.campaign
+    kinds = list(pipeline.plan.kinds)
+    rows = []
+    for n in pipeline.plan.construction_sizes:
+        rows.append(
+            [n] + [f"{campaign.cost_for_n(kind, n):.1f}" for kind in kinds]
+        )
+    rows.append(
+        ["Total"] + [f"{campaign.cost_for_kind(kind):.1f}" for kind in kinds]
+    )
+    return render_table(
+        ["Size N"] + [f"{kind} [sec]" for kind in kinds],
+        rows,
+        title=f"Measurement cost ({pipeline.plan.name} model construction)",
+    )
+
+
+def verification_table(
+    pipeline: EstimationPipeline, sizes: Optional[Sequence[int]] = None
+) -> str:
+    """The paper's Table 4/7/9 analog."""
+    rows = [row.as_cells(pipeline.plan.kinds) for row in evaluation_rows(pipeline, sizes)]
+    return render_table(
+        EVALUATION_HEADERS,
+        rows,
+        title=(
+            f"Errors in estimated best configurations after adjustment "
+            f"({pipeline.plan.name} model)"
+        ),
+    )
+
+
+def correlation_summary(
+    pipeline: EstimationPipeline, sizes: Optional[Sequence[int]] = None
+) -> str:
+    """Per-size correlation quality, raw and adjusted."""
+    selected = sizes if sizes is not None else pipeline.plan.evaluation_sizes
+    rows = []
+    for n in selected:
+        data = correlation_data(pipeline, int(n))
+        rows.append(
+            [
+                n,
+                f"{data.r_squared(adjusted=False):.4f}",
+                f"{data.r_squared(adjusted=True):.4f}",
+                f"{data.mean_abs_deviation(adjusted=False):.3f}",
+                f"{data.mean_abs_deviation(adjusted=True):.3f}",
+                f"{data.systematic_slope(adjusted=True):.3f}",
+            ]
+        )
+    return render_table(
+        ["N", "R2 raw", "R2 adj", "mean|dev| raw", "mean|dev| adj", "slope adj"],
+        rows,
+        title=f"Estimate-vs-measurement correlation ({pipeline.plan.name} model)",
+    )
+
+
+def protocol_report(pipeline: EstimationPipeline) -> str:
+    """Everything the paper reports for one protocol, as one document."""
+    campaign = pipeline.campaign
+    sections: List[str] = []
+    sections.append(
+        f"=== Protocol {pipeline.plan.name!r} on cluster {pipeline.spec.name!r} "
+        f"(seed {pipeline.config.seed}) ==="
+    )
+    sections.append(pipeline.spec.describe())
+    sections.append(
+        f"Construction: {pipeline.plan.construction_count} measurements, "
+        f"simulated cost {pretty_seconds(campaign.total_cost_s)} "
+        f"({campaign.total_cost_s:.0f} s)"
+    )
+    sections.append(cost_table(pipeline))
+    sections.append(pipeline.store.summary())
+    if pipeline.composed_models:
+        composed = ", ".join(
+            f"{kind}: Mi={mis}" for kind, mis in sorted(pipeline.composed_models.items())
+        )
+        sections.append(f"Composed P-T models: {composed}")
+    sections.append(f"Adjustment: {pipeline.adjustment.describe()}")
+    sections.append(verification_table(pipeline))
+    sections.append(correlation_summary(pipeline))
+    from repro.analysis.decision import decision_table
+
+    sections.append(decision_table(pipeline))
+    return "\n\n".join(sections)

@@ -1,0 +1,119 @@
+"""Seed sweeps: is a protocol's behaviour robust, or one lucky draw?
+
+Every reported table comes from one noise seed, just as the paper's came
+from one set of physical runs.  A seed sweep re-runs a protocol end to end
+under ``k`` independent noise seeds and aggregates the error metrics, so
+claims like "Basic regret stays in the low percents" and "NS always
+underestimates catastrophically" can be stated over a *distribution*
+rather than an instance.  The bench ``benchmarks/bench_seed_sweep.py``
+runs it and EXPERIMENTS.md quotes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.errors import evaluation_rows
+from repro.cluster.spec import ClusterSpec
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Distribution of one metric over the sweep's seeds."""
+
+    values: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def worst(self) -> float:
+        return float(np.max(self.values))
+
+    @property
+    def best(self) -> float:
+        return float(np.min(self.values))
+
+    def fraction_above(self, threshold: float) -> float:
+        return float(np.mean(np.asarray(self.values) > threshold))
+
+
+@dataclass
+class SeedSweepResult:
+    """Aggregated metrics of one protocol across seeds."""
+
+    protocol: str
+    seeds: Tuple[int, ...]
+    #: worst |(tau - T^)/T^| per seed, over sizes >= min_n
+    worst_abs_error: SweepStats
+    #: worst regret per seed, over sizes >= min_n
+    worst_regret: SweepStats
+    #: fraction of sizes where the exact measured optimum was picked, per seed
+    hit_rate: SweepStats
+
+    def summary_row(self) -> List[str]:
+        return [
+            self.protocol,
+            f"{self.worst_abs_error.mean:.3f} ± {self.worst_abs_error.std:.3f}",
+            f"{self.worst_regret.mean:.3f} ± {self.worst_regret.std:.3f}",
+            f"{self.worst_regret.worst:.3f}",
+            f"{self.hit_rate.mean:.2f}",
+        ]
+
+
+SWEEP_HEADERS = [
+    "protocol",
+    "worst |est err| (mean ± sd)",
+    "worst regret (mean ± sd)",
+    "regret max over seeds",
+    "optimum hit rate",
+]
+
+
+def sweep_protocol(
+    spec: ClusterSpec,
+    protocol: str,
+    seeds: Sequence[int],
+    min_n: int = 3200,
+    base_config: Optional[PipelineConfig] = None,
+) -> SeedSweepResult:
+    """Run ``protocol`` once per seed and aggregate the verification
+    metrics over sizes ``>= min_n``."""
+    if not seeds:
+        raise MeasurementError("need at least one seed")
+    worst_errors, worst_regrets, hit_rates = [], [], []
+    for seed in seeds:
+        if base_config is not None:
+            from dataclasses import replace
+
+            config = replace(base_config, protocol=protocol, seed=int(seed))
+        else:
+            config = PipelineConfig(protocol=protocol, seed=int(seed))
+        pipeline = EstimationPipeline(spec, config)
+        rows = [r for r in evaluation_rows(pipeline) if r.n >= min_n]
+        if not rows:
+            raise MeasurementError(
+                f"no evaluation sizes >= {min_n} for protocol {protocol!r}"
+            )
+        worst_errors.append(max(abs(r.estimate_error) for r in rows))
+        worst_regrets.append(max(r.regret for r in rows))
+        hit_rates.append(
+            sum(1 for r in rows if r.picked_optimum) / len(rows)
+        )
+    return SeedSweepResult(
+        protocol=protocol,
+        seeds=tuple(int(s) for s in seeds),
+        worst_abs_error=SweepStats(tuple(worst_errors)),
+        worst_regret=SweepStats(tuple(worst_regrets)),
+        hit_rate=SweepStats(tuple(hit_rates)),
+    )

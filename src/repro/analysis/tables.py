@@ -1,0 +1,55 @@
+"""Plain-text and markdown table rendering for reports and benches."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def _stringify(rows: Sequence[Sequence[object]]) -> List[List[str]]:
+    return [[str(cell) for cell in row] for row in rows]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table (right-aligned numbers look fine because all
+    cells are padded to the column width)."""
+    str_rows = _stringify(rows)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """GitHub-flavored markdown table."""
+    str_rows = _stringify(rows)
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row}"
+            )
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    out.extend("| " + " | ".join(row) + " |" for row in str_rows)
+    return "\n".join(out)

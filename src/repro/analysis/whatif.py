@@ -1,0 +1,83 @@
+"""What-if hardware studies: how would decisions change on different gear?
+
+The simulation substrate makes counterfactuals cheap that the paper could
+not run: swap the interconnect (the testbed *had* 1000base-SX installed
+but measured over 100base-TX) or the MPI library, re-run a protocol, and
+compare optimal configurations side by side.  Used by
+``benchmarks/bench_whatif.py`` and available to library users directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.cluster.config import ClusterConfig
+from repro.cluster.spec import ClusterSpec
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class VariantOutcome:
+    """Per-size decisions of one hardware variant."""
+
+    label: str
+    best_configs: Tuple[Tuple[int, ClusterConfig, float], ...]  # (n, config, measured s)
+
+    def config_at(self, n: int) -> ClusterConfig:
+        for size, config, _ in self.best_configs:
+            if size == n:
+                return config
+        raise MeasurementError(f"{self.label}: no outcome for N={n}")
+
+    def time_at(self, n: int) -> float:
+        for size, config, t in self.best_configs:
+            if size == n:
+                return t
+        raise MeasurementError(f"{self.label}: no outcome for N={n}")
+
+
+def compare_variants(
+    variants: Dict[str, ClusterSpec],
+    protocol: str = "nl",
+    seed: int = 0,
+    sizes: Optional[Sequence[int]] = None,
+) -> List[VariantOutcome]:
+    """Run the protocol on each cluster variant; return the measured-best
+    configuration and its time per size."""
+    if not variants:
+        raise MeasurementError("no variants supplied")
+    outcomes = []
+    for label, spec in variants.items():
+        pipeline = EstimationPipeline(
+            spec, PipelineConfig(protocol=protocol, seed=seed)
+        )
+        selected = sizes if sizes is not None else pipeline.plan.evaluation_sizes
+        rows = []
+        for n in selected:
+            config, t = pipeline.actual_best(int(n))
+            rows.append((int(n), config, t))
+        outcomes.append(VariantOutcome(label=label, best_configs=tuple(rows)))
+    return outcomes
+
+
+def comparison_table(outcomes: Sequence[VariantOutcome], kinds) -> str:
+    """Side-by-side best configurations and times per size."""
+    if not outcomes:
+        return "(no variants)"
+    sizes = [n for n, _, _ in outcomes[0].best_configs]
+    headers = ["N"]
+    for outcome in outcomes:
+        headers += [f"{outcome.label}: best", f"{outcome.label}: t [s]"]
+    rows = []
+    for n in sizes:
+        row = [n]
+        for outcome in outcomes:
+            row += [
+                outcome.config_at(n).label(kinds),
+                f"{outcome.time_at(n):.1f}",
+            ]
+        rows.append(row)
+    return render_table(headers, rows, title="What-if: hardware variants")

@@ -1,0 +1,253 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Examples::
+
+    repro describe                      # Table 1 (cluster inventory)
+    repro fig1 --mpich 1.2.1            # Fig. 1(a) series
+    repro fig2                          # Fig. 2 (NetPIPE curves)
+    repro fig3                          # Fig. 3(a)+(b) series
+    repro cost --protocol basic         # Table 3 (measurement cost)
+    repro verify --protocol ns          # Table 9 (best-config errors)
+    repro correlate --protocol basic --n 6400   # Fig. 6/7 ASCII scatter
+    repro optimize --protocol nl --n 8000       # ranked configurations
+    repro report --protocol basic       # everything for one protocol
+
+Every command is deterministic in ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.correlation import correlation_data
+from repro.analysis.figures import (
+    ascii_scatter,
+    fig1_series,
+    fig2_series,
+    fig3a_series,
+    fig3b_series,
+    series_table,
+)
+from repro.analysis.report import cost_table, protocol_report, verification_table
+from repro.cluster.presets import kishimoto_cluster
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'An Execution-Time Estimation Model for "
+            "Heterogeneous Clusters' (IPDPS 2004)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--mpich",
+        default="1.2.5",
+        choices=["1.2.1", "1.2.2", "1.2.5"],
+        help="intra-node MPI version of the cluster",
+    )
+    parser.add_argument(
+        "--network",
+        default="100base-tx",
+        choices=["100base-tx", "1000base-sx"],
+        help="inter-node network of the cluster",
+    )
+    parser.add_argument(
+        "--cluster",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON cluster description (see repro.cluster.serialize); "
+            "overrides the built-in paper testbed and the --mpich/--network "
+            "options"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="cluster inventory (the paper's Table 1)")
+
+    fig1 = sub.add_parser("fig1", help="single-PE multiprocessing Gflops (Fig. 1)")
+    fig1.add_argument("--mpich-version", default=None, choices=["1.2.1", "1.2.2"])
+
+    sub.add_parser("fig2", help="intra-node NetPIPE throughput (Fig. 2)")
+    sub.add_parser("fig3", help="heterogeneous-cluster Gflops (Fig. 3)")
+
+    for name, help_text in [
+        ("cost", "measurement-cost table (Tables 3/6)"),
+        ("verify", "best-configuration error table (Tables 4/7/9)"),
+        ("report", "full protocol report"),
+    ]:
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "--protocol", default="basic", choices=["basic", "nl", "ns"]
+        )
+
+    corr = sub.add_parser("correlate", help="estimate-vs-measurement scatter (Figs 6-15)")
+    corr.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
+    corr.add_argument("--n", type=int, default=6400)
+    corr.add_argument(
+        "--raw", action="store_true", help="before adjustment (Figs 6/8/9/12/14)"
+    )
+
+    opt = sub.add_parser("optimize", help="rank candidate configurations")
+    opt.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
+    opt.add_argument("--n", type=int, required=True)
+    opt.add_argument("--top", type=int, default=10)
+
+    advise = sub.add_parser(
+        "advise", help="sanity-check a measurement plan before running it"
+    )
+    advise.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
+    advise.add_argument(
+        "--footprint",
+        type=float,
+        default=1.0,
+        help="application working-set multiple of one HPL matrix (SUMMA: 3)",
+    )
+
+    breakdown = sub.add_parser(
+        "breakdown", help="phase breakdown of one simulated run (Fig. 4 analog)"
+    )
+    breakdown.add_argument(
+        "--config",
+        required=True,
+        help="flat configuration tuple, e.g. 1,2,8,1 (P1,M1,P2,M2 order of the cluster's kinds)",
+    )
+    breakdown.add_argument("--n", type=int, required=True)
+    breakdown.add_argument(
+        "--per-process", action="store_true", help="also print per-rank rows"
+    )
+
+    export = sub.add_parser(
+        "export", help="write every experiment's data as CSV for plotting"
+    )
+    export.add_argument("--out", required=True, help="output directory")
+    export.add_argument(
+        "--protocol",
+        default="all",
+        choices=["all", "basic", "nl", "ns"],
+        help="which protocol tables to export (figures always exported)",
+    )
+
+    return parser
+
+
+def _spec(args: argparse.Namespace):
+    if getattr(args, "cluster", None):
+        from repro.cluster.serialize import load_cluster
+
+        return load_cluster(args.cluster)
+    return kishimoto_cluster(mpich=args.mpich, network=args.network)
+
+
+def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
+    return EstimationPipeline(
+        _spec(args), PipelineConfig(protocol=args.protocol, seed=args.seed)
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> None:
+    if args.command == "describe":
+        print(_spec(args).describe())
+    elif args.command == "fig1":
+        versions = (
+            [args.mpich_version] if args.mpich_version else ["1.2.1", "1.2.2"]
+        )
+        for version in versions:
+            print(f"\nFigure 1 ({version}): HPL Gflops, one Athlon, n processes/CPU")
+            print(series_table(fig1_series(version, seed=args.seed), "N"))
+    elif args.command == "fig2":
+        print("Figure 2: intra-node throughput [Gbit/s] vs block size [KB]")
+        print(series_table(fig2_series(), "KB"))
+    elif args.command == "fig3":
+        spec = _spec(args)
+        print("Figure 3(a): load imbalance [Gflops]")
+        print(series_table(fig3a_series(seed=args.seed, spec=spec), "N"))
+        print("\nFigure 3(b): multiprocessing [Gflops]")
+        print(series_table(fig3b_series(seed=args.seed, spec=spec), "N"))
+    elif args.command == "cost":
+        print(cost_table(_pipeline(args)))
+    elif args.command == "verify":
+        pipeline = _pipeline(args)
+        print(f"Adjustment: {pipeline.adjustment.describe()}\n")
+        print(verification_table(pipeline))
+    elif args.command == "report":
+        print(protocol_report(_pipeline(args)))
+    elif args.command == "correlate":
+        pipeline = _pipeline(args)
+        data = correlation_data(pipeline, args.n)
+        adjusted = not args.raw
+        state = "adjusted" if adjusted else "raw"
+        print(
+            f"Correlation ({args.protocol}, N={args.n}, {state}): "
+            f"R^2={data.r_squared(adjusted=adjusted):.4f}, "
+            f"mean|dev|={data.mean_abs_deviation(adjusted=adjusted):.3f}"
+        )
+        print(ascii_scatter(data, adjusted=adjusted))
+    elif args.command == "optimize":
+        pipeline = _pipeline(args)
+        outcome = pipeline.optimize(args.n)
+        kinds = pipeline.plan.kinds
+        print(
+            f"Top {args.top} of {len(outcome.ranking)} configurations at "
+            f"N={args.n} ({outcome.search_seconds * 1e3:.1f} ms search):"
+        )
+        for i, entry in enumerate(outcome.top(args.top), 1):
+            print(f"{i:3d}. {entry.config.label(kinds):>12s}  {entry.estimate_s:10.1f} s")
+    elif args.command == "advise":
+        from repro.measure.advisor import advise as run_advisor
+        from repro.measure.grids import plan_by_name
+
+        report = run_advisor(
+            _spec(args), plan_by_name(args.protocol), footprint=args.footprint
+        )
+        print(report.render())
+    elif args.command == "breakdown":
+        from repro.analysis.breakdown import breakdown_report
+        from repro.cluster.config import ClusterConfig
+
+        spec = _spec(args)
+        values = [int(v) for v in args.config.split(",")]
+        config = ClusterConfig.from_tuple(spec.kind_names, values)
+        print(
+            breakdown_report(
+                spec, config, args.n, seed=args.seed, per_process=args.per_process
+            )
+        )
+    elif args.command == "export":
+        from repro.analysis.export import export_figures, export_protocol
+
+        spec = _spec(args)
+        written = export_figures(args.out, seed=args.seed, spec=spec)
+        protocols = (
+            ["basic", "nl", "ns"] if args.protocol == "all" else [args.protocol]
+        )
+        for protocol in protocols:
+            pipeline = EstimationPipeline(
+                spec, PipelineConfig(protocol=protocol, seed=args.seed)
+            )
+            written += export_protocol(pipeline, args.out)
+        for path in written:
+            print(f"wrote {path}")
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

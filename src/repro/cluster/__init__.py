@@ -1,0 +1,38 @@
+"""Cluster substrate: processing elements, nodes, networks, configurations.
+
+This subpackage describes *what hardware exists* (:class:`~repro.cluster.spec.
+ClusterSpec`: PE kinds, nodes, network, intra-node transport) and *how it is
+used for one run* (:class:`~repro.cluster.config.ClusterConfig`: how many PEs
+of each kind participate and how many processes each invokes — the paper's
+``(P1, M1, P2, M2)`` tuples, generalized to any number of PE kinds).
+
+The performance-relevant behaviour of a PE (DGEMM efficiency ramp,
+oversubscription penalty, memory capacity effects) lives in
+:mod:`repro.cluster.pe`; :mod:`repro.cluster.presets` instantiates the
+heterogeneous cluster of the paper's Table 1 with rates calibrated to the
+Gflops the paper reports.
+"""
+
+from repro.cluster.config import ClusterConfig, KindAllocation
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import Node
+from repro.cluster.pe import PEKind
+from repro.cluster.placement import ProcessSlot, place_processes
+from repro.cluster.presets import kishimoto_cluster, synthetic_cluster
+from repro.cluster.serialize import load_cluster, save_cluster
+from repro.cluster.spec import ClusterSpec
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterSpec",
+    "KindAllocation",
+    "NetworkSpec",
+    "Node",
+    "PEKind",
+    "ProcessSlot",
+    "kishimoto_cluster",
+    "load_cluster",
+    "place_processes",
+    "save_cluster",
+    "synthetic_cluster",
+]

@@ -1,0 +1,122 @@
+"""Inter-node network models.
+
+The paper's assumptions (Section 3.1) let us keep the network simple: it is
+homogeneous, topology-free, and sender-independent.  A message of ``b`` bytes
+between two *different nodes* therefore costs::
+
+    t(b) = latency + b / bandwidth(b)
+
+with an optionally size-dependent effective bandwidth (small messages never
+reach line rate because of per-packet overheads; we model that with a
+half-saturation size, the standard "n-half" parameterization from the
+LogP/Hockney literature).
+
+Intra-node transfers do not use this model — they go through the MPI
+library's shared-memory path, which is modelled per MPICH version in
+:mod:`repro.simnet.mpich` because that difference is the subject of the
+paper's Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusterError
+from repro.units import GBPS_IN_BYTES, MBPS_IN_BYTES, USEC
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Homogeneous switched network between nodes.
+
+    Parameters
+    ----------
+    name:
+        Identifier (``"100base-tx"``).
+    latency_s:
+        Per-message latency (software + wire), seconds.
+    bandwidth_bps:
+        Asymptotic bandwidth in **bytes** per second.
+    half_saturation_bytes:
+        Message size at which half the asymptotic bandwidth is achieved.
+        Zero disables the size dependence (ideal network).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bps: float
+    half_saturation_bytes: float = 8192.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ClusterError(f"{self.name}: latency_s must be >= 0")
+        if self.bandwidth_bps <= 0:
+            raise ClusterError(f"{self.name}: bandwidth_bps must be positive")
+        if self.half_saturation_bytes < 0:
+            raise ClusterError(f"{self.name}: half_saturation_bytes must be >= 0")
+
+    def effective_bandwidth(self, nbytes):
+        """Effective bandwidth (bytes/s) for messages of ``nbytes``.
+
+        Accepts scalars or NumPy arrays and broadcasts.
+        """
+        b = np.asarray(nbytes, dtype=float)
+        if self.half_saturation_bytes == 0.0:
+            result = np.full_like(b, self.bandwidth_bps)
+        else:
+            result = self.bandwidth_bps * b / (b + self.half_saturation_bytes)
+            result = np.where(b <= 0, self.bandwidth_bps, result)
+        return result if result.ndim else float(result)
+
+    def message_time(self, nbytes):
+        """Transfer time in seconds for a message of ``nbytes`` (scalar or array)."""
+        b = np.asarray(nbytes, dtype=float)
+        if np.any(b < 0):
+            raise ClusterError("message size must be >= 0")
+        bw = np.asarray(self.effective_bandwidth(np.maximum(b, 1.0)), dtype=float)
+        t = self.latency_s + b / bw
+        return t if t.ndim else float(t)
+
+    def throughput(self, nbytes) -> float:
+        """Achieved throughput (bytes/s) including latency, NetPIPE-style."""
+        b = np.asarray(nbytes, dtype=float)
+        t = np.asarray(self.message_time(b), dtype=float)
+        result = np.where(t > 0, b / np.maximum(t, 1e-30), 0.0)
+        return result if result.ndim else float(result)
+
+
+def fast_ethernet() -> NetworkSpec:
+    """100base-TX as used for all of the paper's measurements.
+
+    100 Mbit/s line rate; ~90 Mbit/s achievable with TCP; MPICH-over-TCP
+    latency on 2001-era hardware was on the order of 70 microseconds.
+    """
+    return NetworkSpec(
+        name="100base-tx",
+        latency_s=70 * USEC,
+        bandwidth_bps=90 * MBPS_IN_BYTES,
+        half_saturation_bytes=6 * 1024,
+    )
+
+
+def gigabit_sx() -> NetworkSpec:
+    """1000base-SX (NetGear GA-620), present in the testbed but unused for
+    the paper's measurements; provided for completeness and what-if studies."""
+    return NetworkSpec(
+        name="1000base-sx",
+        latency_s=55 * USEC,
+        bandwidth_bps=0.65 * GBPS_IN_BYTES,
+        half_saturation_bytes=16 * 1024,
+    )
+
+
+def ideal_network(bandwidth_bps: float = 1e12) -> NetworkSpec:
+    """Zero-latency, size-independent network for unit tests and ablations."""
+    return NetworkSpec(
+        name="ideal",
+        latency_s=0.0,
+        bandwidth_bps=bandwidth_bps,
+        half_saturation_bytes=0.0,
+    )

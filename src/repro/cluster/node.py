@@ -1,0 +1,61 @@
+"""Cluster nodes: a box with one or more CPUs of a single kind and RAM.
+
+The paper's testbed has one single-CPU Athlon node and four dual-CPU
+Pentium-II nodes, all with 768 MB of main memory (Table 1).  Memory capacity
+matters: HPL allocates roughly ``N^2 * 8 / P`` bytes per process, and a node
+whose resident processes together exceed its RAM starts paging — the
+performance cliff of the paper's Figure 3(a) at N = 10000 on the single
+Athlon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.pe import PEKind
+from repro.errors import ClusterError
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class Node:
+    """One physical machine.
+
+    Parameters
+    ----------
+    name:
+        Unique node name (``"node1"``).
+    kind:
+        Processor family installed in this node.  Mixed-kind nodes are out
+        of scope, as in the paper.
+    cpus:
+        Number of processors (the dual Pentium-II nodes have 2).
+    memory_bytes:
+        Main memory capacity.
+    os_reserved_bytes:
+        Memory not available to HPL (kernel, daemons, buffers).  Determines
+        where the paging cliff sits relative to the nominal capacity.
+    """
+
+    name: str
+    kind: PEKind
+    cpus: int = 1
+    memory_bytes: int = 768 * MB
+    os_reserved_bytes: int = 48 * MB
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ClusterError("Node.name must be non-empty")
+        if self.cpus < 1:
+            raise ClusterError(f"{self.name}: cpus must be >= 1, got {self.cpus}")
+        if self.memory_bytes <= 0:
+            raise ClusterError(f"{self.name}: memory_bytes must be positive")
+        if not (0 <= self.os_reserved_bytes < self.memory_bytes):
+            raise ClusterError(
+                f"{self.name}: os_reserved_bytes must be in [0, memory_bytes)"
+            )
+
+    @property
+    def usable_memory_bytes(self) -> int:
+        """Bytes actually available to application processes."""
+        return self.memory_bytes - self.os_reserved_bytes

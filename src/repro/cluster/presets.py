@@ -1,0 +1,161 @@
+"""Concrete clusters, calibrated against the paper's published numbers.
+
+:func:`kishimoto_cluster` builds the heterogeneous testbed of the paper's
+Table 1: one AMD Athlon 1.33 GHz node plus four dual-CPU Intel Pentium-II
+400 MHz nodes, 768 MB each, connected by 100base-TX (the interface used for
+all measurements) and running MPICH shared memory intra-node.
+
+Calibration anchors (all from the paper, see DESIGN.md section 2):
+
+* a single Athlon process sustains ~1.07 Gflops at N = 3200 (Table 4:
+  configuration ``1,1,0,0`` runs N = 3200 in 20.4 s) and ~1.05–1.15 at
+  N >= 6400 (Figure 1);
+* one Athlon ~ 4–5 Pentium-IIs: "P2 x 5" matches "Athlon x 1" at large N
+  (Figure 3(a)); the paper's Table 3 totals for Pentium-II (10950 s at
+  N = 6400 over 48 configurations) imply ~0.24 Gflops per Pentium-II
+  process at saturation;
+* N = 1600 on the Athlon alone takes 2.82 s (Table 7), placing the Athlon
+  efficiency knee near N ~ 1800;
+* the Athlon pages at N = 10000 (Figure 3(a)): the 800 MB matrix exceeds
+  768 MB of RAM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.network import NetworkSpec, fast_ethernet, gigabit_sx
+from repro.cluster.node import Node
+from repro.cluster.pe import PEKind
+from repro.cluster.spec import ClusterSpec
+from repro.errors import ClusterError
+from repro.simnet.mpich import MPICHVersion, mpich_1_2_1, mpich_1_2_2, mpich_1_2_5
+from repro.units import MB
+
+
+def athlon_1333() -> PEKind:
+    """AMD Athlon 1.33 GHz (Thunderbird) with ATLAS 3.2.1 DGEMM."""
+    return PEKind(
+        name="athlon",
+        peak_gflops=1.10,
+        ramp_n=1800.0,
+        efficiency_floor=0.05,
+        oversub_penalty=0.05,
+        ctx_switch_s=3.0e-3,
+        mem_copy_gbs=0.50,
+        panel_overhead_s=1.2e-3,
+    )
+
+
+def pentium2_400() -> PEKind:
+    """Intel Pentium-II 400 MHz with ATLAS 3.2.1 DGEMM."""
+    return PEKind(
+        name="pentium2",
+        peak_gflops=0.24,
+        ramp_n=1800.0,
+        efficiency_floor=0.05,
+        oversub_penalty=0.05,
+        ctx_switch_s=4.0e-3,
+        mem_copy_gbs=0.22,
+        panel_overhead_s=2.0e-3,
+    )
+
+
+_NETWORKS = {
+    "100base-tx": fast_ethernet,
+    "1000base-sx": gigabit_sx,
+}
+
+_MPICH = {
+    "1.2.1": mpich_1_2_1,
+    "1.2.2": mpich_1_2_2,
+    "1.2.5": mpich_1_2_5,
+}
+
+
+def kishimoto_cluster(
+    mpich: str = "1.2.5",
+    network: str = "100base-tx",
+) -> ClusterSpec:
+    """The paper's testbed (Table 1).
+
+    Parameters
+    ----------
+    mpich:
+        MPI library version for intra-node transport: ``"1.2.1"``,
+        ``"1.2.2"`` or ``"1.2.5"`` (the paper's final measurements use
+        1.2.5; Figures 1–2 compare 1.2.1 vs 1.2.2).
+    network:
+        ``"100base-tx"`` (used for all of the paper's measurements) or
+        ``"1000base-sx"`` (installed but unused).
+    """
+    if mpich not in _MPICH:
+        raise ClusterError(f"unknown MPICH version {mpich!r}; have {sorted(_MPICH)}")
+    if network not in _NETWORKS:
+        raise ClusterError(f"unknown network {network!r}; have {sorted(_NETWORKS)}")
+    ath = athlon_1333()
+    p2 = pentium2_400()
+    nodes = [Node(name="node1", kind=ath, cpus=1, memory_bytes=768 * MB)]
+    nodes += [
+        Node(name=f"node{i}", kind=p2, cpus=2, memory_bytes=768 * MB)
+        for i in range(2, 6)
+    ]
+    return ClusterSpec(
+        name="kishimoto-tut",
+        nodes=tuple(nodes),
+        network=_NETWORKS[network](),
+        intranode=_MPICH[mpich](),
+    )
+
+
+def single_node_cluster(
+    kind: Optional[PEKind] = None,
+    cpus: int = 1,
+    memory_mb: int = 768,
+    mpich: str = "1.2.2",
+) -> ClusterSpec:
+    """One node, for single-PE studies (the paper's Figure 1 setup)."""
+    pe = kind if kind is not None else athlon_1333()
+    return ClusterSpec(
+        name=f"single-{pe.name}",
+        nodes=(Node(name="node1", kind=pe, cpus=cpus, memory_bytes=memory_mb * MB),),
+        network=fast_ethernet(),
+        intranode=_MPICH[mpich](),
+    )
+
+
+def synthetic_cluster(
+    kind_gflops: Sequence[float],
+    nodes_per_kind: int = 2,
+    cpus_per_node: int = 1,
+    memory_mb: int = 1024,
+    network: Optional[NetworkSpec] = None,
+    intranode: Optional[MPICHVersion] = None,
+) -> ClusterSpec:
+    """A parametric many-kind cluster for scalability and heuristic-search
+    studies (the paper's future-work direction).
+
+    ``kind_gflops`` gives the peak rate of each synthetic kind; each kind
+    gets ``nodes_per_kind`` nodes of ``cpus_per_node`` CPUs.
+    """
+    if not kind_gflops:
+        raise ClusterError("need at least one kind")
+    base = pentium2_400()
+    nodes = []
+    for k, rate in enumerate(kind_gflops):
+        kind = base.scaled(f"kind{k}", rate / base.peak_gflops)
+        for j in range(nodes_per_kind):
+            nodes.append(
+                Node(
+                    name=f"k{k}n{j}",
+                    kind=kind,
+                    cpus=cpus_per_node,
+                    memory_bytes=memory_mb * MB,
+                )
+            )
+    return ClusterSpec(
+        name=f"synthetic-{len(kind_gflops)}kinds",
+        nodes=tuple(nodes),
+        network=network if network is not None else fast_ethernet(),
+        intranode=intranode if intranode is not None else mpich_1_2_2(),
+    )

@@ -1,0 +1,159 @@
+"""JSON (de)serialization of cluster descriptions.
+
+A :class:`~repro.cluster.spec.ClusterSpec` describes hardware; users of
+the library describe *their* cluster once and reuse it across campaigns,
+so the description needs a stable on-disk form.  The format is plain JSON
+with one object per PE kind, node, and network — see
+``cluster_to_dict`` for the schema — and round-trips exactly
+(property-tested).
+
+The CLI accepts ``--cluster FILE`` wherever it would otherwise use the
+paper's testbed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import Node
+from repro.cluster.pe import PEKind
+from repro.cluster.spec import ClusterSpec
+from repro.errors import ClusterError
+from repro.simnet.mpich import MPICHVersion
+
+_FORMAT = 1
+
+
+def kind_to_dict(kind: PEKind) -> Dict[str, object]:
+    """Serialize one PE kind (all performance-model knobs)."""
+    return {
+        "name": kind.name,
+        "peak_gflops": kind.peak_gflops,
+        "ramp_n": kind.ramp_n,
+        "efficiency_floor": kind.efficiency_floor,
+        "oversub_penalty": kind.oversub_penalty,
+        "ctx_switch_s": kind.ctx_switch_s,
+        "mem_copy_gbs": kind.mem_copy_gbs,
+        "panel_overhead_s": kind.panel_overhead_s,
+    }
+
+
+def kind_from_dict(data: Mapping[str, object]) -> PEKind:
+    """Inverse of :func:`kind_to_dict`; missing knobs take defaults."""
+    return PEKind(
+        name=str(data["name"]),
+        peak_gflops=float(data["peak_gflops"]),
+        ramp_n=float(data.get("ramp_n", 1400.0)),
+        efficiency_floor=float(data.get("efficiency_floor", 0.04)),
+        oversub_penalty=float(data.get("oversub_penalty", 0.06)),
+        ctx_switch_s=float(data.get("ctx_switch_s", 2.0e-3)),
+        mem_copy_gbs=float(data.get("mem_copy_gbs", 0.35)),
+        panel_overhead_s=float(data.get("panel_overhead_s", 1.5e-3)),
+    )
+
+
+def network_to_dict(network: NetworkSpec) -> Dict[str, object]:
+    """Serialize an inter-node network model."""
+    return {
+        "name": network.name,
+        "latency_s": network.latency_s,
+        "bandwidth_bps": network.bandwidth_bps,
+        "half_saturation_bytes": network.half_saturation_bytes,
+    }
+
+
+def network_from_dict(data: Mapping[str, object]) -> NetworkSpec:
+    """Inverse of :func:`network_to_dict`."""
+    return NetworkSpec(
+        name=str(data["name"]),
+        latency_s=float(data["latency_s"]),
+        bandwidth_bps=float(data["bandwidth_bps"]),
+        half_saturation_bytes=float(data.get("half_saturation_bytes", 8192.0)),
+    )
+
+
+def mpich_to_dict(version: MPICHVersion) -> Dict[str, object]:
+    """Serialize an intra-node transport curve (anchor table)."""
+    return {
+        "name": version.name,
+        "latency_s": version.latency_s,
+        "anchor_bytes": list(version.anchor_bytes),
+        "anchor_bps": list(version.anchor_bps),
+    }
+
+
+def mpich_from_dict(data: Mapping[str, object]) -> MPICHVersion:
+    """Inverse of :func:`mpich_to_dict`."""
+    return MPICHVersion(
+        name=str(data["name"]),
+        latency_s=float(data["latency_s"]),
+        anchor_bytes=tuple(float(v) for v in data["anchor_bytes"]),  # type: ignore[union-attr]
+        anchor_bps=tuple(float(v) for v in data["anchor_bps"]),  # type: ignore[union-attr]
+    )
+
+
+def cluster_to_dict(spec: ClusterSpec) -> Dict[str, object]:
+    """Schema: ``{format, name, kinds: [...], nodes: [{name, kind, cpus,
+    memory_bytes, os_reserved_bytes}], network: {...}, intranode: {...}}``."""
+    return {
+        "format": _FORMAT,
+        "name": spec.name,
+        "kinds": [kind_to_dict(kind) for kind in spec.kinds],
+        "nodes": [
+            {
+                "name": node.name,
+                "kind": node.kind.name,
+                "cpus": node.cpus,
+                "memory_bytes": node.memory_bytes,
+                "os_reserved_bytes": node.os_reserved_bytes,
+            }
+            for node in spec.nodes
+        ],
+        "network": network_to_dict(spec.network),
+        "intranode": mpich_to_dict(spec.intranode),
+    }
+
+
+def cluster_from_dict(data: Mapping[str, object]) -> ClusterSpec:
+    """Inverse of :func:`cluster_to_dict`; validates kind references."""
+    if data.get("format") != _FORMAT:
+        raise ClusterError(f"unsupported cluster format {data.get('format')!r}")
+    kinds = {}
+    for kind_data in data["kinds"]:  # type: ignore[union-attr]
+        kind = kind_from_dict(kind_data)
+        kinds[kind.name] = kind
+    nodes: List[Node] = []
+    for node_data in data["nodes"]:  # type: ignore[union-attr]
+        kind_name = str(node_data["kind"])
+        if kind_name not in kinds:
+            raise ClusterError(
+                f"node {node_data['name']!r} references unknown kind {kind_name!r}"
+            )
+        nodes.append(
+            Node(
+                name=str(node_data["name"]),
+                kind=kinds[kind_name],
+                cpus=int(node_data.get("cpus", 1)),
+                memory_bytes=int(node_data["memory_bytes"]),
+                os_reserved_bytes=int(node_data.get("os_reserved_bytes", 0)),
+            )
+        )
+    return ClusterSpec(
+        name=str(data["name"]),
+        nodes=tuple(nodes),
+        network=network_from_dict(data["network"]),  # type: ignore[arg-type]
+        intranode=mpich_from_dict(data["intranode"]),  # type: ignore[arg-type]
+    )
+
+
+def save_cluster(spec: ClusterSpec, path: Path | str) -> None:
+    """Write a cluster description as indented JSON."""
+    Path(path).write_text(json.dumps(cluster_to_dict(spec), indent=1))
+
+
+def load_cluster(path: Path | str) -> ClusterSpec:
+    """Read a cluster description written by :func:`save_cluster`."""
+    return cluster_from_dict(json.loads(Path(path).read_text()))

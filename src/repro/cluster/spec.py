@@ -1,0 +1,121 @@
+"""Whole-cluster description: nodes + network + intra-node transport.
+
+:class:`ClusterSpec` is the immutable "hardware inventory" object passed to
+the simulator, the measurement campaigns and (indirectly, via calibration)
+the estimation models.  It validates structural invariants once at
+construction so the rest of the code can assume a well-formed cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Tuple
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import Node
+from repro.cluster.pe import PEKind
+from repro.errors import ClusterError
+from repro.simnet.mpich import MPICHVersion
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A heterogeneous cluster.
+
+    Parameters
+    ----------
+    name:
+        Human-readable cluster name.
+    nodes:
+        The machines, in deterministic order (this order also determines
+        MPI rank placement, like a machinefile).
+    network:
+        Inter-node interconnect model.
+    intranode:
+        MPI shared-memory transport model (per-MPICH-version curves); used
+        for messages between processes on the same *node*.
+    """
+
+    name: str
+    nodes: Tuple[Node, ...]
+    network: NetworkSpec
+    intranode: MPICHVersion
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ClusterError(f"{self.name}: cluster must have at least one node")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ClusterError(f"{self.name}: duplicate node names: {names}")
+        # A PE kind name must map to exactly one PEKind object.
+        seen: Dict[str, PEKind] = {}
+        for node in self.nodes:
+            prior = seen.get(node.kind.name)
+            if prior is not None and prior != node.kind:
+                raise ClusterError(
+                    f"{self.name}: kind {node.kind.name!r} has two different "
+                    "definitions across nodes"
+                )
+            seen[node.kind.name] = node.kind
+
+    # -- inventory queries ---------------------------------------------------
+
+    @property
+    def kinds(self) -> Tuple[PEKind, ...]:
+        """Distinct PE kinds in first-appearance order."""
+        out = []
+        seen = set()
+        for node in self.nodes:
+            if node.kind.name not in seen:
+                seen.add(node.kind.name)
+                out.append(node.kind)
+        return tuple(out)
+
+    @property
+    def kind_names(self) -> Tuple[str, ...]:
+        return tuple(kind.name for kind in self.kinds)
+
+    def kind(self, name: str) -> PEKind:
+        """Look up a PE kind by name."""
+        for k in self.kinds:
+            if k.name == name:
+                return k
+        raise ClusterError(f"{self.name}: unknown PE kind {name!r}")
+
+    def nodes_of_kind(self, name: str) -> Tuple[Node, ...]:
+        return tuple(node for node in self.nodes if node.kind.name == name)
+
+    def pe_count(self, name: str) -> int:
+        """Total processors of a kind across all nodes."""
+        return sum(node.cpus for node in self.nodes_of_kind(name))
+
+    @property
+    def total_pes(self) -> int:
+        return sum(node.cpus for node in self.nodes)
+
+    def pe_counts(self) -> Mapping[str, int]:
+        """Mapping kind name -> available processor count."""
+        return {kind.name: self.pe_count(kind.name) for kind in self.kinds}
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_network(self, network: NetworkSpec) -> "ClusterSpec":
+        """Same cluster on a different interconnect (what-if studies)."""
+        return replace(self, network=network)
+
+    def with_intranode(self, intranode: MPICHVersion) -> "ClusterSpec":
+        """Same cluster with a different MPI shared-memory transport."""
+        return replace(self, intranode=intranode)
+
+    def describe(self) -> str:
+        """Multi-line human-readable inventory (the paper's Table 1 analog)."""
+        lines = [f"Cluster {self.name!r}"]
+        for node in self.nodes:
+            lines.append(
+                f"  {node.name}: {node.cpus} x {node.kind.name} "
+                f"({node.kind.peak_gflops:.2f} Gflops peak/CPU), "
+                f"{node.memory_bytes // (1024 * 1024)} MB"
+            )
+        lines.append(f"  network: {self.network.name}")
+        lines.append(f"  intranode MPI: {self.intranode.name}")
+        return "\n".join(lines)

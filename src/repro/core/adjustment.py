@@ -1,0 +1,136 @@
+"""Linear-transformation adjustment of systematic model deviation
+(paper Section 4.1).
+
+The paper finds that its communication models deviate *systematically* for
+configurations with three or more processes on the Athlon (Figure 6), and
+patches the estimates with a linear transformation calibrated on the
+measurements of one configuration family — ``N = 6400, P2 = 8`` for each
+``M1 >= 3``.  Estimates for ``M1 <= 2`` are left untouched ("our models
+match the measurements very well").
+
+Because the deviation is *per model* (each ``Mi`` has its own P-T model
+with its own bias) and the correction must transfer across problem orders
+(the paper applies it at N = 8000 and 9600, far from the calibration
+point), the transformation is a **per-``Mi`` scale**: with exactly one
+calibration pair per ``Mi``, ``t = (t_cal / tau_cal) * tau`` is the entire
+linear map one can extract, and a multiplicative map is the only affine
+form that extrapolates sanely from one ``N`` to another (an additive
+offset fitted at 6400 would swamp a 20-second estimate at 3200).
+
+:class:`LinearAdjustment` therefore stores ``{Mi: scale}`` and applies the
+scale of a configuration's largest per-PE process count; ``Mi`` values
+above/below the calibrated range use the nearest calibrated scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FitError, ModelError
+
+
+@dataclass(frozen=True)
+class LinearAdjustment:
+    """Per-``Mi`` multiplicative correction for ``max(Mi) >= mi_threshold``."""
+
+    scales: Tuple[Tuple[int, float], ...] = ()
+    mi_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mi_threshold < 1:
+            raise ModelError("mi_threshold must be >= 1")
+        seen = set()
+        for mi, scale in self.scales:
+            if mi < self.mi_threshold:
+                raise ModelError(
+                    f"calibrated Mi={mi} below threshold {self.mi_threshold}"
+                )
+            if mi in seen:
+                raise ModelError(f"duplicate scale for Mi={mi}")
+            seen.add(mi)
+            if scale <= 0:
+                raise ModelError(f"scale for Mi={mi} must be positive: {scale}")
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.scales
+
+    @property
+    def calibration_points(self) -> int:
+        return len(self.scales)
+
+    def applies_to(self, max_mi: int) -> bool:
+        """Whether a configuration (by its largest per-PE process count)
+        receives a correction."""
+        return bool(self.scales) and max_mi >= self.mi_threshold
+
+    def scale_for(self, max_mi: int) -> float:
+        """The scale applied to a configuration with ``max(Mi) = max_mi``
+        (nearest calibrated Mi; 1.0 when not applicable)."""
+        if not self.applies_to(max_mi):
+            return 1.0
+        best_mi, best_scale = min(
+            self.scales, key=lambda item: (abs(item[0] - max_mi), item[0])
+        )
+        return best_scale
+
+    def apply(self, estimate: float, max_mi: int) -> float:
+        """Corrected estimate."""
+        return self.scale_for(max_mi) * estimate
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        calibration: Sequence[Tuple[int, float, float]],
+        mi_threshold: int = 3,
+    ) -> "LinearAdjustment":
+        """Fit from ``(mi, estimate, measurement)`` calibration triples.
+
+        Multiple triples with the same ``mi`` are combined by least squares
+        through the origin (``scale = sum(t*tau) / sum(tau^2)``); an empty
+        calibration set yields the identity (adjustment disabled).
+        """
+        grouped: Dict[int, List[Tuple[float, float]]] = {}
+        for mi, estimate, measurement in calibration:
+            if estimate <= 0 or measurement <= 0:
+                raise FitError(
+                    f"calibration pair for Mi={mi} must be positive times, "
+                    f"got ({estimate}, {measurement})"
+                )
+            if mi < mi_threshold:
+                continue  # below-threshold configurations are never adjusted
+            grouped.setdefault(int(mi), []).append((estimate, measurement))
+        scales = []
+        for mi in sorted(grouped):
+            tau = np.array([pair[0] for pair in grouped[mi]])
+            t = np.array([pair[1] for pair in grouped[mi]])
+            scales.append((mi, float((tau @ t) / (tau @ tau))))
+        return cls(scales=tuple(scales), mi_threshold=mi_threshold)
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scales": [[mi, scale] for mi, scale in self.scales],
+            "mi_threshold": self.mi_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LinearAdjustment":
+        return cls(
+            scales=tuple(
+                (int(mi), float(scale)) for mi, scale in data["scales"]  # type: ignore[union-attr]
+            ),
+            mi_threshold=int(data["mi_threshold"]),
+        )
+
+    def describe(self) -> str:
+        if self.is_identity:
+            return "identity (no adjustment)"
+        parts = ", ".join(f"Mi={mi}: x{scale:.3f}" for mi, scale in self.scales)
+        return f"per-Mi scales for max(Mi) >= {self.mi_threshold}: {parts}"

@@ -1,0 +1,168 @@
+"""Binning: selecting the right model for a query (paper Section 3.4).
+
+Two bin dimensions appear in the paper:
+
+* **Process structure** (Figure 5): when HPL runs on a single PE
+  (``P == Mi``) there is no inter-PE communication, so the directly fitted
+  N-T model is used; with multiple PEs (``P > Mi``) the P-T model is used.
+  ``P < Mi`` cannot occur (``P = sum Mi``).
+* **Memory pressure**: the memory requirement is predictable from
+  ``(N, P)``, so a different model can be selected when a node would page
+  (Figure 3(a)'s cliff).  :class:`MemoryBin` implements that piecewise
+  selection; the standard protocols run without it (as the paper does),
+  and the ablation bench quantifies what it buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.model_store import ModelStore
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class KindEstimate:
+    """Per-kind estimation output with its provenance.
+
+    ``valid`` is False when the model produced a non-positive total — a
+    polynomial excursion outside the fitted domain.  Such an output carries
+    no information (an execution time cannot be <= 0), so consumers must
+    treat the configuration as *unestimable* rather than cheap; see
+    :meth:`repro.core.pipeline.ConfigEstimate.total`.
+    """
+
+    kind_name: str
+    ta: float
+    tc: float
+    model_kind: str  # "nt" or "pt"
+    composed: bool = False
+    bin_label: str = "default"
+    valid: bool = True
+
+    @property
+    def total(self) -> float:
+        return self.ta + self.tc
+
+
+@dataclass(frozen=True)
+class MemoryBin:
+    """One memory-pressure bin: applies while ``ratio <= max_ratio``.
+
+    ``ta_scale`` / ``tc_scale`` stretch the base model's prediction inside
+    the bin — the piecewise-model mechanism of Section 3.4 in its simplest
+    usable form (the paper only sketches it).
+    """
+
+    max_ratio: float
+    ta_scale: float = 1.0
+    tc_scale: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_ratio <= 0:
+            raise ModelError("memory bin boundary must be positive")
+        if self.ta_scale <= 0 or self.tc_scale <= 0:
+            raise ModelError("memory bin scales must be positive")
+
+
+class ModelSelector:
+    """Routes ``(kind, N, P, Mi)`` queries to the right fitted model.
+
+    Parameters
+    ----------
+    store:
+        Fitted (and composed) models.
+    memory_bins:
+        Optional ascending list of :class:`MemoryBin`; selection uses the
+        caller-provided memory ratio (computed from ``N`` and ``P`` by the
+        estimator, which knows the cluster).  The last bin is open-ended.
+    """
+
+    def __init__(
+        self,
+        store: ModelStore,
+        memory_bins: Optional[Sequence[MemoryBin]] = None,
+    ):
+        self.store = store
+        self.memory_bins: Tuple[MemoryBin, ...] = tuple(memory_bins or ())
+        boundaries = [b.max_ratio for b in self.memory_bins]
+        if boundaries != sorted(boundaries):
+            raise ModelError("memory bins must have ascending boundaries")
+
+    # -- model routing -----------------------------------------------------------
+
+    def select(self, kind: str, p: int, mi: int):
+        """The model for a query, per the paper's Figure 5.
+
+        Returns ``("nt", NTModel)`` or ``("pt", PTModel)``.
+        """
+        if mi < 1:
+            raise ModelError(f"Mi must be >= 1, got {mi}")
+        if p < mi:
+            raise ModelError(
+                f"impossible query: P={p} < Mi={mi} (the 'X' cells of Fig. 5)"
+            )
+        if p == mi:
+            return "nt", self.store.nt_model(kind, p, mi)
+        return "pt", self.store.pt_model(kind, mi)
+
+    def can_estimate(self, kind: str, p: int, mi: int) -> bool:
+        try:
+            self.select(kind, p, mi)
+            return True
+        except ModelError:
+            return False
+
+    # -- estimation -------------------------------------------------------------------
+
+    def estimate_kind(
+        self,
+        kind: str,
+        n: float,
+        p: int,
+        mi: int,
+        memory_ratio: Optional[float] = None,
+    ) -> KindEstimate:
+        """Estimated (Ta, Tc) of one kind's processes in a configuration
+        with ``P`` total processes and ``Mi`` processes per PE of this kind.
+
+        Negative polynomial excursions (possible at the edge of a fitted
+        range) are clamped to zero for the phase values — but when the
+        *total* goes non-positive the estimate is marked invalid: clamping
+        a nonsense prediction to zero would make the configuration look
+        optimal to the search instead of untrustworthy.
+        """
+        which, model = self.select(kind, p, mi)
+        if which == "nt":
+            ta = float(model.predict_ta(n))
+            tc = float(model.predict_tc(n))
+            composed = False
+        else:
+            ta = float(model.predict_ta(n, p))
+            tc = float(model.predict_tc(n, p))
+            composed = model.is_composed
+
+        bin_label = "default"
+        if self.memory_bins and memory_ratio is not None:
+            chosen = self._bin_for(memory_ratio)
+            ta *= chosen.ta_scale
+            tc *= chosen.tc_scale
+            bin_label = chosen.label or f"ratio<={chosen.max_ratio:g}"
+
+        return KindEstimate(
+            kind_name=kind,
+            ta=max(ta, 0.0),
+            tc=max(tc, 0.0),
+            model_kind=which,
+            composed=composed,
+            bin_label=bin_label,
+            valid=(ta + tc) > 0.0,
+        )
+
+    def _bin_for(self, ratio: float) -> MemoryBin:
+        for bin_ in self.memory_bins:
+            if ratio <= bin_.max_ratio:
+                return bin_
+        return self.memory_bins[-1]

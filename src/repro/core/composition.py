@@ -1,0 +1,127 @@
+"""Model composition (paper Section 3.5).
+
+Building a P-T model needs measurements at three or more PE counts of the
+same kind — impossible for a kind with few members (the paper's cluster
+has a single Athlon).  The paper therefore *composes* the missing models
+from a measured kind's models, scaling Ta and Tc by constant factors: the
+Athlon P-T models are the Pentium-II P-T models with Ta scaled by 0.27 and
+Tc scaled by 0.85.
+
+:class:`CompositionPolicy` supports three ways to choose the factors:
+
+* ``"paper"`` — the paper's fixed constants (0.27 / 0.85);
+* ``"auto"`` — derive the Ta factor from data the campaign *does* have:
+  the single-PE N-T models of both kinds exist for every Mi, and their Ta
+  ratio at the largest fitted size is exactly the relative speed the
+  composition must encode.  The Tc factor defaults to 1.0 (ring waits are
+  set by the network and the other ring members, not by the fast PE);
+* explicit per-instance factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.model_store import ModelStore
+from repro.errors import ModelError
+
+#: The constants of the paper's Section 4.1.
+PAPER_TA_FACTOR = 0.27
+PAPER_TC_FACTOR = 0.85
+
+
+@dataclass(frozen=True)
+class CompositionPolicy:
+    """How to fill in P-T models for kinds that could not be measured.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"``, ``"paper"`` or ``"fixed"``.
+    ta_factor / tc_factor:
+        Used when ``mode == "fixed"``; ``tc_factor`` is also the Tc factor
+        of ``"auto"`` mode (Tc carries no usable single-PE signal to derive
+        it from — single-PE runs have no network traffic).
+    """
+
+    mode: str = "auto"
+    ta_factor: float = PAPER_TA_FACTOR
+    tc_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "paper", "fixed"):
+            raise ModelError(f"unknown composition mode {self.mode!r}")
+        if self.ta_factor <= 0 or self.tc_factor <= 0:
+            raise ModelError("composition factors must be positive")
+
+    # -- factor derivation ----------------------------------------------------
+
+    def factors_for(
+        self,
+        store: ModelStore,
+        target_kind: str,
+        source_kind: str,
+        mi: int,
+    ) -> Tuple[float, float]:
+        """The (Ta, Tc) scale factors to derive ``target_kind``'s P-T model
+        from ``source_kind``'s, for per-PE process count ``mi``."""
+        if self.mode == "paper":
+            return PAPER_TA_FACTOR, PAPER_TC_FACTOR
+        if self.mode == "fixed":
+            return self.ta_factor, self.tc_factor
+        return self._auto_ta_factor(store, target_kind, source_kind, mi), self.tc_factor
+
+    @staticmethod
+    def _auto_ta_factor(
+        store: ModelStore, target_kind: str, source_kind: str, mi: int
+    ) -> float:
+        """Ratio of the kinds' single-PE N-T Ta predictions at the largest
+        common fitted size (their relative computation speed)."""
+        target_nt = _single_pe_nt(store, target_kind, mi)
+        source_nt = _single_pe_nt(store, source_kind, mi)
+        n_ref = min(target_nt.n_range[1], source_nt.n_range[1])
+        source_ta = source_nt.predict_ta(n_ref)
+        target_ta = target_nt.predict_ta(n_ref)
+        if source_ta <= 0 or target_ta <= 0:
+            raise ModelError(
+                f"cannot derive composition factor at N={n_ref}: "
+                f"non-positive Ta predictions ({target_ta}, {source_ta})"
+            )
+        return float(target_ta / source_ta)
+
+    # -- application ---------------------------------------------------------------
+
+    def compose_missing(
+        self,
+        store: ModelStore,
+        target_kind: str,
+        source_kind: str,
+    ) -> List[int]:
+        """Fill every missing ``(target_kind, Mi)`` P-T model from
+        ``source_kind``'s measured P-T models, in place.
+
+        Returns the list of Mi values composed.  Only *measured* source
+        models are used — composing from a composed model would compound
+        factors invisibly.
+        """
+        composed: List[int] = []
+        for (kind, mi), source in sorted(store.pt.items()):
+            if kind != source_kind or source.is_composed:
+                continue
+            if store.has_pt(target_kind, mi):
+                continue
+            ta_f, tc_f = self.factors_for(store, target_kind, source_kind, mi)
+            store.pt[(target_kind, mi)] = source.scaled(target_kind, ta_f, tc_f)
+            composed.append(mi)
+        return composed
+
+
+def _single_pe_nt(store: ModelStore, kind: str, mi: int):
+    """The single-PE N-T model (P == Mi) of a kind, required by auto mode."""
+    if store.has_nt(kind, mi, mi):
+        return store.nt_model(kind, mi, mi)
+    raise ModelError(
+        f"auto composition needs the single-PE N-T model of ({kind}, Mi={mi}); "
+        "it was not fitted (missing from the construction grid?)"
+    )

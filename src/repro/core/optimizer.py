@@ -1,0 +1,120 @@
+"""Configuration optimization: find the estimated-optimal PE subset and
+process allocation.
+
+The paper enumerates every candidate configuration, estimates its total
+execution time with the fitted models, and selects the argmin (Section 3.1
+frames this as combinatorial optimization with the model as the objective
+function; Section 4 reports the enumeration takes ~35 ms for 62 candidates
+x 5 sizes).  :class:`ExhaustiveOptimizer` is that search, over any callable
+estimator — the pipeline's model-based estimator in production, plain
+functions in tests, and the heuristic searchers of :mod:`repro.exts`
+compare themselves against it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.errors import SearchError
+
+#: An estimator maps (configuration, problem order) -> estimated seconds.
+Estimator = Callable[[ClusterConfig, int], float]
+
+
+@dataclass(frozen=True)
+class RankedEstimate:
+    """One candidate with its estimated execution time."""
+
+    config: ClusterConfig
+    n: int
+    estimate_s: float
+
+    def label(self, kinds: Optional[Sequence[str]] = None) -> str:
+        return self.config.label(kinds)
+
+
+@dataclass
+class SearchOutcome:
+    """Full result of one optimization: the winner, the ranking and the
+    search cost (the paper reports its enumeration wall time)."""
+
+    n: int
+    ranking: List[RankedEstimate]
+    search_seconds: float
+
+    @property
+    def best(self) -> RankedEstimate:
+        return self.ranking[0]
+
+    def top(self, count: int) -> List[RankedEstimate]:
+        return self.ranking[: max(count, 0)]
+
+    def estimate_for(self, config: ClusterConfig) -> float:
+        key = config.key()
+        for entry in self.ranking:
+            if entry.config.key() == key:
+                return entry.estimate_s
+        raise SearchError(f"configuration {config.label()} was not a candidate")
+
+
+class ExhaustiveOptimizer:
+    """Estimate every candidate and rank them.
+
+    Parameters
+    ----------
+    estimator:
+        Objective function.
+    candidates:
+        The configuration space (the paper's 62 evaluation configurations,
+        or anything else).
+    """
+
+    def __init__(self, estimator: Estimator, candidates: Sequence[ClusterConfig]):
+        if not candidates:
+            raise SearchError("empty candidate set")
+        self.estimator = estimator
+        self.candidates = list(candidates)
+
+    def optimize(self, n: int) -> SearchOutcome:
+        """Rank all candidates for problem order ``n`` (ascending time)."""
+        started = time.perf_counter()
+        ranking: List[RankedEstimate] = []
+        for config in self.candidates:
+            value = float(self.estimator(config, n))
+            if math.isnan(value) or value < 0:
+                raise SearchError(
+                    f"estimator returned invalid time {value!r} for "
+                    f"{config.label()} at N={n}"
+                )
+            # +inf is the estimator's "I cannot estimate this configuration"
+            # signal (model outside its domain); such candidates rank last.
+            ranking.append(RankedEstimate(config=config, n=n, estimate_s=value))
+        ranking.sort(key=lambda e: (e.estimate_s, e.config.key()))
+        if not math.isfinite(ranking[0].estimate_s):
+            raise SearchError(
+                f"no candidate could be estimated at N={n} "
+                "(all models out of domain)"
+            )
+        return SearchOutcome(
+            n=n,
+            ranking=ranking,
+            search_seconds=time.perf_counter() - started,
+        )
+
+    def best(self, n: int) -> RankedEstimate:
+        return self.optimize(n).best
+
+
+def actual_best(
+    measured: Sequence[Tuple[ClusterConfig, float]],
+) -> Tuple[ClusterConfig, float]:
+    """The measured-optimal configuration among (config, seconds) pairs —
+    the ground truth the paper's Tables 4/7/9 compare against."""
+    if not measured:
+        raise SearchError("no measurements to choose from")
+    best_config, best_time = min(measured, key=lambda item: (item[1], item[0].key()))
+    return best_config, best_time

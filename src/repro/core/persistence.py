@@ -1,0 +1,102 @@
+"""Pipeline persistence: measure once, decide often.
+
+In production use, the expensive part of the method is the measurement
+campaign (hours of cluster time); the models and the decisions are
+milliseconds.  :func:`save_pipeline` writes everything a finished pipeline
+learned — the cluster description, the construction dataset, the fitted
+models, and the calibrated adjustment — and :func:`load_pipeline`
+reconstitutes a pipeline that can estimate and optimize *without
+re-running anything* (the evaluation ground truth is optional and only
+needed to re-verify).
+
+Layout of a saved pipeline directory::
+
+    cluster.json       the ClusterSpec
+    manifest.json      protocol name, seed, composition mode, adjustment
+    construction.json  the measurement Dataset
+    models.json        the fitted/composed ModelStore
+    evaluation.json    (optional) ground-truth measurements
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.serialize import load_cluster, save_cluster
+from repro.core.adjustment import LinearAdjustment
+from repro.core.model_store import ModelStore
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.errors import MeasurementError
+from repro.measure.campaign import CampaignResult
+from repro.measure.dataset import Dataset
+from repro.measure.grids import plan_by_name
+
+_MANIFEST = "manifest.json"
+
+
+def save_pipeline(
+    pipeline: EstimationPipeline,
+    directory: Path | str,
+    include_evaluation: bool = True,
+) -> Path:
+    """Persist a pipeline's learned state; returns the directory."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    save_cluster(pipeline.spec, out / "cluster.json")
+    pipeline.campaign.dataset.save(out / "construction.json")
+    pipeline.store.save(out / "models.json")
+    manifest = {
+        "format": 1,
+        "protocol": pipeline.plan.name,
+        "seed": pipeline.config.seed,
+        "adjustment": pipeline.adjustment.to_dict(),
+        "cost_by_kind_and_n": [
+            [kind, n, cost]
+            for (kind, n), cost in sorted(
+                pipeline.campaign.cost_by_kind_and_n.items()
+            )
+        ],
+    }
+    (out / _MANIFEST).write_text(json.dumps(manifest, indent=1))
+    if include_evaluation:
+        pipeline.evaluation.save(out / "evaluation.json")
+    return out
+
+
+def load_pipeline(directory: Path | str) -> EstimationPipeline:
+    """Reconstitute a saved pipeline.
+
+    The returned pipeline's campaign, models and adjustment come from disk
+    — no simulation (or cluster time) is spent.  Accessing ``evaluation``
+    uses the saved ground truth when present, otherwise it re-measures.
+    """
+    src = Path(directory)
+    manifest_path = src / _MANIFEST
+    if not manifest_path.exists():
+        raise MeasurementError(f"{src} is not a saved pipeline (no {_MANIFEST})")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != 1:
+        raise MeasurementError(f"unsupported pipeline format {manifest.get('format')!r}")
+
+    spec = load_cluster(src / "cluster.json")
+    plan = plan_by_name(str(manifest["protocol"]))
+    pipeline = EstimationPipeline(
+        spec, PipelineConfig(protocol=plan.name, seed=int(manifest["seed"])), plan=plan
+    )
+
+    dataset = Dataset.load(src / "construction.json")
+    cost = {
+        (str(kind), int(n)): float(value)
+        for kind, n, value in manifest["cost_by_kind_and_n"]
+    }
+    pipeline._campaign = CampaignResult(
+        plan_name=plan.name, dataset=dataset, cost_by_kind_and_n=cost
+    )
+    pipeline._store = ModelStore.load(src / "models.json")
+    pipeline._adjustment = LinearAdjustment.from_dict(manifest["adjustment"])
+    evaluation_path = src / "evaluation.json"
+    if evaluation_path.exists():
+        pipeline._evaluation = Dataset.load(evaluation_path)
+    return pipeline

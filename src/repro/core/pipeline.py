@@ -1,0 +1,350 @@
+"""End-to-end estimation pipelines: the paper's Basic / NL / NS protocols.
+
+:class:`EstimationPipeline` wires the whole method together over a cluster:
+
+1. run the construction campaign (:mod:`repro.measure`);
+2. fit the N-T and P-T models (:mod:`repro.core.model_store`);
+3. compose P-T models for kinds that could not be measured
+   (:mod:`repro.core.composition`);
+4. calibrate the linear adjustment on the designated calibration family
+   (:mod:`repro.core.adjustment`);
+5. expose a configuration estimator and an exhaustive optimizer;
+6. verify against ground-truth measurements of the evaluation grid,
+   producing the rows of the paper's Tables 4 / 7 / 9 and the scatter data
+   of Figures 6-15.
+
+Everything is lazily computed and cached; a pipeline is fully determined
+by ``(spec, plan, PipelineConfig)`` and reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.spec import ClusterSpec
+from repro.core.adjustment import LinearAdjustment
+from repro.core.binning import KindEstimate, MemoryBin, ModelSelector
+from repro.core.composition import CompositionPolicy
+from repro.core.memory_guard import MemoryGuard, split_dataset
+from repro.core.model_store import ModelStore
+from repro.core.optimizer import ExhaustiveOptimizer, SearchOutcome, actual_best
+from repro.errors import ModelError
+from repro.hpl.driver import NoiseSpec, run_hpl
+from repro.hpl.memory import config_memory_ratio
+from repro.hpl.schedule import HPLParameters
+from repro.measure.campaign import CampaignResult, Runner, run_campaign, run_evaluation
+from repro.measure.dataset import Dataset
+from repro.measure.grids import CampaignPlan, plan_by_name
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of one protocol run."""
+
+    protocol: str = "basic"
+    seed: int = 0
+    noise: Optional[NoiseSpec] = field(default_factory=NoiseSpec)
+    hpl_params: Optional[HPLParameters] = None
+    composition: CompositionPolicy = field(default_factory=CompositionPolicy)
+    adjust: bool = True
+    adjustment_threshold: int = 3
+    #: N-T least-squares objective: "uniform" (the paper) or "relative"
+    #: (weights 1/t^2 — better small-N accuracy; future-work item (3)).
+    nt_weighting: str = "uniform"
+    #: Problem order of the adjustment calibration family; ``None`` means
+    #: the paper's choice (6400) clamped into the evaluation grid.
+    calibration_n: Optional[int] = None
+    memory_bins: Tuple[MemoryBin, ...] = ()
+    #: Exclude construction measurements predicted to page (paper Section
+    #: 3.4: memory pressure is predictable from N and P) before fitting.
+    memory_guard: bool = False
+    #: Classification threshold and application working-set multiple used
+    #: when ``memory_guard`` is on (SUMMA keeps 3 matrices resident).
+    guard_threshold: float = 1.0
+    guard_footprint: float = 1.0
+    #: Application under study; defaults to HPL.  Any runner with the
+    #: ``run_hpl`` signature works (e.g. ``repro.exts.apps.run_summa``) —
+    #: the models never look inside the application, only at its per-kind
+    #: Ta/Tc measurements.
+    runner: Runner = run_hpl
+
+
+@dataclass(frozen=True)
+class ConfigEstimate:
+    """Model estimate of one configuration at one problem order."""
+
+    config: ClusterConfig
+    n: int
+    per_kind: Tuple[KindEstimate, ...]
+    raw_total: float
+    adjusted_total: float
+    max_mi: int
+    adjusted: bool
+
+    @property
+    def valid(self) -> bool:
+        """False when any kind's model produced a non-physical prediction
+        (the configuration is outside the models' trustworthy domain)."""
+        return all(k.valid for k in self.per_kind)
+
+    @property
+    def total(self) -> float:
+        """The estimate the optimizer consumes (adjusted when enabled).
+
+        Invalid estimates rank *last*, not first: a model that predicts a
+        non-positive time is broken for this configuration, and the search
+        must not be lured by it.
+        """
+        if not self.valid:
+            return float("inf")
+        return self.adjusted_total
+
+    def kind(self, kind_name: str) -> KindEstimate:
+        for estimate in self.per_kind:
+            if estimate.kind_name == kind_name:
+                return estimate
+        raise ModelError(f"kind {kind_name!r} not part of {self.config.label()}")
+
+
+class EstimationPipeline:
+    """One protocol run over one cluster."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        config: Optional[PipelineConfig] = None,
+        plan: Optional[CampaignPlan] = None,
+    ):
+        self.spec = spec
+        self.config = config if config is not None else PipelineConfig()
+        self.plan = plan if plan is not None else plan_by_name(self.config.protocol)
+        self._campaign: Optional[CampaignResult] = None
+        self._evaluation: Optional[Dataset] = None
+        self._store: Optional[ModelStore] = None
+        self._selector: Optional[ModelSelector] = None
+        self._adjustment: Optional[LinearAdjustment] = None
+        self._composed: Dict[str, List[int]] = {}
+
+    # -- stage 1: measurement ---------------------------------------------------
+
+    @property
+    def campaign(self) -> CampaignResult:
+        """Construction measurements (runs the campaign on first access)."""
+        if self._campaign is None:
+            self._campaign = run_campaign(
+                self.spec,
+                self.plan,
+                params=self.config.hpl_params,
+                noise=self.config.noise,
+                seed=self.config.seed,
+                runner=self.config.runner,
+            )
+        return self._campaign
+
+    @property
+    def evaluation(self) -> Dataset:
+        """Ground-truth measurements of the evaluation grid."""
+        if self._evaluation is None:
+            self._evaluation = run_evaluation(
+                self.spec,
+                self.plan,
+                params=self.config.hpl_params,
+                noise=self.config.noise,
+                seed=self.config.seed,
+                runner=self.config.runner,
+            )
+        return self._evaluation
+
+    # -- stage 2+3: models ---------------------------------------------------------
+
+    @property
+    def store(self) -> ModelStore:
+        if self._store is None:
+            dataset = self.campaign.dataset
+            if self.config.memory_guard:
+                guard = MemoryGuard(
+                    self.spec,
+                    threshold=self.config.guard_threshold,
+                    footprint=self.config.guard_footprint,
+                )
+                dataset, self._excluded_paging = split_dataset(dataset, guard)
+            store = ModelStore.fit_dataset(dataset, weighting=self.config.nt_weighting)
+            self._compose_missing(store)
+            self._store = store
+        return self._store
+
+    @property
+    def excluded_paging_runs(self) -> Dataset:
+        """Construction measurements the memory guard kept out of the fit
+        (empty when the guard is off or nothing paged)."""
+        _ = self.store
+        return getattr(self, "_excluded_paging", Dataset())
+
+    def _compose_missing(self, store: ModelStore) -> None:
+        """Compose P-T models for kinds without enough measured PEs, using
+        the kind with the most measured P-T models as the source."""
+        measured_counts = {
+            kind: sum(
+                1
+                for (k, _), model in store.pt.items()
+                if k == kind and not model.is_composed
+            )
+            for kind in store.kinds()
+        }
+        if not measured_counts:
+            return
+        source = max(measured_counts, key=lambda k: (measured_counts[k], k))
+        if measured_counts[source] == 0:
+            return
+        for kind in store.kinds():
+            if kind == source:
+                continue
+            composed = self.config.composition.compose_missing(store, kind, source)
+            if composed:
+                self._composed[kind] = composed
+
+    @property
+    def selector(self) -> ModelSelector:
+        if self._selector is None:
+            self._selector = ModelSelector(
+                self.store, memory_bins=self.config.memory_bins
+            )
+        return self._selector
+
+    @property
+    def composed_models(self) -> Dict[str, List[int]]:
+        """Which (kind -> Mi list) P-T models were composed, for reporting."""
+        _ = self.store
+        return dict(self._composed)
+
+    # -- stage 4: adjustment ----------------------------------------------------------
+
+    @property
+    def adjustment(self) -> LinearAdjustment:
+        if self._adjustment is None:
+            if not self.config.adjust:
+                self._adjustment = LinearAdjustment(
+                    mi_threshold=self.config.adjustment_threshold
+                )
+            else:
+                self._adjustment = self._fit_adjustment()
+        return self._adjustment
+
+    def calibration_size(self) -> int:
+        """The paper calibrates at N = 6400; clamp into the eval grid."""
+        if self.config.calibration_n is not None:
+            return self.config.calibration_n
+        sizes = self.plan.evaluation_sizes
+        return 6400 if 6400 in sizes else max(sizes)
+
+    def calibration_configs(self) -> List[ClusterConfig]:
+        """The calibration family: evaluation configurations that use every
+        kind at full PE count and reach the adjustment threshold (the
+        paper's ``M1 >= 3`` at ``P2 = 8``)."""
+        available = self.spec.pe_counts()
+        threshold = self.config.adjustment_threshold
+        out = []
+        for config in self.plan.evaluation_configs:
+            if any(a.pe_count != available[a.kind_name] for a in config.active):
+                continue
+            if len(config.active) != len(available):
+                continue
+            if max(a.procs_per_pe for a in config.active) < threshold:
+                continue
+            out.append(config)
+        return out
+
+    def _fit_adjustment(self) -> LinearAdjustment:
+        n_cal = self.calibration_size()
+        triples = []
+        for config in self.calibration_configs():
+            estimate = self._estimate_raw(config, n_cal)
+            record = self.evaluation.lookup(
+                config.as_flat_tuple(self.plan.kinds), n_cal
+            )
+            triples.append((estimate.max_mi, estimate.raw_total, record.wall_time_s))
+        return LinearAdjustment.fit(
+            triples, mi_threshold=self.config.adjustment_threshold
+        )
+
+    # -- stage 5: estimation & optimization ----------------------------------------------
+
+    def _memory_ratio_for(self, config: ClusterConfig, n: int, kind_name: str) -> float:
+        """Worst-node memory pressure for a kind under this configuration."""
+        return config_memory_ratio(
+            self.spec, config, n, kind_name, footprint=self.config.guard_footprint
+        )
+
+    def _estimate_raw(self, config: ClusterConfig, n: int) -> ConfigEstimate:
+        config.validate_against(self.spec)
+        p = config.total_processes
+        per_kind = []
+        for alloc in config.active:
+            ratio = (
+                self._memory_ratio_for(config, n, alloc.kind_name)
+                if self.config.memory_bins
+                else None
+            )
+            per_kind.append(
+                self.selector.estimate_kind(
+                    alloc.kind_name, n, p, alloc.procs_per_pe, memory_ratio=ratio
+                )
+            )
+        total = max(estimate.total for estimate in per_kind)
+        max_mi = max(a.procs_per_pe for a in config.active)
+        return ConfigEstimate(
+            config=config,
+            n=n,
+            per_kind=tuple(per_kind),
+            raw_total=total,
+            adjusted_total=total,
+            max_mi=max_mi,
+            adjusted=False,
+        )
+
+    def estimate(self, config: ClusterConfig, n: int) -> ConfigEstimate:
+        """Full estimate: per-kind model evaluation, max composition,
+        linear adjustment where applicable."""
+        raw = self._estimate_raw(config, n)
+        adjusted_total = self.adjustment.apply(raw.raw_total, raw.max_mi)
+        return replace(
+            raw,
+            adjusted_total=adjusted_total,
+            adjusted=self.adjustment.applies_to(raw.max_mi)
+            and not self.adjustment.is_identity,
+        )
+
+    def estimator(self):
+        """The objective function for optimizers: (config, n) -> seconds."""
+
+        def objective(config: ClusterConfig, n: int) -> float:
+            return self.estimate(config, n).total
+
+        return objective
+
+    def optimizer(
+        self, candidates: Optional[Sequence[ClusterConfig]] = None
+    ) -> ExhaustiveOptimizer:
+        return ExhaustiveOptimizer(
+            self.estimator(),
+            list(candidates) if candidates is not None else list(self.plan.evaluation_configs),
+        )
+
+    def optimize(self, n: int) -> SearchOutcome:
+        return self.optimizer().optimize(n)
+
+    # -- stage 6: verification --------------------------------------------------------------
+
+    def measured_time(self, config: ClusterConfig, n: int) -> float:
+        record = self.evaluation.lookup(config.as_flat_tuple(self.plan.kinds), n)
+        return record.wall_time_s
+
+    def actual_best(self, n: int) -> Tuple[ClusterConfig, float]:
+        """Ground-truth optimum over the evaluation grid at order ``n``."""
+        measured = [
+            (config, self.measured_time(config, n))
+            for config in self.plan.evaluation_configs
+        ]
+        return actual_best(measured)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error deliberately raised by this library derives from
+:class:`ReproError`, so callers embedding the library can catch one type.
+The subclasses partition failures by subsystem, mirroring the package
+layout (cluster description, simulation, measurement, model fitting,
+configuration search).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster description (PE kinds, nodes, network)."""
+
+
+class ConfigurationError(ClusterError):
+    """A :class:`~repro.cluster.config.ClusterConfig` is malformed or does
+    not fit the cluster it is applied to (e.g. requests more PEs of a kind
+    than the cluster owns)."""
+
+
+class SimulationError(ReproError):
+    """The HPL/application simulator was driven with impossible parameters
+    (non-positive problem size, empty process set, …)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement campaign or dataset operation failed (missing records,
+    serialization mismatch, duplicate measurement keys)."""
+
+
+class FitError(ReproError):
+    """Least-squares extraction could not be performed (rank deficiency,
+    too few observations for the number of coefficients)."""
+
+
+class ModelError(ReproError):
+    """An estimation model was queried outside its domain or assembled
+    inconsistently (e.g. a P-T model asked about ``P < Mi``)."""
+
+
+class SearchError(ReproError):
+    """Configuration optimization failed (empty candidate set, estimator
+    returning non-finite values)."""

@@ -1,0 +1,310 @@
+"""A second application: SUMMA-style matrix multiplication.
+
+The paper closes with "this study examined one specific application (HPL),
+but other parallel applications should be also examined".  This module
+provides one: ``C = A @ B`` by the SUMMA algorithm on the same ``1 x P``
+column-block-cyclic layout — each step broadcasts one ``N x nb`` panel of
+``A`` along the process ring and every process multiplies it into its
+local columns of ``B``/``C``.
+
+Crucially, *nothing else changes*: :func:`run_summa` has the same signature
+as :func:`repro.hpl.driver.run_hpl`, returns the same result shape with the
+same per-kind ``Ta``/``Tc`` decomposition (``update`` + ``bcast``; SUMMA has
+no pivoting, swaps or back-substitution), and therefore plugs into the
+measurement campaigns, the N-T/P-T fitting, composition, adjustment and the
+optimizer unchanged — demonstrated end-to-end by
+``examples/other_application.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.placement import place_processes
+from repro.cluster.spec import ClusterSpec
+from repro.errors import SimulationError
+from repro.hpl import workload
+from repro.hpl.driver import HPLResult, NoiseSpec
+from repro.hpl.memory import node_slowdowns
+from repro.hpl.schedule import HPLParameters, ScheduleResult, _noise_or_ones
+from repro.hpl.timing import PHASE_NAMES
+from repro.rng import stream
+from repro.simnet.collectives import ring_delivery_times
+from repro.simnet.transport import LinkKind, Transport
+from repro.units import gflops as to_gflops
+
+
+def summa_flops(n: int) -> float:
+    """Flops of a dense ``n x n`` matrix multiplication."""
+    if n < 0:
+        raise SimulationError(f"negative order {n}")
+    return 2.0 * float(n) ** 3
+
+
+class SummaResult(HPLResult):
+    """SUMMA measurement; differs from HPL only in the Gflops denominator."""
+
+    @property
+    def gflops(self) -> float:
+        return to_gflops(summa_flops(self.n), self.wall_time_s)
+
+
+def simulate_summa(
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    n: int,
+    params: Optional[HPLParameters] = None,
+    compute_noise: Optional[np.ndarray] = None,
+    comm_noise: Optional[np.ndarray] = None,
+) -> ScheduleResult:
+    """Panel-by-panel SUMMA walk over a placed process set.
+
+    Memory: SUMMA keeps three matrices resident (A, B, C), so the paging
+    model sees 3x the per-process footprint of HPL.
+    """
+    if n < 1:
+        raise SimulationError(f"matrix order must be >= 1, got {n}")
+    params = params if params is not None else HPLParameters()
+    slots = place_processes(spec, config)
+    p = len(slots)
+    transport = Transport(spec, slots)
+    f_comp = _noise_or_ones(compute_noise, p, "compute_noise")
+    f_comm = _noise_or_ones(comm_noise, p, "comm_noise")
+
+    # Three resident matrices: reuse the node paging model at 3x pressure
+    # by simulating a 1.73x larger order (bytes scale with n^2).
+    paging = node_slowdowns(
+        spec, slots, int(n * np.sqrt(3.0)), nb=params.nb, slope=params.paging_slope
+    )
+    update_rate = np.empty(p)
+    step_overhead = np.empty(p)
+    for r, slot in enumerate(slots):
+        kind, m = slot.kind, slot.co_resident
+        update_rate[r] = kind.process_rate(n, m) / paging[r]
+        step_overhead[r] = kind.step_overhead(m)
+
+    co_res = np.array([slot.co_resident for slot in slots], dtype=float)
+    edge_weight = np.array(
+        [
+            1.0 if kind is LinkKind.NETWORK else params.intranode_interference_weight
+            for kind in transport.ring_link_kinds()
+        ]
+    )
+    forward_slow = 1.0 + params.forward_interference * (co_res - 1.0) * edge_weight
+
+    # Local column counts (block-cyclic; constant through the run — SUMMA
+    # has no shrinking trailing matrix).
+    nb = params.nb
+    nblocks = (n + nb - 1) // nb
+    counts = np.bincount(np.arange(nblocks) % p, minlength=p).astype(float) * nb
+    counts[(nblocks - 1) % p] -= nblocks * nb - n
+    ranks = np.arange(p)
+
+    phase = {name: np.zeros(p) for name in PHASE_NAMES}
+    wall = 0.0
+    for k in range(nblocks):
+        width = min(nb, n - k * nb)
+        owner = k % p
+        step = np.zeros(p)
+        if p > 1:
+            nbytes = float(n) * width * 8.0
+            hops = transport.ring_hop_times(nbytes) * forward_slow
+            delivery = ring_delivery_times(
+                hops, root=owner, pipeline_factor=params.ring_pipeline_factor
+            )
+            non_owner = ranks != owner
+            wait = delivery * f_comm
+            send = hops[owner] * f_comm[owner]
+            phase["bcast"][owner] += send
+            phase["bcast"][non_owner] += wait[non_owner]
+            step[owner] += send
+            step[non_owner] = np.maximum(step[non_owner], wait[non_owner])
+        t_update = (2.0 * n * width * counts) / update_rate * f_comp
+        t_over = step_overhead * f_comp
+        phase["update"] += t_update + t_over
+        step += t_update + t_over
+        wall += float(np.max(step))
+
+    return ScheduleResult(
+        n=n, params=params, slots=slots, phase_arrays=phase, wall_time_s=wall
+    )
+
+
+def cholesky_flops(n: int) -> float:
+    """Flops of a dense Cholesky factorization (``n^3/3`` to leading order)."""
+    if n < 0:
+        raise SimulationError(f"negative order {n}")
+    return float(n) ** 3 / 3.0 + 0.5 * float(n) ** 2
+
+
+class CholeskyResult(HPLResult):
+    """Cholesky measurement; Gflops uses the ``n^3/3`` count."""
+
+    @property
+    def gflops(self) -> float:
+        return to_gflops(cholesky_flops(self.n), self.wall_time_s)
+
+
+def simulate_cholesky(
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    n: int,
+    params: Optional[HPLParameters] = None,
+    compute_noise: Optional[np.ndarray] = None,
+    comm_noise: Optional[np.ndarray] = None,
+) -> ScheduleResult:
+    """Panel-by-panel right-looking Cholesky on the 1 x P layout.
+
+    The application Kalinov & Lastovetsky studied ([7] in the paper):
+    structurally like LU with half the work (symmetric trailing update,
+    only the lower triangle), no pivoting (so no ``mxswp``/``laswp``) and
+    a shrinking panel broadcast.  A third application for the pipeline's
+    generality claim.
+    """
+    if n < 1:
+        raise SimulationError(f"matrix order must be >= 1, got {n}")
+    params = params if params is not None else HPLParameters()
+    slots = place_processes(spec, config)
+    p = len(slots)
+    transport = Transport(spec, slots)
+    f_comp = _noise_or_ones(compute_noise, p, "compute_noise")
+    f_comm = _noise_or_ones(comm_noise, p, "comm_noise")
+
+    paging = node_slowdowns(spec, slots, n, nb=params.nb, slope=params.paging_slope)
+    update_rate = np.empty(p)
+    pfact_rate = np.empty(p)
+    step_overhead = np.empty(p)
+    for r, slot in enumerate(slots):
+        kind, m = slot.kind, slot.co_resident
+        update_rate[r] = kind.process_rate(n, m) / paging[r]
+        pfact_rate[r] = kind.process_rate(n, m) * params.pfact_efficiency / paging[r]
+        step_overhead[r] = kind.step_overhead(m)
+
+    co_res = np.array([slot.co_resident for slot in slots], dtype=float)
+    edge_weight = np.array(
+        [
+            1.0 if kind is LinkKind.NETWORK else params.intranode_interference_weight
+            for kind in transport.ring_link_kinds()
+        ]
+    )
+    forward_slow = 1.0 + params.forward_interference * (co_res - 1.0) * edge_weight
+
+    nb = params.nb
+    nblocks = (n + nb - 1) // nb
+    last_block_cols = n - (nblocks - 1) * nb
+    ranks = np.arange(p)
+
+    phase = {name: np.zeros(p) for name in PHASE_NAMES}
+    wall = 0.0
+    for k in range(nblocks):
+        j0 = k * nb
+        width = min(nb, n - j0)
+        m_rows = n - j0
+        owner = k % p
+        step = np.zeros(p)
+
+        # Panel: Cholesky of the nb x nb diagonal block + triangular solve
+        # of the (m - nb) x nb column block below it.
+        panel_flops = width**3 / 3.0 + (m_rows - width) * width**2
+        t_pfact = panel_flops / pfact_rate[owner] * f_comp[owner]
+        phase["pfact"][owner] += t_pfact
+        step[owner] += t_pfact
+
+        if p > 1:
+            nbytes = float(m_rows) * width * 8.0
+            hops = transport.ring_hop_times(nbytes) * forward_slow
+            delivery = ring_delivery_times(
+                hops, root=owner, pipeline_factor=params.ring_pipeline_factor
+            )
+            non_owner = ranks != owner
+            wait = (t_pfact * params.pfact_wait_factor + delivery) * f_comm
+            send = hops[owner] * f_comm[owner]
+            phase["bcast"][owner] += send
+            phase["bcast"][non_owner] += wait[non_owner]
+            step[owner] += send
+            step[non_owner] = np.maximum(step[non_owner], wait[non_owner])
+
+        # Symmetric trailing update: each process updates its local
+        # trailing columns but only rows at/below each column (half the
+        # GEMM volume on average).
+        if k + 1 < nblocks:
+            trailing = np.arange(k + 1, nblocks)
+            counts = np.bincount(trailing % p, minlength=p).astype(float)
+            q = counts * nb
+            q[(nblocks - 1) % p] -= nb - last_block_cols
+        else:
+            q = np.zeros(p)
+        t_update = (
+            np.array([workload.gemm_flops(int(m_rows - width), width, int(qq)) for qq in q])
+            / 2.0
+        ) / update_rate * f_comp
+        t_over = step_overhead * f_comp
+        phase["update"] += t_update + t_over
+        step += t_update + t_over
+        wall += float(np.max(step))
+
+    # triangular solve for one RHS, as for LU
+    t_uptrsv = (
+        workload.solve_flops(n) / p / update_rate + params.uptrsv_latency_s * p
+    ) * f_comp
+    phase["uptrsv"] += t_uptrsv
+    wall += float(np.max(t_uptrsv))
+
+    return ScheduleResult(
+        n=n, params=params, slots=slots, phase_arrays=phase, wall_time_s=wall
+    )
+
+
+def run_cholesky(
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    n: int,
+    params: Optional[HPLParameters] = None,
+    noise: Optional[NoiseSpec] = None,
+    seed: int = 0,
+    trial: int = 0,
+) -> CholeskyResult:
+    """Drop-in :func:`~repro.hpl.driver.run_hpl` replacement for Cholesky."""
+    compute_noise = comm_noise = None
+    if noise is not None and noise.enabled:
+        p = config.total_processes
+        rng = stream(seed, "cholesky-run", config.key(), n, trial)
+        compute_noise = np.exp(rng.normal(0.0, noise.sigma_compute, size=p))
+        comm_noise = np.exp(rng.normal(0.0, noise.sigma_comm, size=p))
+        if noise.outlier_probability > 0 and rng.random() < noise.outlier_probability:
+            compute_noise = compute_noise * noise.outlier_factor
+            comm_noise = comm_noise * noise.outlier_factor
+    schedule = simulate_cholesky(
+        spec, config, n, params=params,
+        compute_noise=compute_noise, comm_noise=comm_noise,
+    )
+    return CholeskyResult(spec_name=spec.name, config=config, n=n, schedule=schedule)
+
+
+def run_summa(
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    n: int,
+    params: Optional[HPLParameters] = None,
+    noise: Optional[NoiseSpec] = None,
+    seed: int = 0,
+    trial: int = 0,
+) -> SummaResult:
+    """Drop-in :func:`~repro.hpl.driver.run_hpl` replacement running SUMMA."""
+    compute_noise = comm_noise = None
+    if noise is not None and noise.enabled:
+        p = config.total_processes
+        rng = stream(seed, "summa-run", config.key(), n, trial)
+        compute_noise = np.exp(rng.normal(0.0, noise.sigma_compute, size=p))
+        comm_noise = np.exp(rng.normal(0.0, noise.sigma_comm, size=p))
+        if noise.outlier_probability > 0 and rng.random() < noise.outlier_probability:
+            compute_noise = compute_noise * noise.outlier_factor
+            comm_noise = comm_noise * noise.outlier_factor
+    schedule = simulate_summa(
+        spec, config, n, params=params,
+        compute_noise=compute_noise, comm_noise=comm_noise,
+    )
+    return SummaResult(spec_name=spec.name, config=config, n=n, schedule=schedule)

@@ -1,0 +1,307 @@
+"""Panel-by-panel performance simulation of HPL on a placed process set.
+
+This walks the exact schedule of right-looking blocked LU on a ``1 x P``
+block-cyclic grid (the same loop :mod:`repro.hpl.lu` executes numerically)
+and converts each phase's *work* into *time* using the cluster's rate and
+link models:
+
+per panel step ``k`` (global column ``j0 = k*nb``, trailing height
+``m = N - j0``):
+
+1. the owning process factors the ``m x nb`` panel (``pfact``) and resolves
+   pivots (``mxswp``);
+2. the panel travels the process ring (``bcast``): the increasing-ring
+   broadcast of HPL, with cross-step pipelining summarized by a calibrated
+   ``ring_pipeline_factor`` (see :mod:`repro.simnet.collectives`);
+3. every process applies the row interchanges to its local trailing columns
+   (``laswp``) and performs the triangular-solve + rank-``nb`` GEMM update
+   (``update``) on the ``q_p`` columns it owns;
+4. the step completes when the slowest process finishes (bulk-synchronous,
+   matching the paper's no-overlap modelling assumption);
+
+and a final backward substitution (``uptrsv``) closes the run.
+
+Rates come from :class:`~repro.cluster.pe.PEKind` (efficiency ramp,
+oversubscription) degraded by the node-level paging model of
+:mod:`repro.hpl.memory`.  The loop is vectorized over processes with NumPy;
+only the O(N/nb) step loop is Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.placement import ProcessSlot, place_processes
+from repro.cluster.spec import ClusterSpec
+from repro.errors import SimulationError
+from repro.hpl import workload
+from repro.hpl.memory import node_slowdowns
+from repro.hpl.timing import PHASE_NAMES, PhaseTimes, ProcessTiming
+from repro.simnet.collectives import ring_delivery_times
+from repro.simnet.transport import LinkKind, Transport
+
+
+@dataclass(frozen=True)
+class HPLParameters:
+    """Tunables of the simulated HPL build (the ``HPL.dat`` analog).
+
+    Attributes
+    ----------
+    nb:
+        Column block size (HPL's NB; the paper-era sweet spot was 60–120).
+    pfact_efficiency:
+        Panel factorization runs on level-1/2 BLAS; this is its rate as a
+        fraction of the DGEMM rate.
+    ring_pipeline_factor:
+        Fraction of the downstream store-and-forward chain a rank actually
+        waits for (1.0 = strict bulk-synchronous chain, lower values model
+        HPL's cross-step overlap).  See ``simnet.collectives``.
+    forward_interference:
+        Store-and-forward slowdown caused by CPU time-sharing: a ring hop
+        *sent by* a process whose CPU hosts ``m`` processes is stretched by
+        ``1 + forward_interference * (m - 1)``.  The sender's memcpy
+        and socket writes compete with its siblings' compute and the MPI
+        progress engines' busy-waiting, so oversubscribed ring positions
+        throttle the broadcast chain through them.  This is the term that
+        makes extra processes on a fast PE *costly* at small N (an O(N^2)
+        communication tax growing with m) while still profitable at large
+        N where the O(N^3/P) balance gain dominates — the crossover
+        structure of the paper's Figure 3(b) and Tables 4/7.
+    intranode_interference_weight:
+        Fraction of ``forward_interference`` applied to shared-memory hops.
+        Kernel TCP sends burn far more time-shared CPU than intra-node
+        memcpys, so network hops take the full interference and intra-node
+        hops only this fraction of it.
+    same_cpu_handoff_s:
+        Scheduler handoff cost per ring hop whose sender and receiver
+        time-share one CPU, per extra co-resident process.  The paper-era
+        Linux 2.4 scheduler charges roughly a timeslice to wake the
+        receiving sibling and drain the shared-memory pipe — the effect
+        Sasou et al. observed and the paper traces through Figures 1-2.
+    pfact_wait_factor:
+        Fraction of the owner's panel time non-owners spend blocked in the
+        broadcast (1.0 = no overlap, the paper's modelling assumption).
+    mxswp_per_column_s:
+        Pivot bookkeeping cost per panel column (the paper's O(1) item).
+    uptrsv_latency_s:
+        Per-process latency contribution of the solve's ring traffic.
+    paging_slope:
+        Throughput penalty slope once a node's memory overflows.
+    """
+
+    nb: int = 80
+    pfact_efficiency: float = 0.35
+    ring_pipeline_factor: float = 0.45
+    forward_interference: float = 0.9
+    intranode_interference_weight: float = 0.3
+    same_cpu_handoff_s: float = 0.010
+    pfact_wait_factor: float = 1.0
+    mxswp_per_column_s: float = 2.0e-6
+    uptrsv_latency_s: float = 1.0e-4
+    paging_slope: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.nb < 1:
+            raise SimulationError(f"nb must be >= 1, got {self.nb}")
+        if not (0.0 < self.pfact_efficiency <= 1.0):
+            raise SimulationError("pfact_efficiency must be in (0, 1]")
+        if not (0.0 <= self.ring_pipeline_factor <= 1.0):
+            raise SimulationError("ring_pipeline_factor must be in [0, 1]")
+        if self.forward_interference < 0.0:
+            raise SimulationError("forward_interference must be >= 0")
+        if not (0.0 <= self.intranode_interference_weight <= 1.0):
+            raise SimulationError("intranode_interference_weight must be in [0, 1]")
+        if self.same_cpu_handoff_s < 0:
+            raise SimulationError("same_cpu_handoff_s must be >= 0")
+        if not (0.0 <= self.pfact_wait_factor <= 1.0):
+            raise SimulationError("pfact_wait_factor must be in [0, 1]")
+
+
+@dataclass
+class ScheduleResult:
+    """Output of one simulated HPL run."""
+
+    n: int
+    params: HPLParameters
+    slots: List[ProcessSlot]
+    phase_arrays: Dict[str, np.ndarray]
+    wall_time_s: float
+
+    @property
+    def size(self) -> int:
+        return len(self.slots)
+
+    def process_timing(self, rank: int) -> ProcessTiming:
+        return ProcessTiming(
+            rank=rank,
+            kind_name=self.slots[rank].kind.name,
+            phases=PhaseTimes.from_arrays(self.phase_arrays, rank),
+        )
+
+    def all_timings(self) -> List[ProcessTiming]:
+        return [self.process_timing(r) for r in range(self.size)]
+
+    def busy_times(self) -> np.ndarray:
+        """Per-rank total busy (phase-accounted) time."""
+        return sum(self.phase_arrays[name] for name in PHASE_NAMES)
+
+
+def simulate_schedule(
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    n: int,
+    params: Optional[HPLParameters] = None,
+    compute_noise: Optional[np.ndarray] = None,
+    comm_noise: Optional[np.ndarray] = None,
+) -> ScheduleResult:
+    """Simulate HPL of order ``n`` under ``config`` on ``spec``.
+
+    ``compute_noise`` / ``comm_noise`` are optional per-rank multiplicative
+    factors (length ``P``) applied to computation and communication costs
+    respectively; the measurement layer supplies them (seeded), unit tests
+    usually omit them for determinism.
+    """
+    if n < 1:
+        raise SimulationError(f"matrix order must be >= 1, got {n}")
+    params = params if params is not None else HPLParameters()
+    slots = place_processes(spec, config)
+    p = len(slots)
+    transport = Transport(spec, slots)
+
+    f_comp = _noise_or_ones(compute_noise, p, "compute_noise")
+    f_comm = _noise_or_ones(comm_noise, p, "comm_noise")
+
+    # Per-rank static rates --------------------------------------------------
+    paging = node_slowdowns(spec, slots, n, nb=params.nb, slope=params.paging_slope)
+    update_rate = np.empty(p)
+    pfact_rate = np.empty(p)
+    laswp_rate = np.empty(p)
+    step_overhead = np.empty(p)
+    for r, slot in enumerate(slots):
+        kind = slot.kind
+        m = slot.co_resident
+        update_rate[r] = kind.process_rate(n, m) / paging[r]
+        # pfact runs at level-1/2 BLAS speed on a time-shared CPU: the
+        # owner's siblings are inside MPI blocking receives, and the
+        # paper-era MPICH progress engine busy-waits, so they do not yield
+        # the CPU — the owner only gets its 1/m share.
+        pfact_rate[r] = kind.process_rate(n, m) * params.pfact_efficiency / paging[r]
+        laswp_rate[r] = kind.mem_copy_rate() / m / paging[r]
+        step_overhead[r] = kind.step_overhead(m)
+
+    # Ring-forwarding slowdown of each sender (CPU time-sharing; see
+    # HPLParameters.forward_interference).  Network hops take the full
+    # interference; shared-memory hops a calibrated fraction of it.
+    co_res = np.array([slot.co_resident for slot in slots], dtype=float)
+    ring_kinds = transport.ring_link_kinds()
+    edge_weight = np.array(
+        [
+            1.0 if kind is LinkKind.NETWORK else params.intranode_interference_weight
+            for kind in ring_kinds
+        ]
+    )
+    forward_slow = 1.0 + params.forward_interference * (co_res - 1.0) * edge_weight
+    # Fixed scheduler-handoff cost on hops whose endpoints time-share a CPU.
+    same_cpu_edge = np.array(
+        [kind is LinkKind.SAME_CPU for kind in ring_kinds], dtype=bool
+    )
+    hop_handoff = np.where(
+        same_cpu_edge, params.same_cpu_handoff_s * (co_res - 1.0), 0.0
+    )
+
+    phase = {name: np.zeros(p) for name in PHASE_NAMES}
+    wall = 0.0
+
+    nb = params.nb
+    nblocks = (n + nb - 1) // nb
+    last_block_cols = n - (nblocks - 1) * nb
+    ranks = np.arange(p)
+
+    for k in range(nblocks):
+        j0 = k * nb
+        width = min(nb, n - j0)
+        m_rows = n - j0
+        owner = k % p
+
+        # Trailing columns owned by each process (strictly right of panel).
+        if k + 1 < nblocks:
+            trailing_blocks = np.arange(k + 1, nblocks)
+            counts = np.bincount(trailing_blocks % p, minlength=p).astype(float)
+            q = counts * nb
+            # the final block may be partial
+            q[(nblocks - 1) % p] -= nb - last_block_cols
+        else:
+            q = np.zeros(p)
+
+        # -- phase costs ------------------------------------------------------
+        t_pfact = (
+            workload.pfact_flops(m_rows, width) / pfact_rate[owner] * f_comp[owner]
+        )
+        t_mxswp = width * params.mxswp_per_column_s * f_comm[owner]
+
+        step = np.zeros(p)
+        phase["pfact"][owner] += t_pfact
+        phase["mxswp"][owner] += t_mxswp
+        step[owner] += t_pfact + t_mxswp
+
+        if p > 1:
+            nbytes = workload.panel_bytes(m_rows, width)
+            hops = transport.ring_hop_times(nbytes) * forward_slow + hop_handoff
+            delivery = ring_delivery_times(
+                hops, root=owner, pipeline_factor=params.ring_pipeline_factor
+            )
+            head_wait = (t_pfact + t_mxswp) * params.pfact_wait_factor
+            non_owner = ranks != owner
+            bcast_wait = np.where(non_owner, head_wait + delivery, 0.0)
+            bcast_wait *= f_comm
+            send_cost = hops[owner] * f_comm[owner]  # the owner's injection
+            phase["bcast"][owner] += send_cost
+            phase["bcast"][non_owner] += bcast_wait[non_owner]
+            step[owner] += send_cost
+            step[non_owner] = np.maximum(
+                step[non_owner], bcast_wait[non_owner]
+            )
+
+        t_laswp = workload.laswp_bytes(width, q) / laswp_rate * f_comm
+        t_update = np.array(
+            [workload.update_flops(m_rows, width, int(qq)) for qq in q]
+        ) / update_rate * f_comp
+        t_over = step_overhead * f_comp
+
+        phase["laswp"] += t_laswp
+        phase["update"] += t_update + t_over
+        step += t_laswp + t_update + t_over
+
+        wall += float(np.max(step))
+
+    # Backward substitution --------------------------------------------------
+    t_uptrsv = (
+        workload.solve_flops(n) / p / update_rate + params.uptrsv_latency_s * p
+    ) * f_comp
+    phase["uptrsv"] += t_uptrsv
+    wall += float(np.max(t_uptrsv))
+
+    return ScheduleResult(
+        n=n,
+        params=params,
+        slots=slots,
+        phase_arrays=phase,
+        wall_time_s=wall,
+    )
+
+
+def _noise_or_ones(
+    noise: Optional[np.ndarray], p: int, name: str
+) -> np.ndarray:
+    if noise is None:
+        return np.ones(p)
+    arr = np.asarray(noise, dtype=float)
+    if arr.shape != (p,):
+        raise SimulationError(f"{name} must have shape ({p},), got {arr.shape}")
+    if np.any(arr <= 0) or not np.all(np.isfinite(arr)):
+        raise SimulationError(f"{name} must be positive and finite")
+    return arr

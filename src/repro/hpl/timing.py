@@ -1,0 +1,138 @@
+"""Detailed timing records, mirroring ``-DHPL_DETAILED_TIMING``.
+
+The paper's Figure 4 decomposes HPL's wall time into items; the model then
+groups them (Section 3.2)::
+
+    Ta = (rfact - mxswp) + (update - laswp) + uptrsv     # computation
+    Tc = mxswp + laswp + bcast                           # communication
+
+In our records ``pfact`` already *excludes* ``mxswp`` (they are separate
+fields; the paper's ``rfact = pfact + mxswp``) and ``update`` *excludes*
+``laswp``, so the groupings reduce to sums of disjoint fields — the
+identity ``total == ta + tc`` holds exactly and is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List, Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+PHASE_NAMES = ("pfact", "mxswp", "bcast", "update", "laswp", "uptrsv")
+
+#: Phases the paper counts as computation and as communication.
+COMPUTE_PHASES = ("pfact", "update", "uptrsv")
+COMM_PHASES = ("mxswp", "bcast", "laswp")
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Seconds spent in each HPL phase by one process (or an aggregate)."""
+
+    pfact: float = 0.0
+    mxswp: float = 0.0
+    bcast: float = 0.0
+    update: float = 0.0
+    laswp: float = 0.0
+    uptrsv: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not np.isfinite(value) or value < 0:
+                raise SimulationError(f"phase {f.name} has invalid time {value!r}")
+
+    # -- paper groupings -------------------------------------------------------
+
+    @property
+    def rfact(self) -> float:
+        """Recursive panel factorization incl. pivot communication
+        (the paper's ``rfact = pfact + mxswp``)."""
+        return self.pfact + self.mxswp
+
+    @property
+    def ta(self) -> float:
+        """Computation time per the paper's grouping."""
+        return self.pfact + self.update + self.uptrsv
+
+    @property
+    def tc(self) -> float:
+        """Communication time per the paper's grouping."""
+        return self.mxswp + self.laswp + self.bcast
+
+    @property
+    def total(self) -> float:
+        return self.ta + self.tc
+
+    # -- algebra ------------------------------------------------------------------
+
+    def __add__(self, other: "PhaseTimes") -> "PhaseTimes":
+        return PhaseTimes(
+            **{name: getattr(self, name) + getattr(other, name) for name in PHASE_NAMES}
+        )
+
+    def scaled(self, factor: float) -> "PhaseTimes":
+        if factor < 0:
+            raise SimulationError(f"negative scale factor {factor}")
+        return PhaseTimes(
+            **{name: getattr(self, name) * factor for name in PHASE_NAMES}
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in PHASE_NAMES}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "PhaseTimes":
+        unknown = set(data) - set(PHASE_NAMES)
+        if unknown:
+            raise SimulationError(f"unknown phases: {sorted(unknown)}")
+        return cls(**{name: float(data.get(name, 0.0)) for name in PHASE_NAMES})
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray], index: int) -> "PhaseTimes":
+        """Extract process ``index`` from per-phase arrays (simulator output)."""
+        return cls(**{name: float(arrays[name][index]) for name in PHASE_NAMES})
+
+
+@dataclass(frozen=True)
+class ProcessTiming:
+    """Phase times of one placed process."""
+
+    rank: int
+    kind_name: str
+    phases: PhaseTimes
+
+    @property
+    def ta(self) -> float:
+        return self.phases.ta
+
+    @property
+    def tc(self) -> float:
+        return self.phases.tc
+
+    @property
+    def total(self) -> float:
+        return self.phases.total
+
+
+def aggregate_mean(timings: Iterable[PhaseTimes]) -> PhaseTimes:
+    """Field-wise mean of several phase records (model-construction view:
+    processes of a kind behave statistically identically)."""
+    items: List[PhaseTimes] = list(timings)
+    if not items:
+        raise SimulationError("cannot aggregate zero timings")
+    acc = items[0]
+    for item in items[1:]:
+        acc = acc + item
+    return acc.scaled(1.0 / len(items))
+
+
+def aggregate_max_total(timings: Iterable[PhaseTimes]) -> PhaseTimes:
+    """The record with the largest total (the bottleneck process)."""
+    items = list(timings)
+    if not items:
+        raise SimulationError("cannot aggregate zero timings")
+    return max(items, key=lambda t: t.total)

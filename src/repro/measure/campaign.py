@@ -1,0 +1,132 @@
+"""Campaign execution: run a plan's grids on the simulator.
+
+:func:`run_campaign` performs every construction measurement of a
+:class:`~repro.measure.grids.CampaignPlan` and accounts the measurement
+cost per PE kind and problem size — the quantity the paper reports in its
+Tables 3 and 6 ("HPL execution time for measurements", ~6 hours for the
+Basic grid vs ~10 minutes for NS).
+
+Evaluation measurements (the ground truth the estimated-best configuration
+is verified against) are produced by :func:`run_evaluation` and kept in a
+separate dataset so nothing from the evaluation grid can leak into model
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.spec import ClusterSpec
+from repro.errors import MeasurementError
+from repro.hpl.driver import HPLResult, NoiseSpec, run_hpl
+from repro.hpl.schedule import HPLParameters
+from repro.measure.dataset import Dataset
+from repro.measure.grids import CampaignPlan
+from repro.measure.record import MeasurementRecord
+
+#: Anything that executes one run and returns an :class:`HPLResult`-shaped
+#: object (``run_hpl``, or an alternative application such as
+#: :func:`repro.exts.apps.run_summa` — the paper's method is not HPL-bound).
+Runner = Callable[..., HPLResult]
+
+
+@dataclass
+class CampaignResult:
+    """Construction dataset plus the measurement-cost ledger."""
+
+    plan_name: str
+    dataset: Dataset
+    #: seconds of simulated measurement per (kind_name, N) — the rows of the
+    #: paper's Tables 3 and 6.  Runs of a homogeneous kind are charged to
+    #: that kind.
+    cost_by_kind_and_n: Dict[Tuple[str, int], float] = field(default_factory=dict)
+
+    def cost_for_kind(self, kind_name: str) -> float:
+        return sum(
+            cost for (kind, _), cost in self.cost_by_kind_and_n.items() if kind == kind_name
+        )
+
+    def cost_for_n(self, kind_name: str, n: int) -> float:
+        return self.cost_by_kind_and_n.get((kind_name, n), 0.0)
+
+    @property
+    def total_cost_s(self) -> float:
+        return sum(self.cost_by_kind_and_n.values())
+
+
+def measure_configuration(
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    n: int,
+    kinds: Tuple[str, ...],
+    params: Optional[HPLParameters] = None,
+    noise: Optional[NoiseSpec] = None,
+    seed: int = 0,
+    trial: int = 0,
+    runner: Runner = run_hpl,
+) -> MeasurementRecord:
+    """One timed run, returned as a measurement record."""
+    result = runner(
+        spec, config, n, params=params, noise=noise, seed=seed, trial=trial
+    )
+    return MeasurementRecord.from_result(result, kinds, seed=seed, trial=trial)
+
+
+def run_campaign(
+    spec: ClusterSpec,
+    plan: CampaignPlan,
+    params: Optional[HPLParameters] = None,
+    noise: Optional[NoiseSpec] = None,
+    seed: int = 0,
+    runner: Runner = run_hpl,
+) -> CampaignResult:
+    """Execute every construction measurement of ``plan``."""
+    dataset = Dataset()
+    cost: Dict[Tuple[str, int], float] = {}
+    for n, config in plan.construction_runs():
+        record = measure_configuration(
+            spec, config, n, plan.kinds, params=params, noise=noise, seed=seed,
+            runner=runner,
+        )
+        dataset.add(record)
+        kind = _charged_kind(record)
+        key = (kind, n)
+        cost[key] = cost.get(key, 0.0) + record.wall_time_s
+    return CampaignResult(plan_name=plan.name, dataset=dataset, cost_by_kind_and_n=cost)
+
+
+def run_evaluation(
+    spec: ClusterSpec,
+    plan: CampaignPlan,
+    params: Optional[HPLParameters] = None,
+    noise: Optional[NoiseSpec] = None,
+    seed: int = 0,
+    runner: Runner = run_hpl,
+) -> Dataset:
+    """Measure the full evaluation grid (the ground-truth runs the paper
+    uses to find the *actual* best configuration)."""
+    dataset = Dataset()
+    for n, config in plan.evaluation_runs():
+        dataset.add(
+            measure_configuration(
+                spec, config, n, plan.kinds, params=params, noise=noise, seed=seed,
+                runner=runner,
+            )
+        )
+    return dataset
+
+
+def _charged_kind(record: MeasurementRecord) -> str:
+    """Which kind a construction run's cost is charged to.
+
+    Construction runs are homogeneous; a heterogeneous run (not used by the
+    standard plans, but allowed) is charged to its bottleneck kind.
+    """
+    measured = [km for km in record.per_kind if km.pe_count > 0]
+    if not measured:
+        raise MeasurementError(f"record {record.label} measures no kind")
+    if len(measured) == 1:
+        return measured[0].kind_name
+    return max(measured, key=lambda km: km.total).kind_name

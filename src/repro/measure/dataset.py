@@ -1,0 +1,167 @@
+"""Datasets of measurement records: filtering, grouping, persistence.
+
+A :class:`Dataset` is an ordered collection of
+:class:`~repro.measure.record.MeasurementRecord` with the query surface the
+model-construction layer needs (records of one kind/configuration family,
+the distinct ``N`` or ``P`` values measured) plus JSON and CSV round-trips
+so campaigns can be cached and shared.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import MeasurementError
+from repro.hpl.timing import PHASE_NAMES
+from repro.measure.record import MeasurementRecord
+
+_FORMAT_VERSION = 1
+
+
+class Dataset:
+    """An ordered, key-unique collection of measurements."""
+
+    def __init__(self, records: Iterable[MeasurementRecord] = ()):
+        self._records: List[MeasurementRecord] = []
+        self._keys: set = set()
+        for record in records:
+            self.add(record)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, record: MeasurementRecord) -> None:
+        key = record.key()
+        if key in self._keys:
+            raise MeasurementError(f"duplicate measurement {key}")
+        self._keys.add(key)
+        self._records.append(record)
+
+    def merge(self, other: "Dataset") -> "Dataset":
+        """New dataset with the records of both (keys must not collide)."""
+        merged = Dataset(self._records)
+        for record in other:
+            merged.add(record)
+        return merged
+
+    # -- container protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MeasurementRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> MeasurementRecord:
+        return self._records[index]
+
+    # -- queries --------------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[MeasurementRecord], bool]) -> "Dataset":
+        return Dataset(r for r in self._records if predicate(r))
+
+    def for_config(self, config_tuple: Sequence[int]) -> "Dataset":
+        wanted = tuple(config_tuple)
+        return self.filter(lambda r: r.config_tuple == wanted)
+
+    def for_n(self, n: int) -> "Dataset":
+        return self.filter(lambda r: r.n == n)
+
+    def single_kind(self, kind_name: str) -> "Dataset":
+        """Homogeneous runs of one kind (the model-construction runs)."""
+        return self.filter(
+            lambda r: r.is_single_kind and r.has_kind(kind_name)
+        )
+
+    def sizes(self) -> List[int]:
+        return sorted({r.n for r in self._records})
+
+    def process_counts(self) -> List[int]:
+        return sorted({r.total_processes for r in self._records})
+
+    def config_tuples(self) -> List[Tuple[int, ...]]:
+        out: List[Tuple[int, ...]] = []
+        seen = set()
+        for r in self._records:
+            if r.config_tuple not in seen:
+                seen.add(r.config_tuple)
+                out.append(r.config_tuple)
+        return out
+
+    def lookup(
+        self, config_tuple: Sequence[int], n: int, trial: int = 0
+    ) -> MeasurementRecord:
+        wanted = (tuple(config_tuple), n, trial)
+        for r in self._records:
+            if r.key() == wanted:
+                return r
+        raise MeasurementError(f"no measurement for {wanted}")
+
+    def total_wall_time(self) -> float:
+        """Total simulated measurement cost in seconds."""
+        return sum(r.wall_time_s for r in self._records)
+
+    # -- persistence --------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "format": _FORMAT_VERSION,
+            "records": [r.to_dict() for r in self._records],
+        }
+        return json.dumps(payload, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Dataset":
+        payload = json.loads(text)
+        if payload.get("format") != _FORMAT_VERSION:
+            raise MeasurementError(
+                f"unsupported dataset format {payload.get('format')!r}"
+            )
+        return cls(MeasurementRecord.from_dict(d) for d in payload["records"])
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Dataset":
+        return cls.from_json(Path(path).read_text())
+
+    def to_csv(self) -> str:
+        """Flat per-kind CSV (one row per record per measured kind)."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(
+            ["config", "n", "p", "wall_s", "gflops", "kind", "pe_count", "procs_per_pe", "ta", "tc"]
+            + list(PHASE_NAMES)
+        )
+        for r in self._records:
+            for km in r.per_kind:
+                writer.writerow(
+                    [
+                        r.label,
+                        r.n,
+                        r.total_processes,
+                        f"{r.wall_time_s:.6f}",
+                        f"{r.gflops:.4f}",
+                        km.kind_name,
+                        km.pe_count,
+                        km.procs_per_pe,
+                        f"{km.ta:.6f}",
+                        f"{km.tc:.6f}",
+                    ]
+                    + [f"{getattr(km.phases, p):.6f}" for p in PHASE_NAMES]
+                )
+        return out.getvalue()
+
+    def summary(self) -> str:
+        if not self._records:
+            return "Dataset(empty)"
+        return (
+            f"Dataset({len(self._records)} records, "
+            f"N in {self.sizes()[0]}..{self.sizes()[-1]}, "
+            f"{len(self.config_tuples())} configurations, "
+            f"total {self.total_wall_time():.1f} simulated seconds)"
+        )

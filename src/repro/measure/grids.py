@@ -1,0 +1,220 @@
+"""Campaign grids: the paper's Tables 2, 5 and 8.
+
+A :class:`CampaignPlan` lists the *construction* runs (homogeneous
+single-kind configurations the models are fitted to) and the *evaluation*
+grid (the heterogeneous candidate configurations the optimizer searches and
+the verification measurements cover).
+
+The three protocols:
+
+========  =========================================  ==========================
+protocol  construction N                             construction P2 (M2=1..6)
+========  =========================================  ==========================
+Basic     400 600 800 1200 1600 2400 3200 4800 6400  1..8
+NL        1600 3200 4800 6400                        1 2 4 8
+NS        400 800 1200 1600                          1 2 4 8
+========  =========================================  ==========================
+
+All protocols use Athlon P1=1, M1=1..6 for construction.  Evaluation uses
+N = {3200, 4800, 6400, 8000, 9600} for Basic and adds 1600 for NL/NS, over
+the 62 configurations P1 in {0,1} x M1 in 1..6 x P2 in 0..8 with M2 = 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig, enumerate_configs
+from repro.errors import MeasurementError
+
+#: Kind order of the paper's flat tuples.
+PAPER_KINDS: Tuple[str, str] = ("athlon", "pentium2")
+
+BASIC_CONSTRUCTION_SIZES: Tuple[int, ...] = (400, 600, 800, 1200, 1600, 2400, 3200, 4800, 6400)
+BASIC_EVALUATION_SIZES: Tuple[int, ...] = (3200, 4800, 6400, 8000, 9600)
+NL_CONSTRUCTION_SIZES: Tuple[int, ...] = (1600, 3200, 4800, 6400)
+NS_CONSTRUCTION_SIZES: Tuple[int, ...] = (400, 800, 1200, 1600)
+NL_NS_EVALUATION_SIZES: Tuple[int, ...] = (1600, 3200, 4800, 6400, 8000, 9600)
+
+PROC_RANGE: Tuple[int, ...] = (1, 2, 3, 4, 5, 6)  # M1 / M2 sweep
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A full measurement plan: construction and evaluation grids."""
+
+    name: str
+    kinds: Tuple[str, ...]
+    construction_sizes: Tuple[int, ...]
+    construction_configs: Tuple[ClusterConfig, ...]
+    evaluation_sizes: Tuple[int, ...]
+    evaluation_configs: Tuple[ClusterConfig, ...]
+
+    def __post_init__(self) -> None:
+        if not self.construction_sizes or not self.construction_configs:
+            raise MeasurementError(f"{self.name}: empty construction grid")
+
+    @property
+    def construction_count(self) -> int:
+        """Number of construction measurements (the paper's '486 sets')."""
+        return len(self.construction_sizes) * len(self.construction_configs)
+
+    @property
+    def evaluation_count(self) -> int:
+        return len(self.evaluation_sizes) * len(self.evaluation_configs)
+
+    def construction_runs(self) -> Iterable[Tuple[int, ClusterConfig]]:
+        for n in self.construction_sizes:
+            for config in self.construction_configs:
+                yield n, config
+
+    def evaluation_runs(self) -> Iterable[Tuple[int, ClusterConfig]]:
+        for n in self.evaluation_sizes:
+            for config in self.evaluation_configs:
+                yield n, config
+
+
+def construction_configs(
+    athlon_procs: Sequence[int] = PROC_RANGE,
+    pentium2_pes: Sequence[int] = tuple(range(1, 9)),
+    pentium2_procs: Sequence[int] = PROC_RANGE,
+) -> List[ClusterConfig]:
+    """Homogeneous single-kind construction configurations.
+
+    Athlon: ``(1, M1, 0, 0)`` for each M1; Pentium-II: ``(0, 0, P2, M2)``
+    for each (P2, M2) pair.
+    """
+    configs: List[ClusterConfig] = []
+    for m1 in athlon_procs:
+        configs.append(ClusterConfig.from_tuple(PAPER_KINDS, (1, m1, 0, 0)))
+    for p2 in pentium2_pes:
+        for m2 in pentium2_procs:
+            configs.append(ClusterConfig.from_tuple(PAPER_KINDS, (0, 0, p2, m2)))
+    return configs
+
+
+def evaluation_configs() -> List[ClusterConfig]:
+    """The 62 candidate configurations of the paper's evaluation grids:
+    P1 in {0, 1}, M1 in 1..6, P2 in 0..8, M2 = 1 (empty config excluded)."""
+    return list(
+        enumerate_configs(
+            PAPER_KINDS,
+            pe_ranges={"athlon": (0, 1), "pentium2": tuple(range(0, 9))},
+            proc_ranges={"athlon": PROC_RANGE, "pentium2": (1,)},
+        )
+    )
+
+
+def basic_plan() -> CampaignPlan:
+    """The Basic protocol (paper Table 2): 486 construction runs."""
+    return CampaignPlan(
+        name="basic",
+        kinds=PAPER_KINDS,
+        construction_sizes=BASIC_CONSTRUCTION_SIZES,
+        construction_configs=tuple(construction_configs()),
+        evaluation_sizes=BASIC_EVALUATION_SIZES,
+        evaluation_configs=tuple(evaluation_configs()),
+    )
+
+
+def nl_plan() -> CampaignPlan:
+    """The NL protocol (paper Table 5): 120 construction runs, large N."""
+    return CampaignPlan(
+        name="nl",
+        kinds=PAPER_KINDS,
+        construction_sizes=NL_CONSTRUCTION_SIZES,
+        construction_configs=tuple(
+            construction_configs(pentium2_pes=(1, 2, 4, 8))
+        ),
+        evaluation_sizes=NL_NS_EVALUATION_SIZES,
+        evaluation_configs=tuple(evaluation_configs()),
+    )
+
+
+def ns_plan() -> CampaignPlan:
+    """The NS protocol (paper Table 8): 120 construction runs, small N."""
+    return CampaignPlan(
+        name="ns",
+        kinds=PAPER_KINDS,
+        construction_sizes=NS_CONSTRUCTION_SIZES,
+        construction_configs=tuple(
+            construction_configs(pentium2_pes=(1, 2, 4, 8))
+        ),
+        evaluation_sizes=NL_NS_EVALUATION_SIZES,
+        evaluation_configs=tuple(evaluation_configs()),
+    )
+
+
+def custom_plan(
+    spec,
+    construction_sizes: Sequence[int],
+    evaluation_sizes: Sequence[int],
+    max_procs: int = 4,
+    multiproc_kinds: Sequence[str] | None = None,
+    name: str = "custom",
+) -> CampaignPlan:
+    """Generalize the paper's grids to an arbitrary cluster.
+
+    Construction: for every kind, single-kind configurations over a
+    log-spaced subset of its PE counts (1, 2, 4, ... up to all of them),
+    each with 1..``max_procs`` processes per PE — the paper's recipe, per
+    kind.  Evaluation: the cross product of per-kind PE counts (0 or the
+    log-spaced subset) with the multiprocess sweep restricted to
+    ``multiproc_kinds`` (default: the fastest kind, as in the paper where
+    only the Athlon multiprocesses) to keep the candidate set tractable.
+    """
+    if max_procs < 1:
+        raise MeasurementError("max_procs must be >= 1")
+    kinds = list(spec.kind_names)
+    if multiproc_kinds is None:
+        fastest = max(spec.kinds, key=lambda k: k.peak_gflops)
+        multiproc_kinds = [fastest.name]
+    unknown = set(multiproc_kinds) - set(kinds)
+    if unknown:
+        raise MeasurementError(f"unknown multiproc kinds: {sorted(unknown)}")
+
+    def pe_subset(available: int) -> List[int]:
+        counts = []
+        count = 1
+        while count < available:
+            counts.append(count)
+            count *= 2
+        counts.append(available)
+        return sorted(set(counts))
+
+    construction: List[ClusterConfig] = []
+    for kind in kinds:
+        available = spec.pe_count(kind)
+        for pe in pe_subset(available):
+            for procs in range(1, max_procs + 1):
+                flat = []
+                for other in kinds:
+                    flat.extend((pe, procs) if other == kind else (0, 0))
+                construction.append(ClusterConfig.from_tuple(kinds, flat))
+
+    pe_ranges = {
+        kind: [0] + pe_subset(spec.pe_count(kind)) for kind in kinds
+    }
+    proc_ranges = {
+        kind: tuple(range(1, max_procs + 1)) if kind in multiproc_kinds else (1,)
+        for kind in kinds
+    }
+    evaluation = list(enumerate_configs(kinds, pe_ranges, proc_ranges))
+
+    return CampaignPlan(
+        name=name,
+        kinds=tuple(kinds),
+        construction_sizes=tuple(int(n) for n in construction_sizes),
+        construction_configs=tuple(construction),
+        evaluation_sizes=tuple(int(n) for n in evaluation_sizes),
+        evaluation_configs=tuple(evaluation),
+    )
+
+
+def plan_by_name(name: str) -> CampaignPlan:
+    """Look up a protocol plan: ``"basic"``, ``"nl"`` or ``"ns"``."""
+    factories = {"basic": basic_plan, "nl": nl_plan, "ns": ns_plan}
+    if name not in factories:
+        raise MeasurementError(f"unknown protocol {name!r}; have {sorted(factories)}")
+    return factories[name]()

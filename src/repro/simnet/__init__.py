@@ -1,0 +1,32 @@
+"""Simulated messaging substrate.
+
+This subpackage provides everything below the application:
+
+* :mod:`repro.simnet.event_sim` — a small discrete-event simulation engine
+  (virtual clock, event queue, generator-based processes).
+* :mod:`repro.simnet.api` — an MPI-like communicator (send/recv/bcast/
+  barrier) whose operations advance *virtual* time according to link models.
+* :mod:`repro.simnet.mpich` — intra-node shared-memory transport curves for
+  the two MPICH versions the paper compares (Figures 1 and 2).
+* :mod:`repro.simnet.transport` — resolves which link model connects two
+  placed processes (same CPU / same node / network) and vectorizes hop
+  costs for the broadcast ring.
+* :mod:`repro.simnet.collectives` — broadcast algorithms (increasing ring,
+  binomial tree) in both closed-form and event-driven forms.
+* :mod:`repro.simnet.netpipe` — a NetPIPE-like ping-pong throughput prober.
+"""
+
+from repro.simnet.api import SimCommWorld
+from repro.simnet.event_sim import Simulator
+from repro.simnet.mpich import MPICHVersion, mpich_1_2_1, mpich_1_2_2
+from repro.simnet.transport import LinkKind, Transport
+
+__all__ = [
+    "LinkKind",
+    "MPICHVersion",
+    "SimCommWorld",
+    "Simulator",
+    "Transport",
+    "mpich_1_2_1",
+    "mpich_1_2_2",
+]

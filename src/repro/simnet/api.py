@@ -1,0 +1,270 @@
+"""MPI-like communication API over the discrete-event engine.
+
+:class:`SimCommWorld` owns a :class:`~repro.simnet.event_sim.Simulator` and
+a :class:`~repro.simnet.transport.Transport`; :class:`SimComm` is the
+per-rank handle a process generator uses, mirroring the mpi4py surface
+(``send`` / ``recv`` / ``bcast`` / ``barrier``) but advancing *virtual*
+time according to the link models instead of moving real bytes.
+
+Processes are written as generators and must ``yield from`` communicator
+calls, e.g.::
+
+    def worker(comm: SimComm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=1024, payload="panel")
+        else:
+            msg = yield from comm.recv(0)
+
+Timing semantics (deliberately simple, matching the paper's assumptions):
+a send costs the full message time on the *sender* (rendezvous-style
+blocking send), and the message becomes available to the receiver when the
+transfer finishes.  A receive blocks until the message is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+__all__ = ["Message", "SimComm", "SimCommWorld"]
+
+from repro.errors import SimulationError
+from repro.simnet.event_sim import Put, Receive, Simulator, Timeout
+from repro.simnet.transport import Transport
+
+
+@dataclass(frozen=True)
+class Message:
+    """Envelope moved between ranks."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: float
+    payload: Any = None
+
+
+def _mailbox_name(dest: int, source: int, tag: int) -> str:
+    return f"p2p:{dest}:{source}:{tag}"
+
+
+class SimComm:
+    """Per-rank communicator handle."""
+
+    def __init__(self, world: "SimCommWorld", rank: int):
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (valid while the simulation runs)."""
+        return self.world.sim.now
+
+    # -- point to point -----------------------------------------------------
+
+    def send(
+        self, dest: int, nbytes: float, payload: Any = None, tag: int = 0
+    ) -> Generator[Any, Any, None]:
+        """Blocking send: occupies the sender for the full transfer time."""
+        if not (0 <= dest < self.size):
+            raise SimulationError(f"send to invalid rank {dest}")
+        if dest == self.rank:
+            raise SimulationError("send to self is not supported")
+        cost = self.world.transport.message_time(self.rank, dest, nbytes)
+        yield Timeout(cost)
+        message = Message(self.rank, dest, tag, nbytes, payload)
+        yield Put(_mailbox_name(dest, self.rank, tag), message)
+
+    def recv(self, source: int, tag: int = 0) -> Generator[Any, Any, Message]:
+        """Blocking receive; returns the :class:`Message`."""
+        if not (0 <= source < self.size):
+            raise SimulationError(f"recv from invalid rank {source}")
+        message = yield Receive(_mailbox_name(self.rank, source, tag))
+        return message
+
+    # -- collectives ------------------------------------------------------------
+
+    def bcast_ring(
+        self, root: int, nbytes: float, payload: Any = None, tag: int = 0
+    ) -> Generator[Any, Any, Any]:
+        """Increasing-ring broadcast (HPL's long-message algorithm).
+
+        The root sends to ``root+1``; every other rank receives from its
+        predecessor and forwards to its successor (except the last).
+        Returns the payload at every rank.
+        """
+        if self.size == 1:
+            return payload
+        distance = (self.rank - root) % self.size
+        if distance == 0:
+            yield from self.send((self.rank + 1) % self.size, nbytes, payload, tag)
+            return payload
+        message = yield from self.recv((self.rank - 1) % self.size, tag)
+        if distance != self.size - 1:
+            yield from self.send(
+                (self.rank + 1) % self.size, nbytes, message.payload, tag
+            )
+        return message.payload
+
+    def bcast_binomial(
+        self, root: int, nbytes: float, payload: Any = None, tag: int = 0
+    ) -> Generator[Any, Any, Any]:
+        """Binomial-tree broadcast (MPI's short-message algorithm)."""
+        size = self.size
+        if size == 1:
+            return payload
+        vrank = (self.rank - root) % size
+        data = payload
+        # Receive phase: find the lowest set bit of vrank; the parent is
+        # vrank with that bit cleared (MPICH's classic binomial).
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                parent = ((vrank - mask) + root) % size
+                message = yield from self.recv(parent, tag)
+                data = message.payload
+                break
+            mask <<= 1
+        # Send phase: children are vrank + mask' for mask' descending below
+        # the receive mask (the root descends from the highest power of 2).
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < size:
+                child = ((vrank + mask) + root) % size
+                yield from self.send(child, nbytes, data, tag)
+            mask >>= 1
+        return data
+
+    def scatter(
+        self, root: int, nbytes_each: float, payloads: Optional[List[Any]] = None,
+        tag: int = 0,
+    ) -> Generator[Any, Any, Any]:
+        """Linear scatter: the root sends slice ``i`` to rank ``i``.
+
+        Returns this rank's slice.  ``payloads`` (root only) must have one
+        entry per rank; other ranks pass ``None``.
+        """
+        if self.rank == root:
+            data = payloads if payloads is not None else [None] * self.size
+            if len(data) != self.size:
+                raise SimulationError(
+                    f"scatter needs {self.size} payloads, got {len(data)}"
+                )
+            for dest in range(self.size):
+                if dest == root:
+                    continue
+                yield from self.send(dest, nbytes_each, data[dest], tag)
+            return data[root]
+        message = yield from self.recv(root, tag)
+        return message.payload
+
+    def gather(
+        self, root: int, nbytes_each: float, payload: Any = None, tag: int = 0
+    ) -> Generator[Any, Any, Optional[List[Any]]]:
+        """Linear gather: every rank sends to the root; the root returns
+        the rank-ordered list, others ``None``."""
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = payload
+            for source in range(self.size):
+                if source == root:
+                    continue
+                message = yield from self.recv(source, tag)
+                out[source] = message.payload
+            return out
+        yield from self.send(root, nbytes_each, payload, tag)
+        return None
+
+    def allgather(
+        self, nbytes_each: float, payload: Any = None, tag: int = 0
+    ) -> Generator[Any, Any, List[Any]]:
+        """Ring allgather: P-1 rounds, each rank forwarding the slice it
+        just received — the bandwidth-optimal classic."""
+        size = self.size
+        slices: List[Any] = [None] * size
+        slices[self.rank] = payload
+        current = self.rank
+        for step in range(size - 1):
+            dest = (self.rank + 1) % size
+            source = (self.rank - 1) % size
+            yield from self.send(dest, nbytes_each, (current, slices[current]), tag + step)
+            message = yield from self.recv(source, tag + step)
+            index, data = message.payload
+            slices[index] = data
+            current = index
+        return slices
+
+    def allreduce_sum(
+        self, value: float, nbytes: float = 8.0, tag: int = 0
+    ) -> Generator[Any, Any, float]:
+        """Gather-to-zero + broadcast sum reduction (correctness over
+        asymptotic optimality; the schedule simulator never calls this —
+        it exists for message-level experiments and tests)."""
+        gathered = yield from self.gather(0, nbytes, value, tag)
+        if self.rank == 0:
+            total = float(sum(gathered))  # type: ignore[arg-type]
+            result = yield from self.bcast_binomial(0, nbytes, total, tag + 500_000)
+        else:
+            result = yield from self.bcast_binomial(0, nbytes, None, tag + 500_000)
+        return float(result)
+
+    def barrier(self, tag: int = 0) -> Generator[Any, Any, None]:
+        """Linear barrier through rank 0 (correctness over speed)."""
+        zero_bytes = 1.0
+        if self.rank == 0:
+            for source in range(1, self.size):
+                yield from self.recv(source, tag=tag + 1_000_000)
+            for dest in range(1, self.size):
+                yield from self.send(dest, zero_bytes, tag=tag + 2_000_000)
+        else:
+            yield from self.send(0, zero_bytes, tag=tag + 1_000_000)
+            yield from self.recv(0, tag=tag + 2_000_000)
+
+
+class SimCommWorld:
+    """A set of ranks plus the engine that runs them."""
+
+    def __init__(self, transport: Transport):
+        self.transport = transport
+        self.size = transport.size
+        self.sim = Simulator()
+        self._finish_times: Dict[int, float] = {}
+
+    def comm(self, rank: int) -> SimComm:
+        if not (0 <= rank < self.size):
+            raise SimulationError(f"invalid rank {rank}")
+        return SimComm(self, rank)
+
+    def run(
+        self,
+        program: Callable[[SimComm], Generator[Any, Any, Any]],
+        ranks: Optional[Sequence[int]] = None,
+    ) -> Dict[int, float]:
+        """Run ``program(comm)`` on every rank; return per-rank finish times.
+
+        Raises :class:`SimulationError` on deadlock (a rank still blocked
+        after the event queue drains).
+        """
+        selected = list(ranks) if ranks is not None else list(range(self.size))
+        pid_to_rank: Dict[int, int] = {}
+
+        def wrap(rank: int) -> Generator[Any, Any, None]:
+            yield from program(self.comm(rank))
+            self._finish_times[rank] = self.sim.now
+
+        for rank in selected:
+            pid = self.sim.spawn(wrap(rank))
+            pid_to_rank[pid] = rank
+        self.sim.run()
+        stuck = self.sim.deadlocked_pids()
+        if stuck:
+            ranks_stuck = sorted(pid_to_rank.get(pid, -1) for pid in stuck)
+            raise SimulationError(f"deadlock: ranks {ranks_stuck} never finished")
+        missing = [rank for rank in selected if rank not in self._finish_times]
+        if missing:
+            raise SimulationError(f"ranks {missing} did not run to completion")
+        return dict(self._finish_times)

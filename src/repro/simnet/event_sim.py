@@ -1,0 +1,180 @@
+"""A small discrete-event simulation engine.
+
+The engine drives the MPI-like communicator of :mod:`repro.simnet.api` and
+the NetPIPE prober.  It is intentionally minimal but complete: a virtual
+clock, a stable priority queue of events, and cooperative *processes*
+written as Python generators that ``yield`` requests to the scheduler.
+
+Processes may yield:
+
+* :class:`Timeout` — resume after a virtual delay;
+* :class:`Receive` — block until a message arrives in a mailbox;
+* :class:`Put` — deposit a message into a mailbox (possibly waking a
+  blocked receiver) and continue immediately.
+
+Determinism: simultaneous events fire in scheduling order (a monotone
+sequence number breaks ties), so runs are exactly reproducible.
+
+The HPL schedule simulator does *not* run on this engine — its panel loop
+is bulk-synchronous and vectorizes over processes with NumPy (see
+:mod:`repro.hpl.schedule`), which is orders of magnitude faster for
+measurement campaigns with hundreds of configurations.  The event engine is
+the substrate for message-level experiments where per-message ordering
+matters (collectives, ping-pong probing) and for validating the closed-form
+broadcast costs used by the fast path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yield to resume after ``delay`` units of virtual time."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"negative timeout: {self.delay}")
+
+
+@dataclass(frozen=True)
+class Receive:
+    """Yield to block until a message is available in ``mailbox``.
+
+    The received payload becomes the value of the ``yield`` expression.
+    """
+
+    mailbox: str
+
+
+@dataclass(frozen=True)
+class Put:
+    """Yield to deposit ``payload`` into ``mailbox`` and continue."""
+
+    mailbox: str
+    payload: Any = None
+
+
+ProcessGen = Generator[Any, Any, None]
+
+
+class _Mailbox:
+    __slots__ = ("messages", "waiters")
+
+    def __init__(self) -> None:
+        self.messages: Deque[Any] = deque()
+        self.waiters: Deque[int] = deque()  # pids blocked on this mailbox
+
+
+class Simulator:
+    """Virtual-time scheduler for generator processes and callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._procs: Dict[int, ProcessGen] = {}
+        self._next_pid = 0
+        self._mailboxes: Dict[str, _Mailbox] = {}
+        self._finished: Dict[int, bool] = {}
+
+    # -- low-level scheduling --------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    # -- processes ---------------------------------------------------------------
+
+    def spawn(self, gen: ProcessGen, delay: float = 0.0) -> int:
+        """Register a generator process; returns its pid."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self._procs[pid] = gen
+        self._finished[pid] = False
+        self.schedule(delay, lambda: self._step(pid, None))
+        return pid
+
+    def finished(self, pid: int) -> bool:
+        return self._finished.get(pid, False)
+
+    def _mailbox(self, name: str) -> _Mailbox:
+        box = self._mailboxes.get(name)
+        if box is None:
+            box = self._mailboxes[name] = _Mailbox()
+        return box
+
+    def _step(self, pid: int, send_value: Any) -> None:
+        gen = self._procs.get(pid)
+        if gen is None:
+            return
+        try:
+            request = gen.send(send_value)
+        except StopIteration:
+            self._finished[pid] = True
+            del self._procs[pid]
+            return
+        self._dispatch(pid, request)
+
+    def _dispatch(self, pid: int, request: Any) -> None:
+        if isinstance(request, Timeout):
+            self.schedule(request.delay, lambda: self._step(pid, None))
+        elif isinstance(request, Put):
+            box = self._mailbox(request.mailbox)
+            box.messages.append(request.payload)
+            if box.waiters:
+                waiter = box.waiters.popleft()
+                payload = box.messages.popleft()
+                self.schedule(0.0, lambda: self._step(waiter, payload))
+            self.schedule(0.0, lambda: self._step(pid, None))
+        elif isinstance(request, Receive):
+            box = self._mailbox(request.mailbox)
+            if box.messages and not box.waiters:
+                payload = box.messages.popleft()
+                self.schedule(0.0, lambda: self._step(pid, payload))
+            else:
+                box.waiters.append(pid)
+        else:
+            raise SimulationError(
+                f"process yielded unsupported request: {request!r}"
+            )
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Execute events until the queue drains (or ``until``/``max_events``).
+
+        Returns the final virtual time.  ``max_events`` guards against
+        accidentally non-terminating process graphs in tests.
+        """
+        events = 0
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            callback()
+            events += 1
+            if events > max_events:
+                raise SimulationError(f"exceeded {max_events} events; livelock?")
+        return self.now
+
+    def deadlocked_pids(self) -> List[int]:
+        """Pids of processes still blocked on a mailbox after :meth:`run`."""
+        blocked = []
+        for box in self._mailboxes.values():
+            blocked.extend(box.waiters)
+        return sorted(pid for pid in blocked if not self._finished.get(pid, False))

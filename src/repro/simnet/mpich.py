@@ -1,0 +1,140 @@
+"""Intra-node shared-memory transport models per MPICH version.
+
+The paper's Section 2 traces a reported multiprocessing anomaly (Sasou et
+al.) to the MPI library: with MPICH 1.2.1 the throughput between two
+processes *on the same processor* collapses for large messages (its
+shared-memory device blocks when its internal buffer fills, and the
+paper-era scheduler made the handoff pathological), while MPICH 1.2.2
+sustains ~2.2 Gbit/s.  NetPIPE measurements of the two versions are the
+paper's Figure 2; the impact on whole-HPL multiprocessing is Figure 1.
+
+We model each version as a piecewise log-linear throughput curve over the
+message size, anchored at the block sizes NetPIPE sweeps (1 KB .. 128 KB),
+with flat extrapolation beyond the anchors, plus a per-message latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ClusterError
+from repro.units import GBPS_IN_BYTES, KB, USEC
+
+
+@dataclass(frozen=True)
+class MPICHVersion:
+    """One MPI library's intra-node transport curve.
+
+    Parameters
+    ----------
+    name:
+        Version label (``"mpich-1.2.2"``).
+    latency_s:
+        Per-message shared-memory latency.
+    anchor_bytes / anchor_bps:
+        Matched arrays: message sizes and the sustained throughput
+        (bytes/s) achieved at those sizes.  Interpolation between anchors
+        is linear in ``log(size)``.
+    """
+
+    name: str
+    latency_s: float
+    anchor_bytes: Tuple[float, ...]
+    anchor_bps: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.anchor_bytes) != len(self.anchor_bps):
+            raise ClusterError(f"{self.name}: anchor arrays must match in length")
+        if len(self.anchor_bytes) < 2:
+            raise ClusterError(f"{self.name}: need at least two anchors")
+        sizes = np.asarray(self.anchor_bytes, dtype=float)
+        if np.any(np.diff(sizes) <= 0):
+            raise ClusterError(f"{self.name}: anchor sizes must strictly increase")
+        if np.any(np.asarray(self.anchor_bps) <= 0):
+            raise ClusterError(f"{self.name}: anchor throughputs must be positive")
+        if self.latency_s < 0:
+            raise ClusterError(f"{self.name}: latency must be >= 0")
+
+    def effective_bandwidth(self, nbytes):
+        """Sustained bandwidth (bytes/s) at a message size (scalar or array)."""
+        b = np.maximum(np.asarray(nbytes, dtype=float), 1.0)
+        logx = np.log(b)
+        log_anchor = np.log(np.asarray(self.anchor_bytes, dtype=float))
+        bw = np.interp(logx, log_anchor, np.asarray(self.anchor_bps, dtype=float))
+        return bw if bw.ndim else float(bw)
+
+    def message_time(self, nbytes):
+        """Transfer time in seconds (scalar or array)."""
+        b = np.asarray(nbytes, dtype=float)
+        if np.any(b < 0):
+            raise ClusterError("message size must be >= 0")
+        bw = np.asarray(self.effective_bandwidth(b), dtype=float)
+        t = self.latency_s + b / bw
+        return t if t.ndim else float(t)
+
+    def throughput(self, nbytes):
+        """Achieved end-to-end throughput including latency (bytes/s)."""
+        b = np.asarray(nbytes, dtype=float)
+        t = np.asarray(self.message_time(b), dtype=float)
+        result = np.where(t > 0, b / np.maximum(t, 1e-30), 0.0)
+        return result if result.ndim else float(result)
+
+
+def mpich_1_2_1() -> MPICHVersion:
+    """MPICH 1.2.1: throughput collapses for messages past ~32 KB.
+
+    The collapse is the signature of Figure 2(a); HPL panel broadcasts are
+    hundreds of KB, landing squarely in the degraded region, which is why
+    multiprocessing performance falls apart in Figure 1(a).
+    """
+    return MPICHVersion(
+        name="mpich-1.2.1",
+        latency_s=18 * USEC,
+        anchor_bytes=(1 * KB, 4 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 1024 * KB),
+        anchor_bps=(
+            0.35 * GBPS_IN_BYTES,
+            0.90 * GBPS_IN_BYTES,
+            1.30 * GBPS_IN_BYTES,
+            0.90 * GBPS_IN_BYTES,
+            0.35 * GBPS_IN_BYTES,
+            0.18 * GBPS_IN_BYTES,
+            0.06 * GBPS_IN_BYTES,
+        ),
+    )
+
+
+def mpich_1_2_2() -> MPICHVersion:
+    """MPICH 1.2.2: buffering fixed; saturates near 2.2 Gbit/s (Figure 2(b))."""
+    return MPICHVersion(
+        name="mpich-1.2.2",
+        latency_s=15 * USEC,
+        anchor_bytes=(1 * KB, 4 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 1024 * KB),
+        anchor_bps=(
+            0.40 * GBPS_IN_BYTES,
+            1.05 * GBPS_IN_BYTES,
+            1.75 * GBPS_IN_BYTES,
+            2.00 * GBPS_IN_BYTES,
+            2.15 * GBPS_IN_BYTES,
+            2.20 * GBPS_IN_BYTES,
+            2.20 * GBPS_IN_BYTES,
+        ),
+    )
+
+
+def mpich_1_2_5() -> MPICHVersion:
+    """MPICH 1.2.5, the version the paper's final measurements use (Table 1).
+
+    Behaviour is close to 1.2.2 with slightly better large-message
+    throughput; we keep it distinct so campaigns can state exactly what
+    they ran.
+    """
+    base = mpich_1_2_2()
+    return MPICHVersion(
+        name="mpich-1.2.5",
+        latency_s=14 * USEC,
+        anchor_bytes=base.anchor_bytes,
+        anchor_bps=tuple(bw * 1.05 for bw in base.anchor_bps),
+    )

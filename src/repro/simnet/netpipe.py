@@ -1,0 +1,107 @@
+"""NetPIPE-like throughput probing (the paper's Figure 2 tool).
+
+NetPIPE measures the round-trip time of ping-pong exchanges across a range
+of message sizes and reports the achieved throughput per size.  We run the
+same protocol over the simulated transport: rank 0 sends a block, rank 1
+echoes it back, repeated ``repeats`` times; throughput is
+``2 * repeats * block / total_time``.
+
+The probe works both directly on a link model (closed form — used for the
+Figure 2 bench since it sweeps many sizes) and through the event engine
+(used in tests to confirm the two agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simnet.api import SimCommWorld
+from repro.simnet.transport import Transport
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One NetPIPE sample."""
+
+    block_bytes: float
+    seconds_per_exchange: float
+    throughput_bps: float
+
+
+def probe_link(link, block_sizes: Sequence[float]) -> List[ThroughputPoint]:
+    """Closed-form ping-pong throughput over any object exposing
+    ``message_time(nbytes)`` (a :class:`NetworkSpec` or
+    :class:`MPICHVersion`)."""
+    points = []
+    for block in block_sizes:
+        if block <= 0:
+            raise SimulationError(f"block size must be positive: {block}")
+        one_way = float(link.message_time(block))
+        round_trip = 2.0 * one_way
+        points.append(
+            ThroughputPoint(
+                block_bytes=float(block),
+                seconds_per_exchange=round_trip,
+                throughput_bps=2.0 * float(block) / round_trip,
+            )
+        )
+    return points
+
+
+def probe_transport(
+    transport: Transport,
+    block_sizes: Sequence[float],
+    rank_a: int = 0,
+    rank_b: int = 1,
+    repeats: int = 3,
+) -> List[ThroughputPoint]:
+    """Event-driven ping-pong between two placed ranks.
+
+    Runs the full protocol on the discrete-event engine, so it exercises
+    message ordering, blocking sends and mailbox wakeups — the validation
+    path for :func:`probe_link`.
+    """
+    if rank_a == rank_b:
+        raise SimulationError("ping-pong needs two distinct ranks")
+    if repeats < 1:
+        raise SimulationError("repeats must be >= 1")
+    points = []
+    for block in block_sizes:
+        world = SimCommWorld(transport)
+
+        def program(comm, block=float(block)):
+            if comm.rank == rank_a:
+                for i in range(repeats):
+                    yield from comm.send(rank_b, block, tag=i)
+                    yield from comm.recv(rank_b, tag=i)
+            elif comm.rank == rank_b:
+                for i in range(repeats):
+                    yield from comm.recv(rank_a, tag=i)
+                    yield from comm.send(rank_a, block, tag=i)
+
+        finish = world.run(program, ranks=[rank_a, rank_b])
+        total = max(finish.values())
+        per_exchange = total / repeats
+        points.append(
+            ThroughputPoint(
+                block_bytes=float(block),
+                seconds_per_exchange=per_exchange,
+                throughput_bps=2.0 * float(block) / per_exchange,
+            )
+        )
+    return points
+
+
+def standard_block_sizes(
+    lo: float = 1024.0, hi: float = 131072.0, points_per_octave: int = 2
+) -> np.ndarray:
+    """Geometric sweep of block sizes, NetPIPE-style (1 KB .. 128 KB)."""
+    if lo <= 0 or hi <= lo:
+        raise SimulationError("need 0 < lo < hi")
+    octaves = np.log2(hi / lo)
+    count = max(2, int(round(octaves * points_per_octave)) + 1)
+    return lo * 2.0 ** np.linspace(0.0, octaves, count)

@@ -1,0 +1,93 @@
+"""Unit constants and conversion helpers used throughout :mod:`repro`.
+
+All internal computation uses SI base units: **seconds** for time, **bytes**
+for data volume, and **flop/s** for computation rates.  The constants below
+exist so that call sites read naturally (``1.33 * GHZ``, ``768 * MB``) and so
+that unit bugs are caught by tests in one place instead of being scattered
+across the codebase.
+
+The paper reports Gflops (HPL convention) and block sizes in KB (NetPIPE
+convention); :func:`gflops` and :func:`to_gbps` convert measured values back
+into those reporting units.
+"""
+
+from __future__ import annotations
+
+# --- data volume ------------------------------------------------------------
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+#: Size of a double-precision floating point value, the element type of HPL.
+DOUBLE: int = 8
+
+# --- rates ------------------------------------------------------------------
+KFLOPS: float = 1e3
+MFLOPS: float = 1e6
+GFLOPS: float = 1e9
+
+KHZ: float = 1e3
+MHZ: float = 1e6
+GHZ: float = 1e9
+
+#: Bits per second helpers (network vendors quote bits, we compute in bytes).
+MBPS_IN_BYTES: float = 1e6 / 8.0
+GBPS_IN_BYTES: float = 1e9 / 8.0
+
+# --- time -------------------------------------------------------------------
+USEC: float = 1e-6
+MSEC: float = 1e-3
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+
+
+def gflops(flops: float, seconds: float) -> float:
+    """Return the rate ``flops / seconds`` expressed in Gflops.
+
+    Raises :class:`ValueError` for non-positive durations, which in this
+    codebase always indicate a simulation bug rather than a legitimate
+    measurement.
+    """
+    if seconds <= 0.0:
+        raise ValueError(f"non-positive duration: {seconds!r} s")
+    return flops / seconds / GFLOPS
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert a byte rate into Gbit/s (the unit of the paper's Figure 2)."""
+    return bytes_per_second * 8.0 / 1e9
+
+
+def matrix_bytes(n: int, element_size: int = DOUBLE) -> int:
+    """Bytes of a dense square matrix of order ``n``."""
+    if n < 0:
+        raise ValueError(f"negative matrix order: {n}")
+    return n * n * element_size
+
+
+def pretty_bytes(num_bytes: float) -> str:
+    """Human-readable rendering of a byte count (``'768.0 MB'``)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def pretty_seconds(seconds: float) -> str:
+    """Human-readable rendering of a duration (``'1h 02m'``, ``'3.2 s'``)."""
+    if seconds < 0:
+        return "-" + pretty_seconds(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.1f} s"
+    if seconds < HOUR:
+        minutes, secs = divmod(seconds, MINUTE)
+        return f"{int(minutes)}m {secs:04.1f}s"
+    hours, rem = divmod(seconds, HOUR)
+    minutes = rem / MINUTE
+    return f"{int(hours)}h {int(minutes):02d}m"

@@ -1,0 +1,69 @@
+"""Tests for the phase-breakdown diagnostics."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    breakdown_report,
+    kind_breakdown_table,
+    process_breakdown_table,
+)
+from repro.cluster.config import ClusterConfig
+from repro.hpl.driver import run_hpl
+
+KINDS = ("athlon", "pentium2")
+
+
+def cfg(p1, m1, p2, m2):
+    return ClusterConfig.from_tuple(KINDS, (p1, m1, p2, m2))
+
+
+class TestBreakdownTables:
+    @pytest.fixture(scope="class")
+    def result(self, spec):
+        return run_hpl(spec, cfg(1, 2, 8, 1), 3200)
+
+    def test_kind_table_has_both_kinds(self, result):
+        text = kind_breakdown_table(result)
+        assert "athlon" in text and "pentium2" in text
+        assert "Ta" in text and "Tc" in text
+        assert f"N={result.n}" in text
+
+    def test_process_table_rows(self, result):
+        text = process_breakdown_table(result)
+        # header + rule + title + one row per rank
+        assert len(text.splitlines()) == 3 + result.total_processes
+
+    def test_process_table_limit(self, result):
+        text = process_breakdown_table(result, limit=3)
+        assert len(text.splitlines()) == 3 + 3
+
+    def test_report_names_bottleneck(self, spec):
+        text = breakdown_report(spec, cfg(1, 1, 8, 1), 4800)
+        assert "Bottleneck kind: pentium2" in text
+        assert "dominant phase: update" in text
+
+    def test_report_per_process_flag(self, spec):
+        short = breakdown_report(spec, cfg(1, 1, 2, 1), 1600)
+        long = breakdown_report(spec, cfg(1, 1, 2, 1), 1600, per_process=True)
+        assert len(long) > len(short)
+        assert "rank" in long and "rank" not in short
+
+
+class TestBreakdownCLI:
+    def test_cli_breakdown(self, capsys):
+        from repro.cli import main
+
+        code = main(["breakdown", "--config", "1,2,8,1", "--n", "1600"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Phase breakdown" in out and "Bottleneck kind" in out
+
+    def test_cli_breakdown_per_process(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["breakdown", "--config", "0,0,4,1", "--n", "1600", "--per-process"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Per-process" in out

@@ -1,0 +1,119 @@
+"""Tests for error rows (Tables 4/7/9) and correlation data (Figs 6-15)."""
+
+import pytest
+
+from repro.analysis.correlation import CorrelationData, ScatterPoint, correlation_data
+from repro.analysis.errors import (
+    EvaluationRow,
+    evaluation_row,
+    evaluation_rows,
+    worst_abs_estimate_error,
+    worst_regret,
+)
+from repro.cluster.config import ClusterConfig
+
+KINDS = ("athlon", "pentium2")
+
+
+def cfg(p1, m1, p2, m2):
+    return ClusterConfig.from_tuple(KINDS, (p1, m1, p2, m2))
+
+
+class TestEvaluationRow:
+    def test_error_definitions(self):
+        row = EvaluationRow(
+            n=6400,
+            estimated_config=cfg(1, 1, 8, 1),
+            tau=129.8,
+            tau_hat=129.7,
+            actual_config=cfg(1, 2, 8, 1),
+            t_hat=125.2,
+        )
+        # the paper's Table 4 row for N=6400
+        assert row.estimate_error == pytest.approx(0.037, abs=0.001)
+        assert row.regret == pytest.approx(0.036, abs=0.001)
+        assert not row.picked_optimum
+
+    def test_picked_optimum_has_zero_regret(self):
+        row = EvaluationRow(
+            n=3200,
+            estimated_config=cfg(1, 1, 0, 0),
+            tau=20.0,
+            tau_hat=20.4,
+            actual_config=cfg(1, 1, 0, 0),
+            t_hat=20.4,
+        )
+        assert row.picked_optimum
+        assert row.regret == 0.0
+
+    def test_as_cells(self):
+        row = EvaluationRow(
+            n=3200,
+            estimated_config=cfg(1, 1, 0, 0),
+            tau=20.0,
+            tau_hat=20.4,
+            actual_config=cfg(1, 1, 0, 0),
+            t_hat=20.4,
+        )
+        cells = row.as_cells(KINDS)
+        assert cells[0] == "3200"
+        assert cells[1] == "1,1,0,0"
+
+    def test_aggregates(self):
+        rows = [
+            EvaluationRow(1, cfg(1, 1, 0, 0), 10, 11, cfg(1, 1, 0, 0), 10),
+            EvaluationRow(2, cfg(1, 1, 0, 0), 8, 12, cfg(1, 1, 0, 0), 10),
+        ]
+        assert worst_abs_estimate_error(rows) == pytest.approx(0.2)
+        assert worst_regret(rows) == pytest.approx(0.2)
+
+
+class TestPipelineRows:
+    def test_row_consistency(self, basic_pipeline):
+        row = evaluation_row(basic_pipeline, 4800)
+        assert row.n == 4800
+        assert row.tau_hat >= row.t_hat  # chosen config can't beat the optimum
+        assert row.t_hat > 0
+
+    def test_rows_cover_evaluation_sizes(self, basic_pipeline):
+        rows = evaluation_rows(basic_pipeline, sizes=[3200, 4800])
+        assert [row.n for row in rows] == [3200, 4800]
+
+
+class TestCorrelation:
+    def test_points_cover_grid(self, basic_pipeline):
+        data = correlation_data(basic_pipeline, 4800)
+        assert data.n == 4800
+        assert len(data.points) == 62
+
+    def test_groups_by_m1(self, basic_pipeline):
+        data = correlation_data(basic_pipeline, 4800)
+        groups = data.groups()
+        assert set(groups) == {0, 1, 2, 3, 4, 5, 6}
+        assert len(groups[0]) == 8  # P1=0: P2 in 1..8
+
+    def test_adjustment_improves_fit_at_calibration_size(self, basic_pipeline):
+        data = correlation_data(basic_pipeline, 6400)
+        assert data.r_squared(adjusted=True) > data.r_squared(adjusted=False)
+        assert data.mean_abs_deviation(adjusted=True) < data.mean_abs_deviation(
+            adjusted=False
+        )
+
+    def test_adjusted_slope_near_one(self, basic_pipeline):
+        data = correlation_data(basic_pipeline, 6400)
+        assert data.systematic_slope(adjusted=True) == pytest.approx(1.0, abs=0.12)
+
+    def test_metrics_on_synthetic_points(self):
+        points = [
+            ScatterPoint(cfg(1, 1, 0, 0), 1, 10.0, 10.0, 10.0),
+            ScatterPoint(cfg(1, 2, 0, 0), 2, 20.0, 20.0, 20.0),
+        ]
+        data = CorrelationData(n=1, points=points)
+        assert data.r_squared() == pytest.approx(1.0)
+        assert data.mean_abs_deviation() == 0.0
+        assert data.worst_deviation() == 0.0
+        assert data.systematic_slope() == pytest.approx(1.0)
+
+    def test_deviation_sign(self):
+        point = ScatterPoint(cfg(1, 1, 0, 0), 1, 8.0, 8.0, 10.0)
+        assert point.deviation() == pytest.approx(-0.2)

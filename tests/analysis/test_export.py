@@ -1,0 +1,76 @@
+"""Tests for CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.correlation import correlation_data
+from repro.analysis.export import (
+    correlation_to_csv,
+    cost_to_csv,
+    export_figures,
+    export_protocol,
+    series_to_csv,
+    verification_to_csv,
+)
+from repro.analysis.figures import Series
+
+
+def parse_csv(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestSerializers:
+    def test_series_to_csv_wide_format(self):
+        series = [
+            Series("a", (1.0, 2.0), (0.5, 0.6)),
+            Series("b", (1.0, 2.0), (0.7, 0.8)),
+        ]
+        rows = parse_csv(series_to_csv(series, "N"))
+        assert rows[0] == ["N", "a", "b"]
+        assert rows[1][0] == "1" and float(rows[1][2]) == pytest.approx(0.7)
+        assert len(rows) == 3
+
+    def test_empty_series(self):
+        assert series_to_csv([], "N") == "N\n"
+
+    def test_correlation_csv_has_62_rows(self, ns_pipeline):
+        data = correlation_data(ns_pipeline, 1600)
+        rows = parse_csv(correlation_to_csv(data))
+        assert rows[0][0] == "config"
+        assert len(rows) == 63
+        # columns parse as numbers
+        assert float(rows[1][2]) > 0 and float(rows[1][4]) > 0
+
+    def test_verification_csv(self, ns_pipeline):
+        rows = parse_csv(verification_to_csv(ns_pipeline))
+        assert rows[0][0] == "n"
+        assert len(rows) == 1 + len(ns_pipeline.plan.evaluation_sizes)
+
+    def test_cost_csv_totals(self, ns_pipeline):
+        rows = parse_csv(cost_to_csv(ns_pipeline))
+        assert rows[0] == ["n", "athlon", "pentium2"]
+        assert rows[-1][0] == "total"
+        total = float(rows[-1][1]) + float(rows[-1][2])
+        assert total == pytest.approx(ns_pipeline.campaign.total_cost_s, rel=1e-6)
+
+
+class TestExportDirectories:
+    def test_export_protocol_writes_files(self, ns_pipeline, tmp_path):
+        written = export_protocol(ns_pipeline, tmp_path, correlation_sizes=[1600])
+        names = sorted(p.name for p in written)
+        assert names == [
+            "ns_correlation_n1600.csv",
+            "ns_cost.csv",
+            "ns_verification.csv",
+        ]
+        for path in written:
+            assert path.read_text().strip()
+
+    def test_export_figures_writes_five_files(self, spec, tmp_path):
+        written = export_figures(tmp_path, spec=spec)
+        assert len(written) == 5
+        assert (tmp_path / "fig2_netpipe.csv").exists()
+        rows = parse_csv((tmp_path / "fig1_mpich121.csv").read_text())
+        assert rows[0] == ["N", "1P/CPU", "2P/CPU", "3P/CPU", "4P/CPU"]

@@ -1,0 +1,47 @@
+"""Unit tests for the seed-sweep robustness study."""
+
+import pytest
+
+from repro.analysis.seedsweep import SweepStats, sweep_protocol
+from repro.errors import MeasurementError
+
+
+class TestSweepStats:
+    def test_statistics(self):
+        stats = SweepStats((0.1, 0.2, 0.3))
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.worst == 0.3
+        assert stats.best == 0.1
+        assert stats.fraction_above(0.15) == pytest.approx(2 / 3)
+
+    def test_single_value(self):
+        stats = SweepStats((0.5,))
+        assert stats.std == 0.0
+        assert stats.mean == stats.worst == stats.best == 0.5
+
+
+class TestSweepProtocol:
+    @pytest.fixture(scope="class")
+    def ns_sweep(self, spec):
+        return sweep_protocol(spec, "ns", seeds=(11, 12), min_n=3200)
+
+    def test_shape(self, ns_sweep):
+        assert ns_sweep.protocol == "ns"
+        assert ns_sweep.seeds == (11, 12)
+        assert len(ns_sweep.worst_regret.values) == 2
+
+    def test_ns_fails_on_every_seed(self, ns_sweep):
+        assert ns_sweep.worst_abs_error.best > 0.30
+
+    def test_summary_row(self, ns_sweep):
+        row = ns_sweep.summary_row()
+        assert row[0] == "ns"
+        assert "±" in row[1]
+
+    def test_empty_seeds_rejected(self, spec):
+        with pytest.raises(MeasurementError):
+            sweep_protocol(spec, "ns", seeds=())
+
+    def test_min_n_filter_rejected_when_too_high(self, spec):
+        with pytest.raises(MeasurementError, match="no evaluation sizes"):
+            sweep_protocol(spec, "ns", seeds=(11,), min_n=100_000)

@@ -1,0 +1,122 @@
+"""Tests for table rendering, figure series and reports."""
+
+import pytest
+
+from repro.analysis.correlation import correlation_data
+from repro.analysis.figures import (
+    FIG1_SIZES,
+    Series,
+    ascii_scatter,
+    fig1_series,
+    fig2_series,
+    fig3a_series,
+    fig3b_series,
+    series_table,
+)
+from repro.analysis.report import (
+    correlation_summary,
+    cost_table,
+    protocol_report,
+    verification_table,
+)
+from repro.analysis.tables import render_markdown_table, render_table
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+
+    def test_render_table_title(self):
+        text = render_table(["x"], [[1]], title="My table")
+        assert text.startswith("My table")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+        with pytest.raises(ValueError):
+            render_markdown_table(["a"], [[1, 2]])
+
+    def test_markdown_table_shape(self):
+        text = render_markdown_table(["a", "b"], [["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| x | y |"
+
+
+class TestSeries:
+    def test_series_validation(self):
+        with pytest.raises(ValueError):
+            Series("bad", (1.0, 2.0), (1.0,))
+
+    def test_fig1_shapes(self):
+        series = fig1_series("1.2.2", sizes=[1000, 3000], max_procs=2)
+        assert [s.label for s in series] == ["1P/CPU", "2P/CPU"]
+        assert all(len(s.y) == 2 for s in series)
+        # multiprocessing costs throughput on a single CPU
+        assert series[1].y[0] < series[0].y[0]
+
+    def test_fig2_versions_and_units(self):
+        series = fig2_series(block_sizes=[1024, 131072])
+        labels = {s.label for s in series}
+        assert labels == {"mpich-1.2.1", "mpich-1.2.2"}
+        for s in series:
+            assert s.x[0] == pytest.approx(1.0)  # KB
+            assert 0 < s.y[0] < 3  # Gbit/s
+
+    def test_fig3a_load_imbalance_story(self, spec):
+        series = {s.label: s for s in fig3a_series(sizes=[8000], spec=spec)}
+        het = series["Ath x 1 + P2 x 4"].y[0]
+        p2x5 = series["P2 x 5"].y[0]
+        # the heterogeneous config is dragged to ~the all-P2 level
+        assert het == pytest.approx(p2x5, rel=0.25)
+
+    def test_fig3b_multiprocessing_helps_at_large_n(self, spec):
+        series = {s.label: s for s in fig3b_series(sizes=[9000], spec=spec)}
+        assert series["n = 3"].y[0] > series["n = 1"].y[0]
+
+    def test_series_table_renders_all_series(self):
+        series = [Series("a", (1.0, 2.0), (0.1, 0.2)), Series("b", (1.0, 2.0), (0.3, 0.4))]
+        text = series_table(series, "N")
+        assert "a" in text and "b" in text
+        assert len(text.splitlines()) == 3
+
+    def test_series_table_empty(self):
+        assert series_table([], "N") == "(no series)"
+
+
+class TestReports:
+    def test_cost_table_contains_sizes_and_total(self, basic_pipeline):
+        text = cost_table(basic_pipeline)
+        assert "athlon [sec]" in text
+        assert "Total" in text
+        assert "6400" in text
+
+    def test_verification_table_has_one_row_per_size(self, basic_pipeline):
+        text = verification_table(basic_pipeline, sizes=[3200, 4800])
+        assert len(text.splitlines()) == 5  # title + header + rule + 2 rows
+
+    def test_correlation_summary(self, basic_pipeline):
+        text = correlation_summary(basic_pipeline, sizes=[4800])
+        assert "R2" in text and "4800" in text
+
+    def test_ascii_scatter_contains_groups(self, basic_pipeline):
+        data = correlation_data(basic_pipeline, 4800)
+        art = ascii_scatter(data)
+        assert "|" in art and "estimate" in art
+        assert any(ch.isdigit() for ch in art)
+
+    def test_protocol_report_sections(self, ns_pipeline):
+        text = protocol_report(ns_pipeline)
+        for token in (
+            "Protocol 'ns'",
+            "Measurement cost",
+            "ModelStore",
+            "Adjustment",
+            "Errors in estimated best configurations",
+            "correlation",
+        ):
+            assert token in text

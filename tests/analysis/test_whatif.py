@@ -1,0 +1,56 @@
+"""Unit tests for what-if hardware comparisons."""
+
+import pytest
+
+from repro.analysis.whatif import VariantOutcome, compare_variants, comparison_table
+from repro.cluster.config import ClusterConfig
+from repro.cluster.presets import kishimoto_cluster
+from repro.errors import MeasurementError
+
+KINDS = ("athlon", "pentium2")
+
+
+def cfg(p1, m1, p2, m2):
+    return ClusterConfig.from_tuple(KINDS, (p1, m1, p2, m2))
+
+
+class TestVariantOutcome:
+    def test_lookup(self):
+        outcome = VariantOutcome(
+            "x", ((1600, cfg(1, 1, 0, 0), 3.1), (3200, cfg(1, 1, 8, 1), 20.0))
+        )
+        assert outcome.config_at(3200).label(KINDS) == "1,1,8,1"
+        assert outcome.time_at(1600) == 3.1
+        with pytest.raises(MeasurementError):
+            outcome.config_at(9999)
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        variants = {
+            "tx": kishimoto_cluster(network="100base-tx"),
+            "sx": kishimoto_cluster(network="1000base-sx"),
+        }
+        return compare_variants(variants, protocol="ns", seed=11, sizes=(1600, 3200))
+
+    def test_one_outcome_per_variant(self, outcomes):
+        assert [o.label for o in outcomes] == ["tx", "sx"]
+        assert len(outcomes[0].best_configs) == 2
+
+    def test_gigabit_never_slower_at_optimum(self, outcomes):
+        tx, sx = outcomes
+        for n in (1600, 3200):
+            assert sx.time_at(n) <= tx.time_at(n) * 1.02
+
+    def test_table_renders(self, outcomes):
+        text = comparison_table(outcomes, KINDS)
+        assert "tx: best" in text and "sx: t [s]" in text
+        assert "1600" in text
+
+    def test_empty_variants_rejected(self):
+        with pytest.raises(MeasurementError):
+            compare_variants({})
+
+    def test_empty_table(self):
+        assert comparison_table([], KINDS) == "(no variants)"

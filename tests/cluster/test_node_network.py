@@ -1,0 +1,83 @@
+"""Unit tests for nodes and network models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import NetworkSpec, fast_ethernet, gigabit_sx, ideal_network
+from repro.cluster.node import Node
+from repro.cluster.presets import athlon_1333
+from repro.errors import ClusterError
+from repro.units import MB
+
+
+class TestNode:
+    def test_usable_memory(self):
+        node = Node("n", athlon_1333(), memory_bytes=768 * MB, os_reserved_bytes=48 * MB)
+        assert node.usable_memory_bytes == 720 * MB
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(ClusterError):
+            Node("n", athlon_1333(), cpus=0)
+
+    def test_rejects_reserved_exceeding_memory(self):
+        with pytest.raises(ClusterError):
+            Node("n", athlon_1333(), memory_bytes=MB, os_reserved_bytes=2 * MB)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ClusterError):
+            Node("", athlon_1333())
+
+
+class TestNetworkSpec:
+    def test_message_time_is_latency_plus_transfer(self):
+        net = NetworkSpec("t", latency_s=1e-4, bandwidth_bps=1e8, half_saturation_bytes=0)
+        assert net.message_time(1e6) == pytest.approx(1e-4 + 0.01)
+
+    def test_zero_size_message_costs_latency(self):
+        net = fast_ethernet()
+        assert net.message_time(0) == pytest.approx(net.latency_s)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ClusterError):
+            fast_ethernet().message_time(-1)
+
+    def test_effective_bandwidth_saturates(self):
+        net = fast_ethernet()
+        small = net.effective_bandwidth(512)
+        large = net.effective_bandwidth(10 * MB)
+        assert small < large
+        assert large == pytest.approx(net.bandwidth_bps, rel=0.01)
+
+    def test_message_time_vectorized_matches_scalar(self):
+        net = fast_ethernet()
+        sizes = np.array([1e3, 1e4, 1e5, 1e6])
+        vec = net.message_time(sizes)
+        for size, t in zip(sizes, vec):
+            assert t == pytest.approx(net.message_time(float(size)))
+
+    def test_message_time_monotone_in_size(self):
+        net = fast_ethernet()
+        sizes = np.logspace(2, 7, 30)
+        times = np.asarray(net.message_time(sizes))
+        assert np.all(np.diff(times) > 0)
+
+    def test_throughput_below_line_rate(self):
+        net = fast_ethernet()
+        assert net.throughput(64 * 1024) < net.bandwidth_bps
+
+    def test_gigabit_faster_than_fast_ethernet(self):
+        size = 1e6
+        assert gigabit_sx().message_time(size) < fast_ethernet().message_time(size)
+
+    def test_ideal_network_has_no_latency(self):
+        net = ideal_network()
+        assert net.message_time(0) == 0.0
+        assert net.message_time(1e12) == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ClusterError):
+            NetworkSpec("bad", latency_s=-1, bandwidth_bps=1e8)
+        with pytest.raises(ClusterError):
+            NetworkSpec("bad", latency_s=0, bandwidth_bps=0)
+        with pytest.raises(ClusterError):
+            NetworkSpec("bad", latency_s=0, bandwidth_bps=1e8, half_saturation_bytes=-1)

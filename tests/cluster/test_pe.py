@@ -1,0 +1,128 @@
+"""Unit tests for PE kinds and their performance model."""
+
+import pytest
+
+from repro.cluster.pe import PEKind
+from repro.cluster.presets import athlon_1333, pentium2_400
+from repro.errors import ClusterError
+
+
+def make_kind(**overrides) -> PEKind:
+    base = dict(name="test", peak_gflops=1.0, ramp_n=1000.0)
+    base.update(overrides)
+    return PEKind(**base)
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ClusterError):
+            make_kind(name="")
+
+    def test_non_positive_peak_rejected(self):
+        with pytest.raises(ClusterError):
+            make_kind(peak_gflops=0.0)
+        with pytest.raises(ClusterError):
+            make_kind(peak_gflops=-1.0)
+
+    def test_non_positive_ramp_rejected(self):
+        with pytest.raises(ClusterError):
+            make_kind(ramp_n=0.0)
+
+    def test_bad_efficiency_floor_rejected(self):
+        with pytest.raises(ClusterError):
+            make_kind(efficiency_floor=0.0)
+        with pytest.raises(ClusterError):
+            make_kind(efficiency_floor=1.5)
+
+    def test_negative_oversub_rejected(self):
+        with pytest.raises(ClusterError):
+            make_kind(oversub_penalty=-0.1)
+
+
+class TestEfficiency:
+    def test_linear_ramp_below_knee(self):
+        kind = make_kind(ramp_n=1000.0, efficiency_floor=0.01)
+        assert kind.efficiency(500) == pytest.approx(0.5)
+        assert kind.efficiency(250) == pytest.approx(0.25)
+
+    def test_saturates_at_one(self):
+        kind = make_kind(ramp_n=1000.0)
+        assert kind.efficiency(1000) == 1.0
+        assert kind.efficiency(50000) == 1.0
+
+    def test_floor_applies_to_tiny_problems(self):
+        kind = make_kind(ramp_n=1000.0, efficiency_floor=0.05)
+        assert kind.efficiency(1) == pytest.approx(0.05)
+        assert kind.efficiency(0) == pytest.approx(0.05)
+        assert kind.efficiency(-5) == pytest.approx(0.05)
+
+    def test_monotone_nondecreasing(self):
+        kind = make_kind(ramp_n=1500.0)
+        values = [kind.efficiency(n) for n in range(0, 4000, 100)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestRates:
+    def test_single_process_rate_is_peak_times_efficiency(self):
+        kind = make_kind(peak_gflops=2.0, ramp_n=1000.0)
+        assert kind.process_rate(2000, 1) == pytest.approx(2.0e9)
+        assert kind.process_rate(500, 1) == pytest.approx(1.0e9)
+
+    def test_oversubscription_divides_rate(self):
+        kind = make_kind(peak_gflops=1.0, ramp_n=100.0, oversub_penalty=0.0)
+        assert kind.process_rate(1000, 2) == pytest.approx(0.5e9)
+        assert kind.process_rate(1000, 4) == pytest.approx(0.25e9)
+
+    def test_oversub_penalty_reduces_aggregate(self):
+        kind = make_kind(oversub_penalty=0.05, ramp_n=100.0)
+        assert kind.pe_rate(1000, 1) == pytest.approx(1.0e9)
+        assert kind.pe_rate(1000, 2) == pytest.approx(1.0e9 / 1.05)
+
+    def test_pe_rate_is_m_times_process_rate(self):
+        kind = make_kind()
+        for m in (1, 2, 3, 6):
+            assert kind.pe_rate(3000, m) == pytest.approx(
+                m * kind.process_rate(3000, m)
+            )
+
+    def test_invalid_process_count_rejected(self):
+        kind = make_kind()
+        with pytest.raises(ClusterError):
+            kind.process_rate(1000, 0)
+        with pytest.raises(ClusterError):
+            kind.step_overhead(0)
+
+    def test_step_overhead_grows_with_co_residency(self):
+        kind = make_kind(ctx_switch_s=2e-3, panel_overhead_s=1e-3)
+        assert kind.step_overhead(1) == pytest.approx(1e-3)
+        assert kind.step_overhead(3) == pytest.approx(1e-3 + 4e-3)
+
+    def test_mem_copy_rate_unit(self):
+        kind = make_kind(mem_copy_gbs=0.5)
+        assert kind.mem_copy_rate() == pytest.approx(0.5e9)
+
+
+class TestScaled:
+    def test_scaled_changes_only_rate_and_name(self):
+        base = make_kind(peak_gflops=1.0)
+        fast = base.scaled("fast", 2.5)
+        assert fast.name == "fast"
+        assert fast.peak_gflops == pytest.approx(2.5)
+        assert fast.ramp_n == base.ramp_n
+        assert fast.oversub_penalty == base.oversub_penalty
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(ClusterError):
+            make_kind().scaled("bad", 0.0)
+
+
+class TestPresets:
+    def test_athlon_is_faster_than_pentium2(self):
+        ath, p2 = athlon_1333(), pentium2_400()
+        ratio = ath.peak_gflops / p2.peak_gflops
+        # the paper says an Athlon 1.33 GHz is ~4-5x a Pentium-II 400 MHz
+        assert 4.0 <= ratio <= 5.0
+
+    def test_preset_names(self):
+        assert athlon_1333().name == "athlon"
+        assert pentium2_400().name == "pentium2"

@@ -1,0 +1,202 @@
+"""Unit tests for model selection (binning) and the linear adjustment."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjustment import LinearAdjustment
+from repro.core.binning import KindEstimate, MemoryBin, ModelSelector
+from repro.core.model_store import ModelStore
+from repro.core.nt_model import NTModel
+from repro.core.pt_model import PTModel
+from repro.errors import FitError, ModelError
+
+
+def small_store() -> ModelStore:
+    """A store with one kind, Mi in {1, 2}: N-T at P in {1,2,4,8} (Mi=1)
+    and P in {2,4,8} (Mi=2), plus the integrated P-T models."""
+    sizes = np.array([400.0, 800.0, 1600.0, 3200.0])
+    store = ModelStore()
+    for mi in (1, 2):
+        family = []
+        for pes in (1, 2, 4, 8):
+            p = pes * mi
+            ta = 1e-9 * sizes**3 / p
+            s_c = 2e-8 * sizes**2 + 0.1
+            tc = 0.1 * p * s_c + 0.5 * s_c / p
+            model = NTModel.fit("k", p, mi, sizes, ta, tc)
+            store.nt[("k", p, mi)] = model
+            family.append(model)
+        store.pt[("k", mi)] = PTModel.fit_from_nt_family(family, sizes)
+    return store
+
+
+class TestSelection:
+    def test_single_pe_uses_nt(self):
+        selector = ModelSelector(small_store())
+        which, model = selector.select("k", p=2, mi=2)
+        assert which == "nt"
+        assert isinstance(model, NTModel)
+        assert model.is_single_pe
+
+    def test_multi_pe_uses_pt(self):
+        selector = ModelSelector(small_store())
+        which, model = selector.select("k", p=6, mi=2)
+        assert which == "pt"
+        assert isinstance(model, PTModel)
+
+    def test_p_below_mi_is_impossible(self):
+        selector = ModelSelector(small_store())
+        with pytest.raises(ModelError, match="Fig. 5"):
+            selector.select("k", p=1, mi=2)
+
+    def test_missing_models_raise(self):
+        selector = ModelSelector(small_store())
+        with pytest.raises(ModelError):
+            selector.select("other", p=4, mi=1)
+        with pytest.raises(ModelError):
+            selector.select("k", p=3, mi=3)  # no Mi=3 anywhere
+
+    def test_can_estimate(self):
+        selector = ModelSelector(small_store())
+        assert selector.can_estimate("k", 8, 1)
+        assert not selector.can_estimate("k", 8, 5)
+
+    def test_invalid_mi(self):
+        with pytest.raises(ModelError):
+            ModelSelector(small_store()).select("k", 4, 0)
+
+
+class TestEstimation:
+    def test_estimate_kind_routes_and_sums(self):
+        selector = ModelSelector(small_store())
+        single = selector.estimate_kind("k", 1600, p=1, mi=1)
+        assert single.model_kind == "nt"
+        multi = selector.estimate_kind("k", 1600, p=8, mi=1)
+        assert multi.model_kind == "pt"
+        assert multi.ta < single.ta  # work spread over 8 processes
+        assert multi.total == multi.ta + multi.tc
+
+    def test_negative_polynomial_clamped(self):
+        store = ModelStore()
+        store.nt[("k", 1, 1)] = NTModel(
+            "k", 1, 1, ka=(0, 0, 0, -5.0), kc=(0, 0, 1.0), n_range=(1, 100)
+        )
+        estimate = ModelSelector(store).estimate_kind("k", 50, 1, 1)
+        assert estimate.ta == 0.0
+        assert estimate.tc == 1.0
+        assert not estimate.valid  # raw total -4 < 0: out of domain
+
+    def test_positive_total_is_valid(self):
+        store = ModelStore()
+        store.nt[("k", 1, 1)] = NTModel(
+            "k", 1, 1, ka=(0, 0, 0, 2.0), kc=(0, 0, 1.0), n_range=(1, 100)
+        )
+        estimate = ModelSelector(store).estimate_kind("k", 50, 1, 1)
+        assert estimate.valid
+
+
+class TestMemoryBins:
+    def test_bins_must_ascend(self):
+        with pytest.raises(ModelError):
+            ModelSelector(
+                small_store(),
+                memory_bins=[MemoryBin(2.0), MemoryBin(1.0)],
+            )
+
+    def test_bin_scales_apply(self):
+        selector = ModelSelector(
+            small_store(),
+            memory_bins=[
+                MemoryBin(1.0, label="fits"),
+                MemoryBin(10.0, ta_scale=3.0, tc_scale=1.5, label="paging"),
+            ],
+        )
+        fits = selector.estimate_kind("k", 1600, 8, 1, memory_ratio=0.5)
+        paging = selector.estimate_kind("k", 1600, 8, 1, memory_ratio=1.5)
+        assert fits.bin_label == "fits"
+        assert paging.bin_label == "paging"
+        assert paging.ta == pytest.approx(3.0 * fits.ta)
+        assert paging.tc == pytest.approx(1.5 * fits.tc)
+
+    def test_ratio_beyond_last_bin_uses_last(self):
+        selector = ModelSelector(
+            small_store(), memory_bins=[MemoryBin(1.0, ta_scale=2.0)]
+        )
+        estimate = selector.estimate_kind("k", 1600, 8, 1, memory_ratio=99.0)
+        assert estimate.ta > 0
+
+    def test_no_ratio_means_no_binning(self):
+        selector = ModelSelector(
+            small_store(), memory_bins=[MemoryBin(1.0, ta_scale=2.0)]
+        )
+        a = selector.estimate_kind("k", 1600, 8, 1, memory_ratio=None)
+        plain = ModelSelector(small_store()).estimate_kind("k", 1600, 8, 1)
+        assert a.ta == pytest.approx(plain.ta)
+
+    def test_bin_validation(self):
+        with pytest.raises(ModelError):
+            MemoryBin(0.0)
+        with pytest.raises(ModelError):
+            MemoryBin(1.0, ta_scale=0.0)
+
+
+class TestLinearAdjustment:
+    def test_identity_by_default(self):
+        adj = LinearAdjustment()
+        assert adj.is_identity
+        assert adj.apply(100.0, max_mi=6) == 100.0
+        assert not adj.applies_to(6)
+
+    def test_fit_single_pair_per_mi(self):
+        adj = LinearAdjustment.fit([(3, 100.0, 110.0), (4, 200.0, 150.0)])
+        assert adj.scale_for(3) == pytest.approx(1.1)
+        assert adj.scale_for(4) == pytest.approx(0.75)
+        assert adj.apply(50.0, max_mi=4) == pytest.approx(37.5)
+
+    def test_below_threshold_untouched(self):
+        adj = LinearAdjustment.fit([(3, 100.0, 120.0)])
+        assert adj.apply(10.0, max_mi=2) == 10.0
+        assert adj.scale_for(1) == 1.0
+
+    def test_nearest_mi_used_for_uncalibrated(self):
+        adj = LinearAdjustment.fit([(3, 100.0, 110.0), (5, 100.0, 90.0)])
+        assert adj.scale_for(4) == pytest.approx(1.1)  # ties resolve low
+        assert adj.scale_for(6) == pytest.approx(0.9)
+        assert adj.scale_for(9) == pytest.approx(0.9)
+
+    def test_multiple_pairs_same_mi_least_squares(self):
+        adj = LinearAdjustment.fit([(3, 100.0, 110.0), (3, 200.0, 220.0)])
+        assert adj.scale_for(3) == pytest.approx(1.1)
+
+    def test_below_threshold_calibration_ignored(self):
+        adj = LinearAdjustment.fit([(1, 100.0, 500.0), (3, 100.0, 110.0)])
+        assert adj.calibration_points == 1
+        assert adj.scale_for(3) == pytest.approx(1.1)
+
+    def test_empty_calibration_is_identity(self):
+        assert LinearAdjustment.fit([]).is_identity
+
+    def test_invalid_pairs_rejected(self):
+        with pytest.raises(FitError):
+            LinearAdjustment.fit([(3, -1.0, 10.0)])
+        with pytest.raises(FitError):
+            LinearAdjustment.fit([(3, 1.0, 0.0)])
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            LinearAdjustment(scales=((3, -1.0),))
+        with pytest.raises(ModelError):
+            LinearAdjustment(scales=((2, 1.0),), mi_threshold=3)
+        with pytest.raises(ModelError):
+            LinearAdjustment(scales=((3, 1.0), (3, 2.0)))
+        with pytest.raises(ModelError):
+            LinearAdjustment(mi_threshold=0)
+
+    def test_serialization_roundtrip(self):
+        adj = LinearAdjustment.fit([(3, 100.0, 110.0), (4, 100.0, 95.0)])
+        assert LinearAdjustment.from_dict(adj.to_dict()) == adj
+
+    def test_describe(self):
+        assert "identity" in LinearAdjustment().describe()
+        adj = LinearAdjustment.fit([(3, 100.0, 110.0)])
+        assert "Mi=3" in adj.describe()

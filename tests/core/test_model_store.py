@@ -1,0 +1,58 @@
+"""Unit tests for the model store."""
+
+import pytest
+
+from repro.core.model_store import ModelStore
+from repro.errors import ModelError
+
+
+class TestFitDataset:
+    def test_basic_campaign_model_counts(self, basic_campaign):
+        """The paper fits 54 models from the Basic grid (6 Athlon + 48
+        Pentium-II configurations)."""
+        store = ModelStore.fit_dataset(basic_campaign.dataset)
+        assert len(store.nt) == 54
+        # P-T models: pentium2 has >= 3 PE counts for every M2 -> 6 models;
+        # athlon has a single PE -> none (composed later by the pipeline).
+        assert sorted(mi for (kind, mi) in store.pt if kind == "pentium2") == [1, 2, 3, 4, 5, 6]
+        assert not any(kind == "athlon" for (kind, mi) in store.pt)
+
+    def test_build_time_recorded(self, basic_campaign):
+        store = ModelStore.fit_dataset(basic_campaign.dataset)
+        assert 0 < store.build_seconds < 10.0
+
+    def test_queries(self, basic_campaign):
+        store = ModelStore.fit_dataset(basic_campaign.dataset)
+        assert store.has_nt("athlon", 3, 3)
+        assert not store.has_nt("athlon", 4, 2)
+        assert store.nt_model("pentium2", 8, 1).p == 8
+        with pytest.raises(ModelError):
+            store.nt_model("athlon", 9, 9)
+        with pytest.raises(ModelError):
+            store.pt_model("athlon", 1)
+
+    def test_nt_family_sorted_by_p(self, basic_campaign):
+        store = ModelStore.fit_dataset(basic_campaign.dataset)
+        family = store.nt_family("pentium2", 2)
+        assert [m.p for m in family] == [2, 4, 6, 8, 10, 12, 14, 16]
+
+    def test_kinds_and_mi_values(self, basic_campaign):
+        store = ModelStore.fit_dataset(basic_campaign.dataset)
+        assert set(store.kinds()) == {"athlon", "pentium2"}
+        assert store.mi_values("athlon") == [1, 2, 3, 4, 5, 6]
+
+    def test_model_count(self, basic_campaign):
+        store = ModelStore.fit_dataset(basic_campaign.dataset)
+        assert store.model_count == len(store.nt) + len(store.pt) == 60
+
+    def test_serialization_roundtrip(self, basic_campaign, tmp_path):
+        store = ModelStore.fit_dataset(basic_campaign.dataset)
+        path = tmp_path / "models.json"
+        store.save(path)
+        loaded = ModelStore.load(path)
+        assert loaded.nt == store.nt
+        assert loaded.pt == store.pt
+
+    def test_summary_mentions_composition(self, basic_pipeline):
+        text = basic_pipeline.store.summary()
+        assert "athlon" in text and "composed" in text

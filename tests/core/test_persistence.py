@@ -1,0 +1,98 @@
+"""Tests for cluster serialization and pipeline persistence."""
+
+import json
+
+import pytest
+
+from repro.cluster.presets import kishimoto_cluster, synthetic_cluster
+from repro.cluster.serialize import (
+    cluster_from_dict,
+    cluster_to_dict,
+    load_cluster,
+    save_cluster,
+)
+from repro.core.persistence import load_pipeline, save_pipeline
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.errors import ClusterError, MeasurementError
+
+
+class TestClusterSerialization:
+    def test_roundtrip_paper_cluster(self, spec, tmp_path):
+        path = tmp_path / "cluster.json"
+        save_cluster(spec, path)
+        loaded = load_cluster(path)
+        assert loaded == spec
+
+    def test_roundtrip_synthetic_cluster(self, tmp_path):
+        spec = synthetic_cluster([0.3, 0.9], nodes_per_kind=2, cpus_per_node=2)
+        assert cluster_from_dict(cluster_to_dict(spec)) == spec
+
+    def test_unknown_format_rejected(self):
+        data = cluster_to_dict(kishimoto_cluster())
+        data["format"] = 99
+        with pytest.raises(ClusterError, match="format"):
+            cluster_from_dict(data)
+
+    def test_unknown_kind_reference_rejected(self):
+        data = cluster_to_dict(kishimoto_cluster())
+        data["nodes"][0]["kind"] = "mystery"
+        with pytest.raises(ClusterError, match="unknown kind"):
+            cluster_from_dict(data)
+
+    def test_json_is_human_editable(self, spec, tmp_path):
+        path = tmp_path / "cluster.json"
+        save_cluster(spec, path)
+        data = json.loads(path.read_text())
+        # double the Athlon's rate by hand, reload, and see it take effect
+        data["kinds"][0]["peak_gflops"] = 2.2
+        path.write_text(json.dumps(data))
+        loaded = load_cluster(path)
+        assert loaded.kind("athlon").peak_gflops == 2.2
+
+
+class TestPipelinePersistence:
+    def test_save_load_roundtrip(self, ns_pipeline, tmp_path):
+        directory = save_pipeline(ns_pipeline, tmp_path / "saved")
+        loaded = load_pipeline(directory)
+        # models and adjustment identical
+        assert loaded.store.nt == ns_pipeline.store.nt
+        assert loaded.store.pt == ns_pipeline.store.pt
+        assert loaded.adjustment == ns_pipeline.adjustment
+        # decisions identical, without re-measuring anything
+        for n in (1600, 4800):
+            a = ns_pipeline.optimize(n).best
+            b = loaded.optimize(n).best
+            assert a.config.key() == b.config.key()
+            assert a.estimate_s == pytest.approx(b.estimate_s)
+
+    def test_loaded_campaign_costs_preserved(self, ns_pipeline, tmp_path):
+        directory = save_pipeline(ns_pipeline, tmp_path / "saved")
+        loaded = load_pipeline(directory)
+        assert loaded.campaign.total_cost_s == pytest.approx(
+            ns_pipeline.campaign.total_cost_s
+        )
+        assert loaded.campaign.cost_for_kind("pentium2") == pytest.approx(
+            ns_pipeline.campaign.cost_for_kind("pentium2")
+        )
+
+    def test_evaluation_ground_truth_saved(self, ns_pipeline, tmp_path):
+        directory = save_pipeline(ns_pipeline, tmp_path / "saved")
+        loaded = load_pipeline(directory)
+        config = ns_pipeline.plan.evaluation_configs[5]
+        assert loaded.measured_time(config, 1600) == pytest.approx(
+            ns_pipeline.measured_time(config, 1600)
+        )
+
+    def test_evaluation_optional(self, ns_pipeline, tmp_path):
+        directory = save_pipeline(
+            ns_pipeline, tmp_path / "saved", include_evaluation=False
+        )
+        assert not (directory / "evaluation.json").exists()
+        loaded = load_pipeline(directory)
+        # estimation works with no ground truth on disk
+        best = loaded.optimize(3200).best
+        assert best.estimate_s > 0
+
+    def test_not_a_pipeline_directory(self, tmp_path):
+        with pytest.raises(MeasurementError, match="not a saved pipeline"):
+            load_pipeline(tmp_path)

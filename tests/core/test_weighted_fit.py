@@ -1,0 +1,58 @@
+"""Unit tests for the weighted N-T fitting option."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_store import ModelStore
+from repro.core.nt_model import NTModel
+from repro.errors import FitError
+
+
+def ramped_times(sizes):
+    """Times with a non-polynomial small-N component (the substrate's
+    efficiency ramp shape): big relative structure at small N."""
+    sizes = np.asarray(sizes, dtype=float)
+    eff = np.clip(sizes / 1800.0, 0.1, 1.0)
+    return 1e-9 * sizes**3 / eff + 1e-3
+
+
+SIZES = [400, 600, 800, 1200, 1600, 2400, 3200, 4800, 6400]
+
+
+class TestWeightedFit:
+    def test_relative_weighting_improves_small_n(self):
+        ta = ramped_times(SIZES)
+        tc = 1e-8 * np.asarray(SIZES, dtype=float) ** 2 + 1e-4
+        uniform = NTModel.fit("k", 1, 1, SIZES, ta, tc, weighting="uniform")
+        weighted = NTModel.fit("k", 1, 1, SIZES, ta, tc, weighting="relative")
+
+        def rel_err(model, i):
+            return abs(model.predict_ta(SIZES[i]) - ta[i]) / ta[i]
+
+        assert rel_err(weighted, 0) < rel_err(uniform, 0)
+        # and remains sane at the top of the range
+        assert rel_err(weighted, -1) < 0.05
+
+    def test_exact_polynomial_unchanged_by_weighting(self):
+        """When the data IS the model family, both objectives agree."""
+        sizes = np.asarray(SIZES, dtype=float)
+        ta = 2e-9 * sizes**3 + 1e-5 * sizes + 0.01
+        tc = 1e-8 * sizes**2 + 0.001
+        uniform = NTModel.fit("k", 1, 1, SIZES, ta, tc, weighting="uniform")
+        weighted = NTModel.fit("k", 1, 1, SIZES, ta, tc, weighting="relative")
+        assert np.allclose(uniform.ka, weighted.ka, rtol=1e-5)
+        assert np.allclose(uniform.kc, weighted.kc, rtol=1e-5)
+
+    def test_unknown_weighting_rejected(self):
+        with pytest.raises(FitError, match="unknown weighting"):
+            NTModel.fit(
+                "k", 1, 1, SIZES, ramped_times(SIZES), ramped_times(SIZES),
+                weighting="huber",
+            )
+
+    def test_store_threads_weighting(self, basic_campaign):
+        uniform = ModelStore.fit_dataset(basic_campaign.dataset)
+        weighted = ModelStore.fit_dataset(basic_campaign.dataset, weighting="relative")
+        assert uniform.model_count == weighted.model_count
+        # the fits genuinely differ
+        assert uniform.nt[("pentium2", 8, 1)].ka != weighted.nt[("pentium2", 8, 1)].ka

@@ -1,0 +1,91 @@
+"""Tests for the Cholesky application (third app through the pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.presets import kishimoto_cluster
+from repro.errors import SimulationError
+from repro.exts.apps import CholeskyResult, cholesky_flops, run_cholesky, run_summa
+from repro.hpl.driver import NoiseSpec, run_hpl
+
+KINDS = ("athlon", "pentium2")
+
+
+def cfg(p1, m1, p2, m2):
+    return ClusterConfig.from_tuple(KINDS, (p1, m1, p2, m2))
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return kishimoto_cluster()
+
+
+class TestCholesky:
+    def test_flops_definition(self):
+        assert cholesky_flops(300) == pytest.approx(300**3 / 3, rel=0.01)
+        with pytest.raises(SimulationError):
+            cholesky_flops(-1)
+
+    def test_result_type_and_gflops(self, spec):
+        result = run_cholesky(spec, cfg(1, 1, 0, 0), 1600)
+        assert isinstance(result, CholeskyResult)
+        assert result.gflops == pytest.approx(
+            cholesky_flops(1600) / result.wall_time_s / 1e9
+        )
+
+    def test_half_the_work_of_lu(self, spec):
+        """n^3/3 vs 2n^3/3: Cholesky runs in about half LU's time."""
+        config = cfg(1, 1, 0, 0)
+        n = 3200
+        lu_t = run_hpl(spec, config, n).wall_time_s
+        chol_t = run_cholesky(spec, config, n).wall_time_s
+        assert 0.35 < chol_t / lu_t < 0.65
+
+    def test_no_pivoting_phases(self, spec):
+        result = run_cholesky(spec, cfg(1, 1, 8, 1), 1600)
+        arrays = result.schedule.phase_arrays
+        assert np.all(arrays["mxswp"] == 0)
+        assert np.all(arrays["laswp"] == 0)
+        assert arrays["bcast"].sum() > 0
+
+    def test_app_ordering_by_work(self, spec):
+        """cholesky (n^3/3) < LU (2n^3/3) < SUMMA (2n^3)."""
+        config = cfg(1, 1, 8, 1)
+        n = 3200
+        chol = run_cholesky(spec, config, n).wall_time_s
+        lu = run_hpl(spec, config, n).wall_time_s
+        summa = run_summa(spec, config, n).wall_time_s
+        assert chol < lu < summa
+
+    def test_noise_reproducible(self, spec):
+        a = run_cholesky(spec, cfg(1, 2, 4, 1), 1600, noise=NoiseSpec(), seed=6)
+        b = run_cholesky(spec, cfg(1, 2, 4, 1), 1600, noise=NoiseSpec(), seed=6)
+        assert a.wall_time_s == b.wall_time_s
+
+    def test_invalid_order(self, spec):
+        with pytest.raises(SimulationError):
+            run_cholesky(spec, cfg(1, 1, 0, 0), 0)
+
+
+class TestCholeskyPipeline:
+    def test_pipeline_generality(self, spec):
+        """Third application through the unchanged pipeline."""
+        from dataclasses import replace
+
+        from repro.core.pipeline import EstimationPipeline, PipelineConfig
+        from repro.measure.grids import nl_plan
+
+        plan = replace(nl_plan(), evaluation_sizes=(3200, 4800))
+        pipeline = EstimationPipeline(
+            spec,
+            PipelineConfig(
+                protocol="nl", seed=11, runner=run_cholesky, calibration_n=4800
+            ),
+            plan=plan,
+        )
+        for n in plan.evaluation_sizes:
+            best = pipeline.optimize(n).best
+            chosen = pipeline.measured_time(best.config, n)
+            _, t_hat = pipeline.actual_best(n)
+            assert (chosen - t_hat) / t_hat <= 0.10

@@ -1,0 +1,101 @@
+"""Asymptotic-order tests: the substrate obeys the paper's Section 3.2
+complexity analysis.
+
+The whole N-T model rests on ``Ta = O(N^3)`` and ``Tc = O(N^2)``; these
+tests fit log-log slopes to the *simulated* phase times in the saturated
+regime and check the exponents — i.e., the substrate really produces data
+with the structure the models assume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.presets import kishimoto_cluster
+from repro.hpl.driver import run_hpl
+
+KINDS = ("athlon", "pentium2")
+# saturated regime (above the efficiency knee at 1800)
+SIZES = np.array([3200, 4800, 6400, 9600], dtype=float)
+
+
+def cfg(p1, m1, p2, m2):
+    return ClusterConfig.from_tuple(KINDS, (p1, m1, p2, m2))
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return kishimoto_cluster()
+
+
+def loglog_slope(sizes, values):
+    values = np.asarray(values, dtype=float)
+    assert np.all(values > 0)
+    slope, _ = np.polyfit(np.log(sizes), np.log(values), 1)
+    return slope
+
+
+class TestOrders:
+    @pytest.fixture(scope="class")
+    def phases(self, spec):
+        """Per-kind phase groups across the size sweep for (1,2,8,1)."""
+        out = {"ta": [], "tc": [], "update": [], "bcast": [], "pfact": []}
+        for n in SIZES:
+            result = run_hpl(spec, cfg(1, 2, 8, 1), int(n))
+            p2 = result.kind_phases("pentium2")
+            out["ta"].append(p2.ta)
+            out["tc"].append(p2.tc)
+            out["update"].append(p2.update)
+            out["bcast"].append(p2.bcast)
+            out["pfact"].append(p2.pfact)
+        return out
+
+    def test_ta_is_cubic(self, phases):
+        assert loglog_slope(SIZES, phases["ta"]) == pytest.approx(3.0, abs=0.25)
+
+    def test_update_is_cubic(self, phases):
+        assert loglog_slope(SIZES, phases["update"]) == pytest.approx(3.0, abs=0.25)
+
+    def test_tc_is_quadratic(self, phases):
+        assert loglog_slope(SIZES, phases["tc"]) == pytest.approx(2.0, abs=0.45)
+
+    def test_bcast_is_quadratic(self, phases):
+        assert loglog_slope(SIZES, phases["bcast"]) == pytest.approx(2.0, abs=0.45)
+
+    def test_update_dominates_increasingly(self, phases):
+        """Ta/Tc grows with N — why extrapolation to 9600 works (the paper's
+        explanation for the Basic model's good N = 9600 row)."""
+        ratios = np.asarray(phases["ta"]) / np.asarray(phases["tc"])
+        assert np.all(np.diff(ratios) > 0)
+
+
+class TestScalingInP:
+    def test_ta_scales_inversely_with_p(self, spec):
+        """The P-T model's k7/P term: per-process compute ~ 1/P."""
+        n = 4800
+        ta = {}
+        for p2 in (2, 4, 8):
+            result = run_hpl(spec, cfg(0, 0, p2, 1), n)
+            ta[p2] = result.kind_phases("pentium2").ta
+        assert ta[4] == pytest.approx(ta[2] / 2, rel=0.15)
+        assert ta[8] == pytest.approx(ta[2] / 4, rel=0.20)
+
+    def test_bcast_grows_with_p(self, spec):
+        """The P-T model's k9*P term: ring waits grow with the ring."""
+        n = 4800
+        result_small = run_hpl(spec, cfg(0, 0, 4, 1), n)
+        result_large = run_hpl(spec, cfg(0, 0, 8, 1), n)
+        assert (
+            result_large.kind_phases("pentium2").bcast
+            > result_small.kind_phases("pentium2").bcast
+        )
+
+    def test_laswp_shrinks_with_p(self, spec):
+        """The P-T model's k10/P term: local row swaps shrink with P."""
+        n = 4800
+        result_small = run_hpl(spec, cfg(0, 0, 2, 1), n)
+        result_large = run_hpl(spec, cfg(0, 0, 8, 1), n)
+        assert (
+            result_large.kind_phases("pentium2").laswp
+            < result_small.kind_phases("pentium2").laswp
+        )

@@ -1,0 +1,117 @@
+"""Unit tests for 1-D block-cyclic distribution arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hpl.blockcyclic import (
+    block_owner,
+    column_owner,
+    columns_after,
+    global_to_local,
+    local_to_global,
+    numroc,
+    panel_rows,
+    step_starts,
+)
+
+
+class TestNumroc:
+    def test_partition_sums_to_n(self):
+        for n, nb, p in [(100, 7, 3), (6400, 80, 9), (5, 8, 4), (0, 4, 2)]:
+            assert sum(numroc(n, nb, i, p) for i in range(p)) == n
+
+    def test_single_process_owns_everything(self):
+        assert numroc(1234, 32, 0, 1) == 1234
+
+    def test_block_multiple_even_split(self):
+        # 12 blocks of 10 over 4 procs -> 3 blocks = 30 columns each
+        for i in range(4):
+            assert numroc(120, 10, i, 4) == 30
+
+    def test_partial_last_block(self):
+        # 25 columns, nb=10, 2 procs: blocks [10, 10, 5]; proc0 gets 10+5
+        assert numroc(25, 10, 0, 2) == 15
+        assert numroc(25, 10, 1, 2) == 10
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            numroc(-1, 4, 0, 2)
+        with pytest.raises(SimulationError):
+            numroc(10, 0, 0, 2)
+        with pytest.raises(SimulationError):
+            numroc(10, 4, 2, 2)
+        with pytest.raises(SimulationError):
+            numroc(10, 4, 0, 0)
+
+
+class TestOwnership:
+    def test_block_owner_round_robin(self):
+        assert [block_owner(j, 3) for j in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_column_owner_follows_blocks(self):
+        assert column_owner(0, 10, 3) == 0
+        assert column_owner(9, 10, 3) == 0
+        assert column_owner(10, 10, 3) == 1
+        assert column_owner(30, 10, 3) == 0
+
+    def test_global_local_roundtrip(self):
+        n, nb, p = 137, 8, 5
+        for j in range(n):
+            owner, local = global_to_local(j, nb, p)
+            assert local_to_global(local, owner, nb, p) == j
+
+    def test_local_indices_are_dense(self):
+        n, nb, p = 97, 8, 3
+        for proc in range(p):
+            locals_seen = sorted(
+                global_to_local(j, nb, p)[1]
+                for j in range(n)
+                if column_owner(j, nb, p) == proc
+            )
+            assert locals_seen == list(range(numroc(n, nb, proc, p)))
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            block_owner(-1, 3)
+        with pytest.raises(SimulationError):
+            column_owner(5, 0, 3)
+        with pytest.raises(SimulationError):
+            local_to_global(-1, 0, 4, 2)
+
+
+class TestColumnsAfter:
+    def test_sums_to_trailing_width(self):
+        n, nb, p = 640, 80, 9
+        for j0 in range(0, n + 1, nb):
+            counts = columns_after(j0, n, nb, p)
+            assert counts.sum() == n - j0
+
+    def test_zero_at_end(self):
+        assert columns_after(100, 100, 10, 4).sum() == 0
+
+    def test_matches_numroc_difference(self):
+        n, nb, p = 250, 16, 3
+        j0 = 64
+        counts = columns_after(j0, n, nb, p)
+        for proc in range(p):
+            expected = numroc(n, nb, proc, p) - numroc(j0, nb, proc, p)
+            assert counts[proc] == expected
+
+    def test_out_of_range_j0(self):
+        with pytest.raises(SimulationError):
+            columns_after(101, 100, 10, 2)
+        with pytest.raises(SimulationError):
+            columns_after(-1, 100, 10, 2)
+
+
+class TestSteps:
+    def test_step_starts(self):
+        assert step_starts(100, 30).tolist() == [0, 30, 60, 90]
+        assert step_starts(90, 30).tolist() == [0, 30, 60]
+
+    def test_panel_rows(self):
+        assert panel_rows(100, 0) == 100
+        assert panel_rows(100, 70) == 30
+        with pytest.raises(SimulationError):
+            panel_rows(100, 101)

@@ -1,0 +1,108 @@
+"""Tests for HPL.dat parsing, rendering and sweep execution."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.presets import kishimoto_cluster
+from repro.errors import SimulationError
+from repro.exts.grid2d import GridShape
+from repro.hpl.hpldat import HPLDat, parse_hpl_dat, render_hpl_dat, run_dat
+
+REALISTIC = """\
+HPLinpack benchmark input file
+Innovative Computing Laboratory, University of Tennessee
+HPL.out      output file name (if any)
+6            device out (6=stdout,7=stderr,file)
+2            # of problems sizes (N)
+1600 3200    Ns
+2            # of NBs
+64 80        NBs
+0            PMAP process mapping (0=Row-,1=Column-major)
+2            # of process grids (P x Q)
+1 3          Ps
+9 3          Qs
+16.0         threshold
+"""
+
+
+class TestParse:
+    def test_parse_realistic_file(self):
+        dat = parse_hpl_dat(REALISTIC)
+        assert dat.sizes == (1600, 3200)
+        assert dat.block_sizes == (64, 80)
+        assert dat.grids == (GridShape(1, 9), GridShape(3, 3))
+        assert dat.threshold == 16.0
+        assert dat.run_count == 8
+
+    def test_roundtrip(self):
+        dat = HPLDat(
+            sizes=(400, 800),
+            block_sizes=(32,),
+            grids=(GridShape(2, 2),),
+            threshold=8.0,
+        )
+        assert parse_hpl_dat(render_hpl_dat(dat)) == dat
+
+    def test_blank_lines_tolerated(self):
+        assert parse_hpl_dat(REALISTIC.replace("\n6 ", "\n\n6 ")).run_count == 8
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SimulationError, match="too short"):
+            parse_hpl_dat("just\nfour\nshort\nlines")
+
+    def test_count_mismatch_rejected(self):
+        broken = REALISTIC.replace("1600 3200    Ns", "1600")
+        with pytest.raises(SimulationError, match="expected 2 values"):
+            parse_hpl_dat(broken)
+
+    def test_count_mismatch_with_comment_rejected(self):
+        # the comment word is not silently taken as a value
+        broken = REALISTIC.replace("1600 3200    Ns", "1600 Ns")
+        with pytest.raises(SimulationError, match="bad Ns values"):
+            parse_hpl_dat(broken)
+
+    def test_non_numeric_rejected(self):
+        broken = REALISTIC.replace("2            # of problems", "two          # of problems")
+        with pytest.raises(SimulationError, match="bad # of problem sizes"):
+            parse_hpl_dat(broken)
+
+    def test_default_threshold_when_missing(self):
+        trimmed = "\n".join(REALISTIC.splitlines()[:-1]) + "\n"
+        assert parse_hpl_dat(trimmed).threshold == 16.0
+
+
+class TestValidation:
+    def test_invalid_sizes(self):
+        with pytest.raises(SimulationError):
+            HPLDat(sizes=())
+        with pytest.raises(SimulationError):
+            HPLDat(sizes=(0,))
+        with pytest.raises(SimulationError):
+            HPLDat(block_sizes=())
+        with pytest.raises(SimulationError):
+            HPLDat(grids=())
+        with pytest.raises(SimulationError):
+            HPLDat(threshold=0.0)
+
+    def test_runs_order(self):
+        dat = HPLDat(sizes=(100, 200), block_sizes=(8,), grids=(GridShape(1, 2),))
+        assert [(n, nb) for n, nb, _ in dat.runs()] == [(100, 8), (200, 8)]
+
+
+class TestRunDat:
+    def test_executes_full_sweep(self):
+        spec = kishimoto_cluster()
+        config = ClusterConfig.from_tuple(("athlon", "pentium2"), (1, 1, 8, 1))
+        dat = parse_hpl_dat(REALISTIC)
+        results = run_dat(spec, config, dat)
+        assert len(results) == 8
+        assert all(r.wall_time_s > 0 for r in results)
+        # NB affects the result: same (N, grid), different NB, different time
+        assert results[0].wall_time_s != results[2].wall_time_s
+
+    def test_grid_size_must_match_processes(self):
+        spec = kishimoto_cluster()
+        config = ClusterConfig.from_tuple(("athlon", "pentium2"), (1, 1, 4, 1))
+        dat = HPLDat(sizes=(400,), block_sizes=(32,), grids=(GridShape(1, 9),))
+        with pytest.raises(SimulationError, match="supplies 5"):
+            run_dat(spec, config, dat)

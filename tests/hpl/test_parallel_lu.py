@@ -1,0 +1,103 @@
+"""Tests for the functional distributed LU over the message-passing layer.
+
+These tie the three HPL artifacts together: the serial numeric LU, the
+distributed message-passing execution, and the closed-form schedule the
+performance walker prices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.presets import kishimoto_cluster
+from repro.errors import SimulationError
+from repro.hpl.lu import blocked_lu, lu_solve
+from repro.hpl.parallel_lu import (
+    DistributedLUResult,
+    distributed_lu,
+    expected_ring_messages,
+)
+
+KINDS = ("athlon", "pentium2")
+
+
+def cfg(p1, m1, p2, m2):
+    return ClusterConfig.from_tuple(KINDS, (p1, m1, p2, m2))
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return kishimoto_cluster()
+
+
+def random_matrix(n, seed):
+    return np.random.default_rng(seed).standard_normal((n, n))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "n,nb,shape",
+        [(24, 4, (1, 1, 2, 1)), (30, 8, (1, 1, 4, 1)), (16, 16, (1, 1, 1, 1)),
+         (33, 5, (0, 0, 3, 1)), (20, 4, (1, 2, 2, 1))],
+    )
+    def test_matches_serial_factorization(self, spec, n, nb, shape):
+        a = random_matrix(n, seed=n)
+        result = distributed_lu(spec, cfg(*shape), a.copy(), nb=nb)
+        serial_lu, serial_piv = blocked_lu(a.copy(), nb=nb)
+        assert np.array_equal(result.piv, serial_piv)
+        assert np.allclose(result.lu, serial_lu, atol=1e-11)
+
+    def test_solution_solves_system(self, spec):
+        n = 28
+        a = random_matrix(n, seed=3)
+        b = np.random.default_rng(4).standard_normal(n)
+        result = distributed_lu(spec, cfg(1, 1, 3, 1), a.copy(), nb=6)
+        x = lu_solve(result.lu, result.piv, b)
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    def test_single_process_degenerates_to_serial(self, spec):
+        n = 18
+        a = random_matrix(n, seed=5)
+        result = distributed_lu(spec, cfg(1, 1, 0, 0), a.copy(), nb=4)
+        serial_lu, serial_piv = blocked_lu(a.copy(), nb=4)
+        assert np.allclose(result.lu, serial_lu, atol=1e-12)
+        assert result.messages_sent == {0: 0}
+
+    def test_singular_matrix_detected(self, spec):
+        with pytest.raises(SimulationError, match="singular"):
+            distributed_lu(spec, cfg(1, 1, 1, 1), np.zeros((8, 8)), nb=4)
+
+    def test_non_square_rejected(self, spec):
+        with pytest.raises(SimulationError):
+            distributed_lu(spec, cfg(1, 1, 0, 0), np.ones((4, 5)))
+
+
+class TestScheduleAgreement:
+    def test_message_counts_match_closed_form(self, spec):
+        """Every rank's send count equals what the performance walker's
+        ring model assumes — the executable proof that the priced schedule
+        is the executed schedule."""
+        n, nb = 40, 5
+        for shape in [(1, 1, 3, 1), (1, 2, 4, 1), (0, 0, 8, 1)]:
+            config = cfg(*shape)
+            a = random_matrix(n, seed=7)
+            result = distributed_lu(spec, config, a, nb=nb)
+            assert result.messages_sent == expected_ring_messages(
+                n, nb, config.total_processes
+            )
+
+    def test_virtual_time_positive_and_finite(self, spec):
+        result = distributed_lu(spec, cfg(1, 1, 2, 1), random_matrix(24, 1), nb=6)
+        assert 0 < result.virtual_time < 60
+
+    def test_more_processes_more_messages(self, spec):
+        n, nb = 40, 5
+        few = distributed_lu(spec, cfg(1, 1, 1, 1), random_matrix(n, 2), nb=nb)
+        many = distributed_lu(spec, cfg(1, 1, 7, 1), random_matrix(n, 2), nb=nb)
+        assert sum(many.messages_sent.values()) > sum(few.messages_sent.values())
+
+    def test_expected_ring_messages_closed_form(self):
+        # 2 steps, 3 ranks: step 0 owner 0 (last=2), step 1 owner 1 (last=0)
+        counts = expected_ring_messages(n=10, nb=5, size=3)
+        assert counts == {0: 1, 1: 2, 2: 1}
+        assert expected_ring_messages(10, 5, 1) == {0: 0}

@@ -1,0 +1,103 @@
+"""CLI integration tests (in-process via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCLI:
+    def test_describe(self, capsys):
+        code, out, _ = run_cli(capsys, "describe")
+        assert code == 0
+        assert "athlon" in out and "pentium2" in out
+
+    def test_fig2(self, capsys):
+        code, out, _ = run_cli(capsys, "fig2")
+        assert code == 0
+        assert "mpich-1.2.1" in out and "mpich-1.2.2" in out
+
+    def test_fig1_single_version(self, capsys):
+        code, out, _ = run_cli(capsys, "fig1", "--mpich-version", "1.2.2")
+        assert code == 0
+        assert "4P/CPU" in out
+        assert "1.2.1" not in out.split("Figure 1")[1]
+
+    def test_fig3(self, capsys):
+        code, out, _ = run_cli(capsys, "fig3")
+        assert code == 0
+        assert "Figure 3(a)" in out and "Figure 3(b)" in out
+
+    def test_cost_ns(self, capsys):
+        code, out, _ = run_cli(capsys, "cost", "--protocol", "ns")
+        assert code == 0
+        assert "Measurement cost" in out and "Total" in out
+
+    def test_verify_ns(self, capsys):
+        code, out, _ = run_cli(capsys, "verify", "--protocol", "ns")
+        assert code == 0
+        assert "Errors in estimated best configurations" in out
+        assert "Adjustment" in out
+
+    def test_correlate_raw_and_adjusted(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "correlate", "--protocol", "ns", "--n", "1600", "--raw"
+        )
+        assert code == 0
+        assert "raw" in out
+        code, out, _ = run_cli(capsys, "correlate", "--protocol", "ns", "--n", "1600")
+        assert "adjusted" in out
+
+    def test_optimize(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "optimize", "--protocol", "ns", "--n", "3200", "--top", "3"
+        )
+        assert code == 0
+        assert "  1. " in out and "  3. " in out
+
+    def test_seed_changes_nothing_structural(self, capsys):
+        _, out_a, _ = run_cli(capsys, "--seed", "1", "fig2")
+        _, out_b, _ = run_cli(capsys, "--seed", "2", "fig2")
+        assert out_a == out_b  # fig2 is noise-free
+
+    def test_export_writes_csvs(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "export", "--out", str(tmp_path), "--protocol", "ns"
+        )
+        assert code == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert "fig2_netpipe.csv" in names
+        assert "ns_verification.csv" in names
+        assert "ns_cost.csv" in names
+
+    def test_advise_flags_ns(self, capsys):
+        code, out, _ = run_cli(capsys, "advise", "--protocol", "ns")
+        assert code == 0
+        assert "FATAL" in out and "extrapolation" in out
+
+    def test_advise_footprint(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "advise", "--protocol", "nl", "--footprint", "3"
+        )
+        assert code == 0
+        assert "paging-runs" in out
+
+    def test_cluster_file_overrides_testbed(self, capsys, tmp_path):
+        from repro.cluster.presets import synthetic_cluster
+        from repro.cluster.serialize import save_cluster
+
+        path = tmp_path / "mycluster.json"
+        save_cluster(synthetic_cluster([0.5, 1.0], nodes_per_kind=2), path)
+        code, out, _ = run_cli(capsys, "--cluster", str(path), "describe")
+        assert code == 0
+        assert "synthetic-2kinds" in out
+        assert "athlon" not in out
+
+    def test_unknown_command_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,117 @@
+"""Property-based tests for the model layer's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adjustment import LinearAdjustment
+from repro.core.nt_model import NTModel
+from repro.core.pt_model import PTModel
+from repro.core.unified_model import UnifiedModel
+
+sizes_strategy = st.lists(
+    st.sampled_from([400.0, 800.0, 1200.0, 1600.0, 2400.0, 3200.0, 4800.0, 6400.0]),
+    min_size=5,
+    max_size=8,
+    unique=True,
+)
+
+pos = st.floats(min_value=1e-12, max_value=1e-6)
+scale = st.floats(min_value=0.05, max_value=5.0)
+
+
+class TestPTModelProperties:
+    @given(
+        work=st.floats(min_value=1e-10, max_value=1e-8),
+        comm=st.floats(min_value=1e-9, max_value=1e-7),
+        ta_factor=scale,
+        tc_factor=scale,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_composition_scales_predictions_exactly(
+        self, work, comm, ta_factor, tc_factor
+    ):
+        sizes = np.array([400.0, 800.0, 1600.0, 3200.0])
+        family = []
+        for p in (1, 2, 4, 8):
+            s_c = comm * sizes**2 + 0.01
+            family.append(
+                NTModel.fit(
+                    "src", p, 1, sizes,
+                    work * sizes**3 / p,
+                    0.2 * p * s_c + 0.4 * s_c / p,
+                )
+            )
+        source = PTModel.fit_from_nt_family(family, sizes)
+        composed = source.scaled("dst", ta_factor, tc_factor)
+        for n in (800, 2400):
+            for p in (3, 6):
+                assert composed.predict_ta(n, p) == pytest.approx(
+                    ta_factor * source.predict_ta(n, p), rel=1e-9, abs=1e-12
+                )
+                assert composed.predict_tc(n, p) == pytest.approx(
+                    tc_factor * source.predict_tc(n, p), rel=1e-9, abs=1e-12
+                )
+
+    @given(work=st.floats(min_value=1e-10, max_value=1e-8))
+    @settings(max_examples=25, deadline=None)
+    def test_ta_monotone_decreasing_in_p(self, work):
+        sizes = np.array([400.0, 800.0, 1600.0, 3200.0])
+        family = [
+            NTModel.fit(
+                "k", p, 1, sizes, work * sizes**3 / p, 1e-9 * p * sizes**2 + 0.01
+            )
+            for p in (1, 2, 4, 8)
+        ]
+        model = PTModel.fit_from_nt_family(family, sizes)
+        values = [model.predict_ta(2400, p) for p in range(1, 12)]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestUnifiedModelProperties:
+    @given(
+        u0=st.floats(min_value=1e-10, max_value=1e-8),
+        u5=st.floats(min_value=1e-10, max_value=1e-8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fit_recovers_two_variable_truth(self, u0, u5):
+        rows = []
+        for n in (400.0, 800.0, 1600.0, 3200.0):
+            for p in (1.0, 2.0, 4.0, 8.0):
+                rows.append((n, p, u0 * n**3 / p, u5 * p * n**2))
+        model = UnifiedModel.fit(
+            "k", 1,
+            [r[0] for r in rows], [r[1] for r in rows],
+            [r[2] for r in rows], [r[3] for r in rows],
+        )
+        for n, p, ta, tc in rows:
+            assert model.predict_ta(n, p) == pytest.approx(ta, rel=1e-5, abs=1e-10)
+            assert model.predict_tc(n, p) == pytest.approx(tc, rel=1e-5, abs=1e-10)
+
+
+class TestAdjustmentProperties:
+    triples = st.lists(
+        st.tuples(
+            st.integers(min_value=3, max_value=8),
+            st.floats(min_value=0.5, max_value=500.0),
+            st.floats(min_value=0.5, max_value=500.0),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(triples=triples, estimate=st.floats(min_value=0.1, max_value=1e3))
+    @settings(max_examples=50)
+    def test_apply_is_positive_homogeneous(self, triples, estimate):
+        adj = LinearAdjustment.fit(triples)
+        for mi in range(1, 10):
+            assert adj.apply(2 * estimate, mi) == pytest.approx(
+                2 * adj.apply(estimate, mi)
+            )
+
+    @given(triples=triples)
+    @settings(max_examples=50)
+    def test_roundtrip_serialization(self, triples):
+        adj = LinearAdjustment.fit(triples)
+        assert LinearAdjustment.from_dict(adj.to_dict()) == adj

@@ -1,0 +1,99 @@
+"""Property-based tests for placement and transport consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.placement import place_processes, ring_neighbors
+from repro.cluster.presets import kishimoto_cluster, synthetic_cluster
+from repro.simnet.transport import LinkKind, Transport, classify
+
+KINDS = ("athlon", "pentium2")
+SPEC = kishimoto_cluster()
+
+config_strategy = st.tuples(
+    st.integers(min_value=0, max_value=1),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=1, max_value=4),
+).filter(lambda t: t[0] + t[2] > 0)
+
+
+def build(t):
+    p1, m1, p2, m2 = t
+    return ClusterConfig.from_tuple(
+        KINDS, (p1, m1 if p1 else 0, p2, m2 if p2 else 0)
+    )
+
+
+class TestPlacementProperties:
+    @given(config=config_strategy)
+    @settings(max_examples=50)
+    def test_ranks_dense_and_counts_match(self, config):
+        cc = build(config)
+        slots = place_processes(SPEC, cc)
+        assert [s.rank for s in slots] == list(range(cc.total_processes))
+        for alloc in cc.active:
+            kind_slots = [s for s in slots if s.kind.name == alloc.kind_name]
+            assert len(kind_slots) == alloc.processes
+            assert all(s.co_resident == alloc.procs_per_pe for s in kind_slots)
+
+    @given(config=config_strategy)
+    @settings(max_examples=50)
+    def test_cpu_occupancy_never_exceeds_allocation(self, config):
+        cc = build(config)
+        slots = place_processes(SPEC, cc)
+        per_cpu = {}
+        for s in slots:
+            per_cpu.setdefault((s.node_index, s.cpu_index), []).append(s)
+        for members in per_cpu.values():
+            m = members[0].co_resident
+            assert len(members) == m
+            assert all(s.kind.name == members[0].kind.name for s in members)
+
+    @given(config=config_strategy)
+    @settings(max_examples=50)
+    def test_same_cpu_implies_same_node(self, config):
+        cc = build(config)
+        slots = place_processes(SPEC, cc)
+        for a, b in ring_neighbors(slots):
+            if a.same_cpu(b):
+                assert a.same_node(b)
+
+    @given(config=config_strategy)
+    @settings(max_examples=30)
+    def test_link_classification_symmetric(self, config):
+        cc = build(config)
+        slots = place_processes(SPEC, cc)
+        transport = Transport(SPEC, slots)
+        p = len(slots)
+        rng = np.random.default_rng(0)
+        for _ in range(min(10, p * p)):
+            i, j = int(rng.integers(p)), int(rng.integers(p))
+            if i == j:
+                continue
+            assert transport.link_kind(i, j) is transport.link_kind(j, i)
+            assert transport.message_time(i, j, 4096) == pytest.approx(
+                transport.message_time(j, i, 4096)
+            )
+
+    @given(
+        config=config_strategy,
+        nbytes=st.floats(min_value=1.0, max_value=1e7),
+    )
+    @settings(max_examples=30)
+    def test_ring_hops_positive_and_network_slowest(self, config, nbytes):
+        cc = build(config)
+        slots = place_processes(SPEC, cc)
+        if len(slots) < 2:
+            return
+        transport = Transport(SPEC, slots)
+        hops = transport.ring_hop_times(nbytes)
+        kinds = transport.ring_link_kinds()
+        assert np.all(hops > 0)
+        network = [h for h, k in zip(hops, kinds) if k is LinkKind.NETWORK]
+        local = [h for h, k in zip(hops, kinds) if k is not LinkKind.NETWORK]
+        if network and local and nbytes > 65536:
+            assert min(network) > max(local)

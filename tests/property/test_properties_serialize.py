@@ -1,0 +1,87 @@
+"""Property-based round-trip tests for serialization layers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import Node
+from repro.cluster.pe import PEKind
+from repro.cluster.serialize import cluster_from_dict, cluster_to_dict
+from repro.cluster.spec import ClusterSpec
+from repro.hpl.timing import PhaseTimes
+from repro.simnet.mpich import mpich_1_2_2
+
+rate = st.floats(min_value=0.05, max_value=50.0)
+small_pos = st.floats(min_value=1e-6, max_value=1.0)
+
+kind_strategy = st.builds(
+    PEKind,
+    name=st.sampled_from(["alpha", "beta", "gamma"]),
+    peak_gflops=rate,
+    ramp_n=st.floats(min_value=100.0, max_value=10000.0),
+    efficiency_floor=st.floats(min_value=0.01, max_value=0.5),
+    oversub_penalty=st.floats(min_value=0.0, max_value=0.5),
+    ctx_switch_s=small_pos,
+    mem_copy_gbs=st.floats(min_value=0.05, max_value=20.0),
+    panel_overhead_s=small_pos,
+)
+
+
+@st.composite
+def cluster_strategy(draw):
+    kinds = {}
+    for name in draw(
+        st.lists(st.sampled_from(["alpha", "beta", "gamma"]), min_size=1, max_size=3, unique=True)
+    ):
+        kind = draw(kind_strategy)
+        kinds[name] = PEKind(
+            name=name,
+            peak_gflops=kind.peak_gflops,
+            ramp_n=kind.ramp_n,
+            efficiency_floor=kind.efficiency_floor,
+            oversub_penalty=kind.oversub_penalty,
+            ctx_switch_s=kind.ctx_switch_s,
+            mem_copy_gbs=kind.mem_copy_gbs,
+            panel_overhead_s=kind.panel_overhead_s,
+        )
+    nodes = []
+    node_count = draw(st.integers(min_value=1, max_value=5))
+    names = list(kinds)
+    for index in range(node_count):
+        nodes.append(
+            Node(
+                name=f"node{index}",
+                kind=kinds[names[index % len(names)]],
+                cpus=draw(st.integers(min_value=1, max_value=4)),
+                memory_bytes=draw(st.integers(min_value=64, max_value=4096)) * 1024**2,
+                os_reserved_bytes=draw(st.integers(min_value=0, max_value=32)) * 1024**2,
+            )
+        )
+    network = NetworkSpec(
+        name="net",
+        latency_s=draw(st.floats(min_value=0.0, max_value=1e-3)),
+        bandwidth_bps=draw(st.floats(min_value=1e6, max_value=1e10)),
+        half_saturation_bytes=draw(st.floats(min_value=0.0, max_value=1e5)),
+    )
+    return ClusterSpec("generated", tuple(nodes), network, mpich_1_2_2())
+
+
+class TestSerializationProperties:
+    @given(spec=cluster_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_cluster_roundtrip(self, spec):
+        assert cluster_from_dict(cluster_to_dict(spec)) == spec
+
+    @given(
+        phases=st.lists(
+            st.floats(min_value=0.0, max_value=1e4), min_size=6, max_size=6
+        )
+    )
+    @settings(max_examples=40)
+    def test_phase_times_roundtrip(self, phases):
+        t = PhaseTimes(
+            pfact=phases[0], mxswp=phases[1], bcast=phases[2],
+            update=phases[3], laswp=phases[4], uptrsv=phases[5],
+        )
+        assert PhaseTimes.from_dict(t.as_dict()) == t

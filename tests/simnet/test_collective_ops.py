@@ -1,0 +1,106 @@
+"""Tests for the higher-level collectives (scatter/gather/allgather/
+allreduce) on the MPI-like API."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.placement import place_processes
+from repro.cluster.presets import kishimoto_cluster
+from repro.errors import SimulationError
+from repro.simnet.api import SimCommWorld
+from repro.simnet.transport import Transport
+
+KINDS = ("athlon", "pentium2")
+
+
+def make_world(p1, m1, p2, m2):
+    spec = kishimoto_cluster()
+    config = ClusterConfig.from_tuple(KINDS, (p1, m1, p2, m2))
+    slots = place_processes(spec, config)
+    return SimCommWorld(Transport(spec, slots))
+
+
+class TestScatterGather:
+    def test_scatter_delivers_slices(self):
+        world = make_world(1, 1, 4, 1)
+        got = {}
+
+        def program(comm):
+            payloads = [f"slice-{r}" for r in range(comm.size)] if comm.rank == 2 else None
+            mine = yield from comm.scatter(2, 1024, payloads)
+            got[comm.rank] = mine
+
+        world.run(program)
+        assert got == {r: f"slice-{r}" for r in range(5)}
+
+    def test_scatter_payload_count_checked(self):
+        world = make_world(1, 1, 1, 1)
+
+        def program(comm):
+            payloads = ["only-one"] if comm.rank == 0 else None
+            yield from comm.scatter(0, 64, payloads)
+
+        with pytest.raises(SimulationError, match="scatter needs"):
+            world.run(program)
+
+    def test_gather_collects_in_rank_order(self):
+        world = make_world(1, 2, 2, 1)
+        collected = {}
+
+        def program(comm):
+            out = yield from comm.gather(0, 256, payload=comm.rank * 10)
+            if comm.rank == 0:
+                collected["result"] = out
+
+        world.run(program)
+        assert collected["result"] == [0, 10, 20, 30]
+
+    def test_gather_non_root_returns_none(self):
+        world = make_world(1, 1, 1, 1)
+        seen = {}
+
+        def program(comm):
+            out = yield from comm.gather(0, 64, payload=comm.rank)
+            seen[comm.rank] = out
+
+        world.run(program)
+        assert seen[1] is None and seen[0] == [0, 1]
+
+
+class TestAllgatherAllreduce:
+    @pytest.mark.parametrize("shape", [(1, 1, 2, 1), (1, 2, 4, 1), (0, 0, 8, 1)])
+    def test_allgather_everyone_gets_everything(self, shape):
+        world = make_world(*shape)
+        results = {}
+
+        def program(comm):
+            slices = yield from comm.allgather(512, payload=f"from-{comm.rank}")
+            results[comm.rank] = slices
+
+        world.run(program)
+        expected = [f"from-{r}" for r in range(world.size)]
+        for rank in range(world.size):
+            assert results[rank] == expected
+
+    def test_allreduce_sum(self):
+        world = make_world(1, 1, 4, 1)
+        sums = {}
+
+        def program(comm):
+            total = yield from comm.allreduce_sum(float(comm.rank + 1))
+            sums[comm.rank] = total
+
+        world.run(program)
+        assert all(v == pytest.approx(15.0) for v in sums.values())
+
+    def test_allgather_time_scales_with_size(self):
+        small = make_world(0, 0, 2, 1)
+        large = make_world(0, 0, 8, 1)
+        nbytes = 100_000.0
+
+        def program(comm):
+            yield from comm.allgather(nbytes)
+
+        t_small = max(small.run(program).values())
+        t_large = max(large.run(program).values())
+        assert t_large > 2.0 * t_small  # P-1 rounds of the same volume

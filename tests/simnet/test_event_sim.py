@@ -1,0 +1,171 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.event_sim import Put, Receive, Simulator, Timeout
+
+
+class TestScheduling:
+    def test_callbacks_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        hits = []
+
+        def first():
+            hits.append(sim.now)
+            sim.schedule(2.0, lambda: hits.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert hits == [1.0, 3.0]
+
+
+class TestProcesses:
+    def test_timeout_advances_virtual_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(5.0)
+            yield Timeout(2.5)
+
+        pid = sim.spawn(proc())
+        sim.run()
+        assert sim.finished(pid)
+        assert sim.now == 7.5
+
+    def test_put_then_receive(self):
+        sim = Simulator()
+        received = []
+
+        def producer():
+            yield Timeout(1.0)
+            yield Put("box", "hello")
+
+        def consumer():
+            message = yield Receive("box")
+            received.append((sim.now, message))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert received == [(1.0, "hello")]
+
+    def test_receive_before_put_blocks(self):
+        sim = Simulator()
+        events = []
+
+        def consumer():
+            message = yield Receive("box")
+            events.append(("got", sim.now, message))
+
+        def producer():
+            yield Timeout(4.0)
+            yield Put("box", 42)
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert events == [("got", 4.0, 42)]
+
+    def test_messages_are_fifo(self):
+        sim = Simulator()
+        got = []
+
+        def producer():
+            yield Put("box", 1)
+            yield Put("box", 2)
+            yield Put("box", 3)
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield Receive("box")))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert got == [1, 2, 3]
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+
+        def stuck():
+            yield Receive("never")
+
+        pid = sim.spawn(stuck())
+        sim.run()
+        assert not sim.finished(pid)
+        assert sim.deadlocked_pids() == [pid]
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "nonsense"
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield Timeout(0.0)
+
+        sim.spawn(forever())
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-0.1)
+
+    def test_two_consumers_one_producer(self):
+        sim = Simulator()
+        got = []
+
+        def consumer(tag):
+            message = yield Receive("box")
+            got.append((tag, message))
+
+        def producer():
+            yield Put("box", "x")
+            yield Put("box", "y")
+
+        sim.spawn(consumer("a"))
+        sim.spawn(consumer("b"))
+        sim.spawn(producer())
+        sim.run()
+        assert sorted(got) == [("a", "x"), ("b", "y")]

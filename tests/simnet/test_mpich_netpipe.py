@@ -1,0 +1,141 @@
+"""Tests for the MPICH transport curves, Transport routing and NetPIPE."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.placement import place_processes
+from repro.cluster.presets import kishimoto_cluster
+from repro.errors import ClusterError, SimulationError
+from repro.simnet.mpich import MPICHVersion, mpich_1_2_1, mpich_1_2_2, mpich_1_2_5
+from repro.simnet.netpipe import probe_link, probe_transport, standard_block_sizes
+from repro.simnet.transport import LinkKind, Transport
+from repro.units import GBPS_IN_BYTES, KB, to_gbps
+
+KINDS = ("athlon", "pentium2")
+
+
+def transport_for(p1, m1, p2, m2):
+    spec = kishimoto_cluster()
+    config = ClusterConfig.from_tuple(KINDS, (p1, m1, p2, m2))
+    return Transport(spec, place_processes(spec, config))
+
+
+class TestMPICHCurves:
+    def test_new_version_dominates_old_at_large_messages(self):
+        old, new = mpich_1_2_1(), mpich_1_2_2()
+        for size in (64 * KB, 128 * KB, 1024 * KB):
+            assert new.effective_bandwidth(size) > old.effective_bandwidth(size)
+
+    def test_old_version_collapses_past_32kb(self):
+        old = mpich_1_2_1()
+        assert old.effective_bandwidth(16 * KB) > old.effective_bandwidth(128 * KB)
+
+    def test_new_version_monotone_saturating(self):
+        new = mpich_1_2_2()
+        sizes = np.array([1, 4, 16, 64, 256, 1024]) * KB
+        bw = np.asarray(new.effective_bandwidth(sizes))
+        assert np.all(np.diff(bw) >= 0)
+        assert to_gbps(bw[-1]) == pytest.approx(2.2, rel=0.05)
+
+    def test_interpolation_hits_anchors(self):
+        version = mpich_1_2_2()
+        for size, bw in zip(version.anchor_bytes, version.anchor_bps):
+            assert version.effective_bandwidth(size) == pytest.approx(bw)
+
+    def test_flat_extrapolation_beyond_anchors(self):
+        version = mpich_1_2_2()
+        assert version.effective_bandwidth(10 * 1024 * KB) == pytest.approx(
+            version.anchor_bps[-1]
+        )
+
+    def test_mpich_125_slightly_faster_than_122(self):
+        assert mpich_1_2_5().effective_bandwidth(64 * KB) > mpich_1_2_2().effective_bandwidth(64 * KB)
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            MPICHVersion("bad", 0.0, (1.0,), (1.0,))
+        with pytest.raises(ClusterError):
+            MPICHVersion("bad", 0.0, (2.0, 1.0), (1.0, 1.0))
+        with pytest.raises(ClusterError):
+            MPICHVersion("bad", 0.0, (1.0, 2.0), (1.0, -1.0))
+        with pytest.raises(ClusterError):
+            MPICHVersion("bad", -1.0, (1.0, 2.0), (1.0, 1.0))
+        with pytest.raises(ClusterError):
+            mpich_1_2_2().message_time(-5)
+
+
+class TestTransport:
+    def test_link_classification(self):
+        transport = transport_for(1, 2, 2, 1)
+        # ranks: 0,1 athlon same CPU; 2,3 on node2's two CPUs
+        assert transport.link_kind(0, 1) is LinkKind.SAME_CPU
+        assert transport.link_kind(2, 3) is LinkKind.SAME_NODE
+        assert transport.link_kind(1, 2) is LinkKind.NETWORK
+
+    def test_self_message_is_free(self):
+        transport = transport_for(1, 1, 1, 1)
+        assert transport.message_time(0, 0, 1e6) == 0.0
+
+    def test_network_slower_than_shared_memory(self):
+        transport = transport_for(1, 2, 2, 1)
+        nbytes = 500_000
+        assert transport.message_time(1, 2, nbytes) > transport.message_time(0, 1, nbytes)
+
+    def test_ring_hop_times_match_pairwise(self):
+        transport = transport_for(1, 2, 4, 1)
+        nbytes = 123_456
+        hops = transport.ring_hop_times(nbytes)
+        for i in range(transport.size):
+            j = (i + 1) % transport.size
+            assert hops[i] == pytest.approx(transport.message_time(i, j, nbytes))
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(SimulationError):
+            Transport(kishimoto_cluster(), [])
+
+    def test_describe_ring(self):
+        text = transport_for(1, 2, 1, 1).describe_ring()
+        assert "same-cpu" in text and "network" in text
+
+
+class TestNetPIPE:
+    def test_probe_link_throughput_at_most_half_bandwidth_effect(self):
+        version = mpich_1_2_2()
+        points = probe_link(version, [64 * KB])
+        # ping-pong throughput equals one-way throughput for symmetric links
+        assert points[0].throughput_bps == pytest.approx(
+            version.throughput(64 * KB), rel=1e-9
+        )
+
+    def test_probe_link_rejects_non_positive_blocks(self):
+        with pytest.raises(SimulationError):
+            probe_link(mpich_1_2_2(), [0])
+
+    def test_event_driven_probe_matches_closed_form(self):
+        transport = transport_for(1, 2, 0, 0)
+        blocks = [4 * KB, 64 * KB]
+        event_points = probe_transport(transport, blocks, 0, 1, repeats=2)
+        link_points = probe_link(kishimoto_cluster().intranode, blocks)
+        for ep, lp in zip(event_points, link_points):
+            assert ep.throughput_bps == pytest.approx(lp.throughput_bps, rel=1e-9)
+
+    def test_probe_transport_validation(self):
+        transport = transport_for(1, 2, 0, 0)
+        with pytest.raises(SimulationError):
+            probe_transport(transport, [KB], 0, 0)
+        with pytest.raises(SimulationError):
+            probe_transport(transport, [KB], 0, 1, repeats=0)
+
+    def test_standard_block_sizes_geometric(self):
+        sizes = standard_block_sizes(1024, 131072)
+        assert sizes[0] == pytest.approx(1024)
+        assert sizes[-1] == pytest.approx(131072)
+        ratios = sizes[1:] / sizes[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_standard_block_sizes_validation(self):
+        with pytest.raises(SimulationError):
+            standard_block_sizes(0, 100)
+        with pytest.raises(SimulationError):
+            standard_block_sizes(100, 50)

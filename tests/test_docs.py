@@ -1,0 +1,81 @@
+"""Documentation consistency checks.
+
+Docs are deliverables here; these tests keep them honest:
+
+* the generated API reference matches the code (regenerate with
+  ``python tools/gen_api_docs.py`` after API changes);
+* the README's example list matches the files on disk;
+* every public symbol stays documented.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", ROOT / "tools" / "gen_api_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestApiDocs:
+    def test_api_md_is_fresh(self):
+        generator = load_generator()
+        committed = (ROOT / "docs" / "api.md").read_text()
+        assert generator.generate() == committed, (
+            "docs/api.md is stale; run `python tools/gen_api_docs.py`"
+        )
+
+    def test_no_undocumented_public_symbols(self):
+        text = (ROOT / "docs" / "api.md").read_text()
+        assert "(undocumented)" not in text
+
+    def test_every_subpackage_appears(self):
+        text = (ROOT / "docs" / "api.md").read_text()
+        for package in ("repro.core", "repro.cluster", "repro.simnet", "repro.hpl",
+                        "repro.measure", "repro.analysis", "repro.exts"):
+            assert f"`{package}." in text
+
+
+class TestReadme:
+    def test_example_commands_match_files(self):
+        readme = (ROOT / "README.md").read_text()
+        for path in (ROOT / "examples").glob("*.py"):
+            if path.name in ("quickstart.py",):
+                assert f"examples/{path.name}" in readme
+        # every example referenced in the README exists
+        for line in readme.splitlines():
+            if "python examples/" in line:
+                name = line.split("python examples/")[1].split()[0]
+                assert (ROOT / "examples" / name).exists(), name
+
+    def test_docs_referenced_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for name in ("DESIGN.md", "EXPERIMENTS.md"):
+            assert name in readme
+            assert (ROOT / name).exists()
+
+
+class TestExperimentsDoc:
+    def test_every_headline_table_covered(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for token in (
+            "Figure 1", "Figure 2", "Figure 3", "Table 3", "Table 4",
+            "Table 6", "Table 7", "Table 9", "Figures 6/7", "Figures 8–11",
+            "Figures 12–15",
+        ):
+            assert token in text, f"EXPERIMENTS.md missing {token}"
+
+    def test_design_lists_per_experiment_index(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "Per-experiment index" in text
+        for bench in ("bench_table4_basic", "bench_table9_ns", "bench_fig02_netpipe"):
+            assert bench in text
