@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.model_store import ModelStore
 from repro.errors import ModelError
 
@@ -160,6 +162,40 @@ class ModelSelector:
             bin_label=bin_label,
             valid=(ta + tc) > 0.0,
         )
+
+    def estimate_kind_batch(
+        self,
+        kind: str,
+        ns: Sequence[float],
+        p: int,
+        mi: int,
+        memory_ratios: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`estimate_kind` over an array of problem orders.
+
+        Returns ``(ta, tc, valid)`` arrays aligned with ``ns``.  Model
+        routing happens once (``P``/``Mi`` are fixed across the batch);
+        the polynomial evaluation, memory-bin scaling, clamping and
+        validity logic are element-for-element identical to the scalar
+        path, so the batch values are bitwise those of ``estimate_kind``
+        called per size.
+        """
+        which, model = self.select(kind, p, mi)
+        n_arr = np.asarray(ns, dtype=float)
+        if which == "nt":
+            ta = np.asarray(model.predict_ta(n_arr), dtype=float)
+            tc = np.asarray(model.predict_tc(n_arr), dtype=float)
+        else:
+            ta = np.asarray(model.predict_ta(n_arr, p), dtype=float)
+            tc = np.asarray(model.predict_tc(n_arr, p), dtype=float)
+
+        if self.memory_bins and memory_ratios is not None:
+            bins = [self._bin_for(float(r)) for r in memory_ratios]
+            ta = ta * np.array([b.ta_scale for b in bins])
+            tc = tc * np.array([b.tc_scale for b in bins])
+
+        valid = (ta + tc) > 0.0
+        return np.maximum(ta, 0.0), np.maximum(tc, 0.0), valid
 
     def _bin_for(self, ratio: float) -> MemoryBin:
         for bin_ in self.memory_bins:

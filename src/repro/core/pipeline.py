@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cluster.config import ClusterConfig
 from repro.cluster.spec import ClusterSpec
 from repro.core.adjustment import LinearAdjustment
@@ -37,6 +39,8 @@ from repro.hpl.schedule import HPLParameters
 from repro.measure.campaign import CampaignResult, Runner, run_campaign, run_evaluation
 from repro.measure.dataset import Dataset
 from repro.measure.grids import CampaignPlan, plan_by_name
+from repro.perf.cache import EstimateCache, model_fingerprint
+from repro.perf.report import PerfReport
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,12 @@ class PipelineConfig:
     #: the models never look inside the application, only at its per-kind
     #: Ta/Tc measurements.
     runner: Runner = run_hpl
+    #: Process-pool width for the measurement campaigns (1 = today's
+    #: serial loop; >1 fans runs out via :mod:`repro.perf.parallel`
+    #: without changing any produced number — runs are independently
+    #: seeded).  Requests beyond the machine's CPUs are clamped with a
+    #: one-time warning.
+    workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -126,6 +136,9 @@ class EstimationPipeline:
         self._selector: Optional[ModelSelector] = None
         self._adjustment: Optional[LinearAdjustment] = None
         self._composed: Dict[str, List[int]] = {}
+        #: Per-stage wall-clock + cache statistics (perf-engine layer 3).
+        self.perf = PerfReport()
+        self._estimate_cache: Optional[EstimateCache] = None
 
     # -- stage 1: measurement ---------------------------------------------------
 
@@ -133,28 +146,32 @@ class EstimationPipeline:
     def campaign(self) -> CampaignResult:
         """Construction measurements (runs the campaign on first access)."""
         if self._campaign is None:
-            self._campaign = run_campaign(
-                self.spec,
-                self.plan,
-                params=self.config.hpl_params,
-                noise=self.config.noise,
-                seed=self.config.seed,
-                runner=self.config.runner,
-            )
+            with self.perf.stage("campaign"):
+                self._campaign = run_campaign(
+                    self.spec,
+                    self.plan,
+                    params=self.config.hpl_params,
+                    noise=self.config.noise,
+                    seed=self.config.seed,
+                    runner=self.config.runner,
+                    workers=self.config.workers,
+                )
         return self._campaign
 
     @property
     def evaluation(self) -> Dataset:
         """Ground-truth measurements of the evaluation grid."""
         if self._evaluation is None:
-            self._evaluation = run_evaluation(
-                self.spec,
-                self.plan,
-                params=self.config.hpl_params,
-                noise=self.config.noise,
-                seed=self.config.seed,
-                runner=self.config.runner,
-            )
+            with self.perf.stage("evaluation"):
+                self._evaluation = run_evaluation(
+                    self.spec,
+                    self.plan,
+                    params=self.config.hpl_params,
+                    noise=self.config.noise,
+                    seed=self.config.seed,
+                    runner=self.config.runner,
+                    workers=self.config.workers,
+                )
         return self._evaluation
 
     # -- stage 2+3: models ---------------------------------------------------------
@@ -170,8 +187,12 @@ class EstimationPipeline:
                     footprint=self.config.guard_footprint,
                 )
                 dataset, self._excluded_paging = split_dataset(dataset, guard)
-            store = ModelStore.fit_dataset(dataset, weighting=self.config.nt_weighting)
-            self._compose_missing(store)
+            with self.perf.stage("fit"):
+                store = ModelStore.fit_dataset(
+                    dataset, weighting=self.config.nt_weighting
+                )
+            with self.perf.stage("compose"):
+                self._compose_missing(store)
             self._store = store
         return self._store
 
@@ -229,7 +250,12 @@ class EstimationPipeline:
                     mi_threshold=self.config.adjustment_threshold
                 )
             else:
-                self._adjustment = self._fit_adjustment()
+                # The calibration fit needs the evaluation dataset; make
+                # sure its (separately timed) measurement stage does not
+                # get charged to "adjust".
+                _ = self.store, self.evaluation
+                with self.perf.stage("adjust"):
+                    self._adjustment = self._fit_adjustment()
         return self._adjustment
 
     def calibration_size(self) -> int:
@@ -316,13 +342,109 @@ class EstimationPipeline:
             and not self.adjustment.is_identity,
         )
 
-    def estimator(self):
-        """The objective function for optimizers: (config, n) -> seconds."""
+    def estimate_totals(self, config: ClusterConfig, ns: Sequence[int]) -> np.ndarray:
+        """Vectorized estimates over problem orders: one array of adjusted
+        totals, element-for-element identical to ``estimate(config, n).total``.
 
-        def objective(config: ClusterConfig, n: int) -> float:
-            return self.estimate(config, n).total
+        This is the hot inner product of the sweep workloads: per kind it
+        evaluates one polynomial over the whole ``ns`` array instead of
+        ``len(ns)`` scalar model calls (see
+        :meth:`repro.core.binning.ModelSelector.estimate_kind_batch`).
+        """
+        config.validate_against(self.spec)
+        n_arr = np.asarray([float(n) for n in ns], dtype=float)
+        p = config.total_processes
+        total: Optional[np.ndarray] = None
+        valid: Optional[np.ndarray] = None
+        for alloc in config.active:
+            ratios = (
+                [
+                    self._memory_ratio_for(config, int(n), alloc.kind_name)
+                    for n in n_arr
+                ]
+                if self.config.memory_bins
+                else None
+            )
+            ta, tc, kind_valid = self.selector.estimate_kind_batch(
+                alloc.kind_name, n_arr, p, alloc.procs_per_pe, memory_ratios=ratios
+            )
+            kind_total = ta + tc
+            total = kind_total if total is None else np.maximum(total, kind_total)
+            valid = kind_valid if valid is None else (valid & kind_valid)
+        max_mi = max(a.procs_per_pe for a in config.active)
+        adjusted = self.adjustment.scale_for(max_mi) * total
+        return np.where(valid, adjusted, np.inf)
 
-        return objective
+    @property
+    def estimate_cache(self) -> EstimateCache:
+        """Memoized ``(config, N) -> adjusted total`` store, bound to the
+        current models by fingerprint (see DESIGN.md for the invalidation
+        rule).  Building it forces the model fit."""
+        if self._estimate_cache is None:
+            fingerprint = model_fingerprint(
+                [model.to_dict() for model in self.store.nt.values()],
+                [model.to_dict() for model in self.store.pt.values()],
+                self.adjustment.to_dict(),
+                self.config.memory_bins,
+                self.config.guard_footprint,
+            )
+            self._estimate_cache = EstimateCache(fingerprint)
+            self.perf.cache = self._estimate_cache
+        return self._estimate_cache
+
+    def estimator(self, cached: bool = False):
+        """The objective function for optimizers: (config, n) -> seconds.
+
+        ``cached=True`` routes lookups through :attr:`estimate_cache`
+        (identical values; repeated queries become dict hits).
+        """
+        if not cached:
+
+            def objective(config: ClusterConfig, n: int) -> float:
+                return self.estimate(config, n).total
+
+            return objective
+
+        def cached_objective(config: ClusterConfig, n: int) -> float:
+            cache = self.estimate_cache
+            key = cache.key_of(config)
+            hit = cache.get(key, n)
+            if hit is not None:
+                return hit
+            value = self.estimate(config, n).total
+            cache.put(key, n, value)
+            return value
+
+        return cached_objective
+
+    def batch_estimator(self):
+        """Vectorized + cached objective for ``optimize_many``:
+        ``(config, [n...]) -> array of seconds``.
+
+        Cache hits are served from :attr:`estimate_cache`; only the
+        missing sizes go through one vectorized model evaluation, whose
+        results then populate the cache.
+        """
+        def batch_objective(config: ClusterConfig, ns: Sequence[int]) -> np.ndarray:
+            cache = self.estimate_cache
+            sizes = [int(n) for n in ns]
+            out = np.empty(len(sizes), dtype=float)
+            key = cache.key_of(config)
+            missing: List[int] = []
+            for i, n in enumerate(sizes):
+                hit = cache.get(key, n)
+                if hit is None:
+                    missing.append(i)
+                else:
+                    out[i] = hit
+            if missing:
+                values = self.estimate_totals(config, [sizes[i] for i in missing])
+                for j, i in enumerate(missing):
+                    out[i] = values[j]
+                    cache.put(key, sizes[i], float(values[j]))
+            return out
+
+        return batch_objective
 
     def optimizer(
         self, candidates: Optional[Sequence[ClusterConfig]] = None
@@ -330,10 +452,22 @@ class EstimationPipeline:
         return ExhaustiveOptimizer(
             self.estimator(),
             list(candidates) if candidates is not None else list(self.plan.evaluation_configs),
+            batch_estimator=self.batch_estimator(),
         )
 
     def optimize(self, n: int) -> SearchOutcome:
-        return self.optimizer().optimize(n)
+        # materialize the models first, so lazy campaign/fit time lands in
+        # its own stages instead of being billed to the search
+        _ = self.store, self.adjustment
+        with self.perf.stage("search"):
+            return self.optimizer().optimize(n)
+
+    def optimize_many(self, ns: Sequence[int]) -> List[SearchOutcome]:
+        """Rank the candidate grid at every size in one batched search —
+        the fast path for sweeps and what-if studies."""
+        _ = self.store, self.adjustment
+        with self.perf.stage("search"):
+            return self.optimizer().optimize_many(ns)
 
     # -- stage 6: verification --------------------------------------------------------------
 

@@ -14,7 +14,9 @@ construction.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.cluster.config import ClusterConfig
@@ -25,6 +27,7 @@ from repro.hpl.schedule import HPLParameters
 from repro.measure.dataset import Dataset
 from repro.measure.grids import CampaignPlan
 from repro.measure.record import MeasurementRecord
+from repro.perf.parallel import ParallelRunner
 
 #: Anything that executes one run and returns an :class:`HPLResult`-shaped
 #: object (``run_hpl``, or an alternative application such as
@@ -40,13 +43,20 @@ class CampaignResult:
     dataset: Dataset
     #: seconds of simulated measurement per (kind_name, N) — the rows of the
     #: paper's Tables 3 and 6.  Runs of a homogeneous kind are charged to
-    #: that kind.
+    #: that kind.  Treated as immutable once the result is built (the
+    #: per-kind rollup below is computed once).
     cost_by_kind_and_n: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    _kind_totals: Optional[Dict[str, float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def cost_for_kind(self, kind_name: str) -> float:
-        return sum(
-            cost for (kind, _), cost in self.cost_by_kind_and_n.items() if kind == kind_name
-        )
+        if self._kind_totals is None:
+            rollup: Dict[str, float] = defaultdict(float)
+            for (kind, _), cost in self.cost_by_kind_and_n.items():
+                rollup[kind] += cost
+            self._kind_totals = dict(rollup)
+        return self._kind_totals.get(kind_name, 0.0)
 
     def cost_for_n(self, kind_name: str, n: int) -> float:
         return self.cost_by_kind_and_n.get((kind_name, n), 0.0)
@@ -74,6 +84,23 @@ def measure_configuration(
     return MeasurementRecord.from_result(result, kinds, seed=seed, trial=trial)
 
 
+def _measure_entry(
+    entry: Tuple[int, ClusterConfig],
+    spec: ClusterSpec,
+    kinds: Tuple[str, ...],
+    params: Optional[HPLParameters],
+    noise: Optional[NoiseSpec],
+    seed: int,
+    runner: Runner,
+) -> MeasurementRecord:
+    """One ``(n, config)`` plan entry — module-level so process-pool
+    workers can unpickle it."""
+    n, config = entry
+    return measure_configuration(
+        spec, config, n, kinds, params=params, noise=noise, seed=seed, runner=runner
+    )
+
+
 def run_campaign(
     spec: ClusterSpec,
     plan: CampaignPlan,
@@ -81,20 +108,36 @@ def run_campaign(
     noise: Optional[NoiseSpec] = None,
     seed: int = 0,
     runner: Runner = run_hpl,
+    workers: int = 1,
 ) -> CampaignResult:
-    """Execute every construction measurement of ``plan``."""
+    """Execute every construction measurement of ``plan``.
+
+    ``workers > 1`` fans the runs out over a process pool
+    (:class:`repro.perf.parallel.ParallelRunner`).  Every run derives its
+    own noise stream from ``(seed, config, N, trial)``, so the resulting
+    dataset and cost ledger are bit-identical to the serial ones; the
+    default ``workers=1`` never forks.
+    """
+    measure = partial(
+        _measure_entry,
+        spec=spec,
+        kinds=plan.kinds,
+        params=params,
+        noise=noise,
+        seed=seed,
+        runner=runner,
+    )
+    records = ParallelRunner(workers=workers).map(
+        measure, list(plan.construction_runs())
+    )
     dataset = Dataset()
-    cost: Dict[Tuple[str, int], float] = {}
-    for n, config in plan.construction_runs():
-        record = measure_configuration(
-            spec, config, n, plan.kinds, params=params, noise=noise, seed=seed,
-            runner=runner,
-        )
+    cost: Dict[Tuple[str, int], float] = defaultdict(float)
+    for record in records:
         dataset.add(record)
-        kind = _charged_kind(record)
-        key = (kind, n)
-        cost[key] = cost.get(key, 0.0) + record.wall_time_s
-    return CampaignResult(plan_name=plan.name, dataset=dataset, cost_by_kind_and_n=cost)
+        cost[(_charged_kind(record), record.n)] += record.wall_time_s
+    return CampaignResult(
+        plan_name=plan.name, dataset=dataset, cost_by_kind_and_n=dict(cost)
+    )
 
 
 def run_evaluation(
@@ -104,18 +147,26 @@ def run_evaluation(
     noise: Optional[NoiseSpec] = None,
     seed: int = 0,
     runner: Runner = run_hpl,
+    workers: int = 1,
 ) -> Dataset:
     """Measure the full evaluation grid (the ground-truth runs the paper
-    uses to find the *actual* best configuration)."""
-    dataset = Dataset()
-    for n, config in plan.evaluation_runs():
-        dataset.add(
-            measure_configuration(
-                spec, config, n, plan.kinds, params=params, noise=noise, seed=seed,
-                runner=runner,
-            )
-        )
-    return dataset
+    uses to find the *actual* best configuration).
+
+    ``workers`` behaves exactly as in :func:`run_campaign`.
+    """
+    measure = partial(
+        _measure_entry,
+        spec=spec,
+        kinds=plan.kinds,
+        params=params,
+        noise=noise,
+        seed=seed,
+        runner=runner,
+    )
+    records = ParallelRunner(workers=workers).map(
+        measure, list(plan.evaluation_runs())
+    )
+    return Dataset(records)
 
 
 def _charged_kind(record: MeasurementRecord) -> str:

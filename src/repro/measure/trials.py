@@ -16,6 +16,8 @@ the *full* cost of all trials (robustness is not free).
 
 from __future__ import annotations
 
+from collections import defaultdict
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,6 +32,7 @@ from repro.measure.campaign import CampaignResult, Runner, _charged_kind
 from repro.measure.dataset import Dataset
 from repro.measure.grids import CampaignPlan
 from repro.measure.record import KindMeasurement, MeasurementRecord
+from repro.perf.parallel import ParallelRunner
 
 AGGREGATORS: Dict[str, Callable[[np.ndarray], float]] = {
     "min": lambda values: float(np.min(values)),
@@ -120,6 +123,26 @@ def measure_with_trials(
     return aggregate_records(records, how), cost
 
 
+def _measure_trials_entry(
+    entry: Tuple[int, ClusterConfig],
+    spec: ClusterSpec,
+    kinds: Tuple[str, ...],
+    trials: int,
+    how: str,
+    params: Optional[HPLParameters],
+    noise: Optional[NoiseSpec],
+    seed: int,
+    runner: Runner,
+) -> Tuple[MeasurementRecord, float]:
+    """One plan entry's full trial batch — module-level for process pools."""
+    n, config = entry
+    return measure_with_trials(
+        spec, config, n, kinds,
+        trials=trials, how=how, params=params, noise=noise, seed=seed,
+        runner=runner,
+    )
+
+
 def run_campaign_with_trials(
     spec: ClusterSpec,
     plan: CampaignPlan,
@@ -129,23 +152,37 @@ def run_campaign_with_trials(
     noise: Optional[NoiseSpec] = None,
     seed: int = 0,
     runner: Runner = run_hpl,
+    workers: int = 1,
 ) -> CampaignResult:
     """A construction campaign with repeated, robustly aggregated trials.
 
     The cost ledger charges every trial (a 3-trial campaign costs ~3x the
     single-shot one — the price of outlier immunity).
+
+    ``workers > 1`` fans plan entries out over a process pool, each worker
+    running that entry's whole trial batch; results are identical to the
+    serial path because every ``(config, N, trial)`` seeds its own noise
+    stream.
     """
+    measure = partial(
+        _measure_trials_entry,
+        spec=spec,
+        kinds=plan.kinds,
+        trials=trials,
+        how=how,
+        params=params,
+        noise=noise,
+        seed=seed,
+        runner=runner,
+    )
+    results = ParallelRunner(workers=workers).map(
+        measure, list(plan.construction_runs())
+    )
     dataset = Dataset()
-    cost: Dict[Tuple[str, int], float] = {}
-    for n, config in plan.construction_runs():
-        record, run_cost = measure_with_trials(
-            spec, config, n, plan.kinds,
-            trials=trials, how=how, params=params, noise=noise, seed=seed,
-            runner=runner,
-        )
+    cost: Dict[Tuple[str, int], float] = defaultdict(float)
+    for record, run_cost in results:
         dataset.add(record)
-        key = (_charged_kind(record), n)
-        cost[key] = cost.get(key, 0.0) + run_cost
+        cost[(_charged_kind(record), record.n)] += run_cost
     return CampaignResult(
-        plan_name=f"{plan.name}-x{trials}", dataset=dataset, cost_by_kind_and_n=cost
+        plan_name=f"{plan.name}-x{trials}", dataset=dataset, cost_by_kind_and_n=dict(cost)
     )

@@ -1,0 +1,103 @@
+"""Estimate caching (perf-engine layer 2).
+
+The optimizer and the sweep/what-if analyses ask the same
+``(configuration, N)`` questions over and over — a seed sweep re-ranks
+the same 62 candidates at every size, a what-if study re-evaluates whole
+grids.  Model evaluation is pure: for a *fixed* set of fitted models the
+estimate of ``(config, N)`` never changes.  :class:`EstimateCache`
+memoizes those lookups.
+
+**Invalidation rule** (also documented in DESIGN.md): a cache is bound
+to a *model fingerprint* — a hash over every fitted/composed model's
+coefficients, the adjustment scales, and the estimator-relevant pipeline
+knobs.  The fingerprint participates in every key, so entries produced
+by one model generation can never answer for another; refit the models
+and the pipeline builds a fresh cache with a fresh fingerprint.  Timing
+fields (e.g. ``ModelStore.build_seconds``) are deliberately excluded:
+two stores holding identical models fingerprint identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+
+def model_fingerprint(*parts: object) -> str:
+    """Stable short hash of the model state that determines estimates.
+
+    Callers pass plain-data renderings (``to_dict()`` outputs, tuples of
+    knobs); anything whose ``repr`` is value-determined works.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`EstimateCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%} hit rate)"
+        )
+
+
+class EstimateCache:
+    """Memo of ``(config, N)`` -> estimated seconds under one fingerprint.
+
+    Keys are ``(config.key(), n, fingerprint)``;
+    :meth:`key_of` exposes the config part so hot loops can compute it
+    once per configuration instead of once per lookup.
+    """
+
+    def __init__(self, fingerprint: str = ""):
+        self.fingerprint = fingerprint
+        self.stats = CacheStats()
+        self._data: Dict[Tuple[Hashable, int, str], float] = {}
+
+    @staticmethod
+    def key_of(config) -> Hashable:
+        """The per-configuration key component (hashable, canonical)."""
+        return config.key()
+
+    def get(self, config_key: Hashable, n: int) -> Optional[float]:
+        """Cached estimate, counting the lookup as a hit or miss."""
+        value = self._data.get((config_key, n, self.fingerprint))
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def put(self, config_key: Hashable, n: int, value: float) -> None:
+        self._data[(config_key, n, self.fingerprint)] = value
+
+    def clear(self) -> None:
+        """Drop all entries (counters survive; they describe the session)."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def describe(self) -> str:
+        return (
+            f"EstimateCache(fingerprint={self.fingerprint or '(none)'}, "
+            f"{len(self._data)} entries, {self.stats.describe()})"
+        )

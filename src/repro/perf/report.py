@@ -1,0 +1,98 @@
+"""Measurement in the loop (perf-engine layer 3).
+
+A speedup nobody can observe is a speedup nobody can trust.
+:class:`PerfReport` accumulates wall-clock timings per pipeline stage
+(campaign, evaluation, fit, compose, adjust, search) plus the estimate
+cache's hit/miss statistics, so every
+:class:`~repro.core.pipeline.EstimationPipeline` can say where its time
+went — and ``benchmarks/bench_perf_engine.py`` can record the
+serial-vs-parallel and looped-vs-batched comparisons from the same
+instrumentation the production path uses.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.perf.cache import EstimateCache
+
+#: Canonical stage order for rendering (unknown stages append after).
+PIPELINE_STAGES = ("campaign", "evaluation", "fit", "compose", "adjust", "search")
+
+
+@dataclass
+class StageTiming:
+    """Accumulated wall time of one pipeline stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.calls += 1
+
+
+class PerfReport:
+    """Per-stage wall-clock ledger of one pipeline (plus cache stats)."""
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, StageTiming] = {}
+        self.cache: Optional[EstimateCache] = None
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a block and charge it to ``name`` (accumulating)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._stages.setdefault(name, StageTiming()).add(seconds)
+
+    def stage_seconds(self, name: str) -> float:
+        timing = self._stages.get(name)
+        return timing.seconds if timing else 0.0
+
+    def stage_calls(self, name: str) -> int:
+        timing = self._stages.get(name)
+        return timing.calls if timing else 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self._stages.values())
+
+    def stages(self) -> List[str]:
+        """Recorded stage names, canonical order first."""
+        known = [s for s in PIPELINE_STAGES if s in self._stages]
+        extra = [s for s in self._stages if s not in PIPELINE_STAGES]
+        return known + extra
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            name: {"seconds": t.seconds, "calls": t.calls}
+            for name, t in self._stages.items()
+        }
+        if self.cache is not None:
+            out["cache"] = {
+                "fingerprint": self.cache.fingerprint,
+                "entries": len(self.cache),
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+            }
+        return out
+
+    def render(self) -> str:
+        """Human-readable stage table (what the benches persist)."""
+        lines = ["stage        calls   seconds"]
+        for name in self.stages():
+            timing = self._stages[name]
+            lines.append(f"{name:<12} {timing.calls:>5}   {timing.seconds:9.4f}")
+        lines.append(f"{'total':<12} {'':>5}   {self.total_seconds:9.4f}")
+        if self.cache is not None:
+            lines.append(f"cache: {self.cache.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Unit tests for the estimate cache (keys, counters, fingerprint
+invalidation) and the per-stage performance report."""
+
+import time
+
+from repro.cluster.config import ClusterConfig
+from repro.measure.grids import PAPER_KINDS
+from repro.perf.cache import CacheStats, EstimateCache, model_fingerprint
+from repro.perf.report import PerfReport
+
+
+def cfg(p1, m1, p2, m2):
+    return ClusterConfig.from_tuple(PAPER_KINDS, (p1, m1, p2, m2))
+
+
+class TestEstimateCache:
+    def test_miss_then_hit(self):
+        cache = EstimateCache("fp")
+        key = cache.key_of(cfg(1, 2, 0, 0))
+        assert cache.get(key, 3200) is None
+        cache.put(key, 3200, 12.5)
+        assert cache.get(key, 3200) == 12.5
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_key_includes_size_and_config(self):
+        cache = EstimateCache("fp")
+        cache.put(cache.key_of(cfg(1, 2, 0, 0)), 3200, 1.0)
+        assert cache.get(cache.key_of(cfg(1, 2, 0, 0)), 4800) is None
+        assert cache.get(cache.key_of(cfg(1, 3, 0, 0)), 3200) is None
+
+    def test_fingerprint_partitions_entries(self):
+        """Entries written under one model generation never answer for
+        another: the fingerprint is part of every key."""
+        key = EstimateCache.key_of(cfg(1, 1, 8, 1))
+        old = EstimateCache("model-v1")
+        old.put(key, 3200, 99.0)
+        fresh = EstimateCache("model-v2")
+        fresh._data.update(old._data)  # simulate stale entries surviving
+        assert fresh.get(key, 3200) is None
+
+    def test_equivalent_configs_share_entries(self):
+        """Zero allocations are dropped from config keys, so the paper's
+        ``(0,0,8,1)`` and a bare pentium2 config hit the same entry."""
+        cache = EstimateCache("fp")
+        cache.put(cache.key_of(cfg(0, 0, 8, 1)), 3200, 5.0)
+        bare = ClusterConfig.of(pentium2=(8, 1))
+        assert cache.get(cache.key_of(bare), 3200) == 5.0
+
+    def test_clear_keeps_counters(self):
+        cache = EstimateCache("fp")
+        key = cache.key_of(cfg(1, 1, 0, 0))
+        cache.put(key, 400, 1.0)
+        cache.get(key, 400)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_describe_mentions_stats(self):
+        cache = EstimateCache("abcd")
+        assert "abcd" in cache.describe()
+        assert "0 hits" in cache.describe()
+
+
+class TestModelFingerprint:
+    def test_deterministic(self):
+        assert model_fingerprint({"a": 1}, (2, 3)) == model_fingerprint({"a": 1}, (2, 3))
+
+    def test_sensitive_to_content_and_structure(self):
+        assert model_fingerprint({"a": 1}) != model_fingerprint({"a": 2})
+        assert model_fingerprint("ab", "c") != model_fingerprint("a", "bc")
+
+
+class TestCacheStats:
+    def test_empty_rate(self):
+        assert CacheStats().hit_rate == 0.0
+
+
+class TestPerfReport:
+    def test_stage_accumulates(self):
+        report = PerfReport()
+        with report.stage("fit"):
+            pass
+        with report.stage("fit"):
+            pass
+        assert report.stage_calls("fit") == 2
+        assert report.stage_seconds("fit") >= 0.0
+        assert report.total_seconds >= report.stage_seconds("fit")
+
+    def test_stage_records_on_exception(self):
+        report = PerfReport()
+        try:
+            with report.stage("search"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert report.stage_calls("search") == 1
+
+    def test_canonical_stage_order(self):
+        report = PerfReport()
+        report.add("search", 0.1)
+        report.add("campaign", 0.2)
+        report.add("custom", 0.3)
+        assert report.stages() == ["campaign", "search", "custom"]
+
+    def test_render_and_dict_include_cache(self):
+        report = PerfReport()
+        report.add("campaign", 1.25)
+        cache = EstimateCache("fp")
+        cache.put(cache.key_of(cfg(1, 1, 0, 0)), 400, 1.0)
+        report.cache = cache
+        text = report.render()
+        assert "campaign" in text and "total" in text and "fp" in text
+        payload = report.to_dict()
+        assert payload["campaign"]["calls"] == 1
+        assert payload["cache"]["entries"] == 1
+
+    def test_unknown_stage_is_zero(self):
+        report = PerfReport()
+        assert report.stage_seconds("nope") == 0.0
+        assert report.stage_calls("nope") == 0

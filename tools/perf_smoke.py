@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Perf smoke check: fast CI guard for the perf engine.
+
+A trimmed-down version of ``benchmarks/bench_perf_engine.py`` that runs
+in a few seconds with no pytest dependency.  It verifies the properties
+that must never regress:
+
+* a pooled campaign reproduces the serial campaign bit for bit,
+* ``optimize_many`` matches the scalar search loop bit for bit and is
+  not slower than it by more than the generous ceiling below,
+* a warm re-sweep is answered entirely from the estimate cache.
+
+Exit status is non-zero on any failure.  Run it as::
+
+    PYTHONPATH=src python tools/perf_smoke.py
+
+Wall-time assertions use a deliberately loose ceiling (the batched
+sweep merely has to beat HALF the looped time) so the check stays
+green on slow, noisy or single-core CI runners; the real speedup
+targets live in the benchmark, not here.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.hpl.driver import NoiseSpec
+from repro.measure.campaign import run_campaign
+from repro.measure.grids import custom_plan
+from repro.perf.parallel import available_cpu_count, resolve_workers
+
+SEED = 42
+SWEEP_SIZES = tuple(1600 + 100 * i for i in range(24))
+NOISE = NoiseSpec(sigma_compute=0.02, sigma_comm=0.04, outlier_probability=0.25)
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_campaign_determinism(spec) -> None:
+    plan = custom_plan(
+        spec,
+        construction_sizes=(400, 600, 800),
+        evaluation_sizes=(1200,),
+        max_procs=2,
+        name="smoke",
+    )
+    serial = run_campaign(spec, plan, noise=NOISE, seed=SEED, workers=1)
+    pooled = run_campaign(spec, plan, noise=NOISE, seed=SEED, workers=4)
+    if pooled.dataset.to_json() != serial.dataset.to_json():
+        fail("pooled campaign dataset differs from the serial campaign")
+    if pooled.cost_by_kind_and_n != serial.cost_by_kind_and_n:
+        fail("pooled campaign cost ledger differs from the serial campaign")
+    print(f"ok: campaign determinism (workers=4 -> {resolve_workers(4)} effective)")
+
+
+def check_batched_search(spec) -> None:
+    pipeline = EstimationPipeline(spec, PipelineConfig(protocol="ns", seed=SEED))
+    _ = pipeline.store, pipeline.adjustment
+
+    opt = pipeline.optimizer()
+    started = time.perf_counter()
+    looped = [opt.optimize(n) for n in SWEEP_SIZES]
+    looped_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = pipeline.optimize_many(SWEEP_SIZES)
+    batched_s = time.perf_counter() - started
+
+    for a, b in zip(looped, batched):
+        if [e.config.key() for e in a.ranking] != [e.config.key() for e in b.ranking]:
+            fail(f"batched ranking differs from looped ranking at N={a.n}")
+        if [e.estimate_s for e in a.ranking] != [e.estimate_s for e in b.ranking]:
+            fail(f"batched estimates differ from looped estimates at N={a.n}")
+    if batched_s > looped_s / 2:
+        fail(
+            f"batched sweep ({batched_s:.3f}s) failed to beat half the "
+            f"looped time ({looped_s:.3f}s)"
+        )
+    print(f"ok: batched search identity ({looped_s:.3f}s looped, {batched_s:.3f}s batched)")
+
+    stats = pipeline.estimate_cache.stats
+    hits_before = stats.hits
+    pipeline.optimize_many(SWEEP_SIZES)
+    expected = len(pipeline.plan.evaluation_configs) * len(SWEEP_SIZES)
+    if stats.hits - hits_before != expected:
+        fail(
+            f"warm re-sweep hit the cache {stats.hits - hits_before} times, "
+            f"expected {expected}"
+        )
+    print(f"ok: warm re-sweep fully cached ({expected} hits)")
+
+
+def main() -> None:
+    from repro.cluster.presets import kishimoto_cluster
+
+    print(f"perf smoke on {available_cpu_count()} CPU(s)")
+    spec = kishimoto_cluster()
+    check_campaign_determinism(spec)
+    check_batched_search(spec)
+    print("perf smoke passed")
+
+
+if __name__ == "__main__":
+    main()
