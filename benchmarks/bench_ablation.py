@@ -11,7 +11,6 @@ re-evaluates the Basic protocol, quantifying what the mechanism buys:
   protocol's decisions are robust to realistic measurement jitter.
 """
 
-import pytest
 
 from repro.analysis.correlation import correlation_data
 from repro.analysis.errors import evaluation_rows, worst_regret

@@ -6,7 +6,7 @@ Athlon's speed, and the lone Athlon collapses at N = 10000 (memory).
 with N.  The benchmark times the full two-panel sweep.
 """
 
-from repro.analysis.figures import FIG3_SIZES, fig3a_series, fig3b_series, series_table
+from repro.analysis.figures import fig3a_series, fig3b_series, series_table
 
 
 def test_fig03_heterogeneous(benchmark, spec, write_result):

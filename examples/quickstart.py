@@ -9,7 +9,7 @@ should run it, with how many processes each, for my problem size?"
 Run:  python examples/quickstart.py
 """
 
-from repro import ClusterConfig, EstimationPipeline, PipelineConfig, kishimoto_cluster
+from repro import EstimationPipeline, PipelineConfig, kishimoto_cluster
 from repro.hpl.lu import hpl_reference_run
 
 # 1. Describe the cluster (or build your own ClusterSpec).

@@ -43,6 +43,7 @@ from repro.cluster import (
 from repro.core import (
     CompositionPolicy,
     EstimationPipeline,
+    Estimator,
     ExhaustiveOptimizer,
     LinearAdjustment,
     ModelSelector,
@@ -50,6 +51,7 @@ from repro.core import (
     NTModel,
     PipelineConfig,
     PTModel,
+    TimeModel,
 )
 from repro.errors import (
     ClusterError,
@@ -75,6 +77,7 @@ __all__ = [
     "ConfigurationError",
     "Dataset",
     "EstimationPipeline",
+    "Estimator",
     "ExhaustiveOptimizer",
     "FitError",
     "HPLParameters",
@@ -96,6 +99,7 @@ __all__ = [
     "ReproError",
     "SearchError",
     "SimulationError",
+    "TimeModel",
     "__version__",
     "basic_plan",
     "kishimoto_cluster",

@@ -11,6 +11,7 @@ Examples::
     repro correlate --protocol basic --n 6400   # Fig. 6/7 ASCII scatter
     repro optimize --protocol nl --n 8000       # ranked configurations
     repro report --protocol basic       # everything for one protocol
+    repro models --dir saved/           # model inventory of a saved pipeline
 
 Every command is deterministic in ``--seed``.
 """
@@ -123,6 +124,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--per-process", action="store_true", help="also print per-rank rows"
     )
 
+    models = sub.add_parser(
+        "models", help="model inventory of a saved pipeline directory"
+    )
+    models.add_argument(
+        "--dir",
+        required=True,
+        help="directory written by save_pipeline (see repro.core.persistence)",
+    )
+
     export = sub.add_parser(
         "export", help="write every experiment's data as CSV for plotting"
     )
@@ -149,6 +159,54 @@ def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
     return EstimationPipeline(
         _spec(args), PipelineConfig(protocol=args.protocol, seed=args.seed)
     )
+
+
+#: ``to_dict`` keys that are identity/metadata, not coefficients.
+_MODEL_META_KEYS = frozenset(
+    ["kind", "p", "mi", "n_range", "p_range", "chisq_ta", "chisq_tc", "composed_from"]
+)
+
+
+def _model_inventory(pipeline: EstimationPipeline, source: str) -> str:
+    """The fitted/composed model inventory of a loaded pipeline: one row
+    per model with its registry type, identity, provenance, coefficients
+    and fingerprint (everything the estimate cache keys on)."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        if isinstance(value, list):
+            return "[" + ", ".join(fmt(v) for v in value) + "]"
+        return str(value)
+
+    facade = pipeline.models
+    models = list(facade.models())
+    lines = [
+        f"{len(models)} models from {source} "
+        f"(backend: {facade.backend.name}, "
+        f"store fingerprint {pipeline.store.fingerprint()})"
+    ]
+    for model in models:
+        data = model.to_dict()
+        p = data.get("p")
+        identity = f"{model.kind_name:<10s} Mi={model.mi}" + (
+            f" P={p}" if p is not None else ""
+        )
+        origin = (
+            f"composed<-{data['composed_from']}"
+            if model.is_composed
+            else "fitted"
+        )
+        coefficients = "  ".join(
+            f"{key}={fmt(value)}"
+            for key, value in data.items()
+            if key not in _MODEL_META_KEYS
+        )
+        lines.append(
+            f"  {model.model_type:<8s} {identity:<22s} {origin:<20s} "
+            f"{model.fingerprint()}  {coefficients}"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -230,6 +288,10 @@ def _dispatch(args: argparse.Namespace) -> None:
                 spec, config, args.n, seed=args.seed, per_process=args.per_process
             )
         )
+    elif args.command == "models":
+        from repro.core.persistence import load_pipeline
+
+        print(_model_inventory(load_pipeline(args.dir), args.dir))
     elif args.command == "export":
         from repro.analysis.export import export_figures, export_protocol
 

@@ -27,34 +27,52 @@ protocols.
 from repro.core.adjustment import LinearAdjustment
 from repro.core.binning import MemoryBin, ModelSelector
 from repro.core.composition import CompositionPolicy
+from repro.core.estimator import Estimator, KindEstimate
 from repro.core.lsq import FitResult, multifit_linear
 from repro.core.memory_guard import MemoryGuard, require_clean, split_dataset
+from repro.core.model_api import (
+    ModelDomain,
+    TimeModel,
+    model_from_dict,
+    model_to_dict,
+    registered_model_types,
+)
 from repro.core.model_store import ModelStore
 from repro.core.nt_model import NTModel
 from repro.core.optimizer import ExhaustiveOptimizer, RankedEstimate
 from repro.core.persistence import load_pipeline, save_pipeline
 from repro.core.pipeline import EstimationPipeline, PipelineConfig
 from repro.core.pt_model import PTModel
+from repro.core.stages import SearchEngine, StageGraph
 from repro.core.unified_model import UnifiedEstimator, UnifiedModel
 
 __all__ = [
     "CompositionPolicy",
     "EstimationPipeline",
+    "Estimator",
     "ExhaustiveOptimizer",
     "FitResult",
+    "KindEstimate",
     "LinearAdjustment",
     "MemoryBin",
     "MemoryGuard",
+    "ModelDomain",
     "ModelSelector",
     "ModelStore",
     "NTModel",
     "PipelineConfig",
     "PTModel",
     "RankedEstimate",
+    "SearchEngine",
+    "StageGraph",
+    "TimeModel",
     "UnifiedEstimator",
     "UnifiedModel",
     "load_pipeline",
+    "model_from_dict",
+    "model_to_dict",
     "multifit_linear",
+    "registered_model_types",
     "require_clean",
     "save_pipeline",
     "split_dataset",

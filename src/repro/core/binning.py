@@ -11,75 +11,36 @@ Two bin dimensions appear in the paper:
   (Figure 3(a)'s cliff).  :class:`MemoryBin` implements that piecewise
   selection; the standard protocols run without it (as the paper does),
   and the ablation bench quantifies what it buys.
+
+The actual machinery lives in :mod:`repro.core.estimator`: the Figure-5
+routing is :class:`~repro.core.estimator.BinnedBackend`, and the
+estimation semantics (memory bins, clamping, validity, batching) are the
+:class:`~repro.core.estimator.Estimator` facade.  :class:`ModelSelector`
+remains as the store-plus-bins constructor for that facade.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import numpy as np
-
+from repro.core.estimator import (
+    BinnedBackend,
+    Estimator,
+    KindEstimate,
+    MemoryBin,
+)
 from repro.core.model_store import ModelStore
-from repro.errors import ModelError
+
+__all__ = ["KindEstimate", "MemoryBin", "ModelSelector"]
 
 
-@dataclass(frozen=True)
-class KindEstimate:
-    """Per-kind estimation output with its provenance.
+class ModelSelector(Estimator):
+    """The binned estimator of the paper: Figure-5 routing over a fitted
+    :class:`ModelStore`, with optional memory-pressure bins.
 
-    ``valid`` is False when the model produced a non-positive total — a
-    polynomial excursion outside the fitted domain.  Such an output carries
-    no information (an execution time cannot be <= 0), so consumers must
-    treat the configuration as *unestimable* rather than cheap; see
-    :meth:`repro.core.pipeline.ConfigEstimate.total`.
-    """
-
-    kind_name: str
-    ta: float
-    tc: float
-    model_kind: str  # "nt" or "pt"
-    composed: bool = False
-    bin_label: str = "default"
-    valid: bool = True
-
-    @property
-    def total(self) -> float:
-        return self.ta + self.tc
-
-
-@dataclass(frozen=True)
-class MemoryBin:
-    """One memory-pressure bin: applies while ``ratio <= max_ratio``.
-
-    ``ta_scale`` / ``tc_scale`` stretch the base model's prediction inside
-    the bin — the piecewise-model mechanism of Section 3.4 in its simplest
-    usable form (the paper only sketches it).
-    """
-
-    max_ratio: float
-    ta_scale: float = 1.0
-    tc_scale: float = 1.0
-    label: str = ""
-
-    def __post_init__(self) -> None:
-        if self.max_ratio <= 0:
-            raise ModelError("memory bin boundary must be positive")
-        if self.ta_scale <= 0 or self.tc_scale <= 0:
-            raise ModelError("memory bin scales must be positive")
-
-
-class ModelSelector:
-    """Routes ``(kind, N, P, Mi)`` queries to the right fitted model.
-
-    Parameters
-    ----------
-    store:
-        Fitted (and composed) models.
-    memory_bins:
-        Optional ascending list of :class:`MemoryBin`; selection uses the
-        caller-provided memory ratio (computed from ``N`` and ``P`` by the
-        estimator, which knows the cluster).  The last bin is open-ended.
+    A thin constructor over :class:`~repro.core.estimator.Estimator`;
+    every query method (``select``, ``estimate_kind``,
+    ``estimate_kind_batch``, ...) is the facade's.
     """
 
     def __init__(
@@ -87,118 +48,5 @@ class ModelSelector:
         store: ModelStore,
         memory_bins: Optional[Sequence[MemoryBin]] = None,
     ):
+        super().__init__(BinnedBackend(store), memory_bins=memory_bins)
         self.store = store
-        self.memory_bins: Tuple[MemoryBin, ...] = tuple(memory_bins or ())
-        boundaries = [b.max_ratio for b in self.memory_bins]
-        if boundaries != sorted(boundaries):
-            raise ModelError("memory bins must have ascending boundaries")
-
-    # -- model routing -----------------------------------------------------------
-
-    def select(self, kind: str, p: int, mi: int):
-        """The model for a query, per the paper's Figure 5.
-
-        Returns ``("nt", NTModel)`` or ``("pt", PTModel)``.
-        """
-        if mi < 1:
-            raise ModelError(f"Mi must be >= 1, got {mi}")
-        if p < mi:
-            raise ModelError(
-                f"impossible query: P={p} < Mi={mi} (the 'X' cells of Fig. 5)"
-            )
-        if p == mi:
-            return "nt", self.store.nt_model(kind, p, mi)
-        return "pt", self.store.pt_model(kind, mi)
-
-    def can_estimate(self, kind: str, p: int, mi: int) -> bool:
-        try:
-            self.select(kind, p, mi)
-            return True
-        except ModelError:
-            return False
-
-    # -- estimation -------------------------------------------------------------------
-
-    def estimate_kind(
-        self,
-        kind: str,
-        n: float,
-        p: int,
-        mi: int,
-        memory_ratio: Optional[float] = None,
-    ) -> KindEstimate:
-        """Estimated (Ta, Tc) of one kind's processes in a configuration
-        with ``P`` total processes and ``Mi`` processes per PE of this kind.
-
-        Negative polynomial excursions (possible at the edge of a fitted
-        range) are clamped to zero for the phase values — but when the
-        *total* goes non-positive the estimate is marked invalid: clamping
-        a nonsense prediction to zero would make the configuration look
-        optimal to the search instead of untrustworthy.
-        """
-        which, model = self.select(kind, p, mi)
-        if which == "nt":
-            ta = float(model.predict_ta(n))
-            tc = float(model.predict_tc(n))
-            composed = False
-        else:
-            ta = float(model.predict_ta(n, p))
-            tc = float(model.predict_tc(n, p))
-            composed = model.is_composed
-
-        bin_label = "default"
-        if self.memory_bins and memory_ratio is not None:
-            chosen = self._bin_for(memory_ratio)
-            ta *= chosen.ta_scale
-            tc *= chosen.tc_scale
-            bin_label = chosen.label or f"ratio<={chosen.max_ratio:g}"
-
-        return KindEstimate(
-            kind_name=kind,
-            ta=max(ta, 0.0),
-            tc=max(tc, 0.0),
-            model_kind=which,
-            composed=composed,
-            bin_label=bin_label,
-            valid=(ta + tc) > 0.0,
-        )
-
-    def estimate_kind_batch(
-        self,
-        kind: str,
-        ns: Sequence[float],
-        p: int,
-        mi: int,
-        memory_ratios: Optional[Sequence[float]] = None,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Vectorized :meth:`estimate_kind` over an array of problem orders.
-
-        Returns ``(ta, tc, valid)`` arrays aligned with ``ns``.  Model
-        routing happens once (``P``/``Mi`` are fixed across the batch);
-        the polynomial evaluation, memory-bin scaling, clamping and
-        validity logic are element-for-element identical to the scalar
-        path, so the batch values are bitwise those of ``estimate_kind``
-        called per size.
-        """
-        which, model = self.select(kind, p, mi)
-        n_arr = np.asarray(ns, dtype=float)
-        if which == "nt":
-            ta = np.asarray(model.predict_ta(n_arr), dtype=float)
-            tc = np.asarray(model.predict_tc(n_arr), dtype=float)
-        else:
-            ta = np.asarray(model.predict_ta(n_arr, p), dtype=float)
-            tc = np.asarray(model.predict_tc(n_arr, p), dtype=float)
-
-        if self.memory_bins and memory_ratios is not None:
-            bins = [self._bin_for(float(r)) for r in memory_ratios]
-            ta = ta * np.array([b.ta_scale for b in bins])
-            tc = tc * np.array([b.tc_scale for b in bins])
-
-        valid = (ta + tc) > 0.0
-        return np.maximum(ta, 0.0), np.maximum(tc, 0.0), valid
-
-    def _bin_for(self, ratio: float) -> MemoryBin:
-        for bin_ in self.memory_bins:
-            if ratio <= bin_.max_ratio:
-                return bin_
-        return self.memory_bins[-1]

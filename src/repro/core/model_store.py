@@ -14,12 +14,14 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.model_api import TimeModel, model_from_dict, model_to_dict
 from repro.core.nt_model import NTModel
 from repro.core.pt_model import PTModel
 from repro.errors import ModelError
 from repro.measure.dataset import Dataset
+from repro.perf.cache import model_fingerprint
 
 
 @dataclass
@@ -84,6 +86,34 @@ class ModelStore:
     def model_count(self) -> int:
         return len(self.nt) + len(self.pt)
 
+    def models(self) -> Iterator[TimeModel]:
+        """Every fitted/composed model in a stable order (sorted N-T keys,
+        then sorted P-T keys) — the iteration the estimator facade's
+        inventory and fingerprint are built on."""
+        for key in sorted(self.nt):
+            yield self.nt[key]
+        for key in sorted(self.pt):
+            yield self.pt[key]
+
+    def add(self, model: TimeModel) -> None:
+        """Index a model under its natural key, dispatching on the registry
+        tag (never on the concrete class)."""
+        if model.model_type == "nt":
+            self.nt[(model.kind_name, model.p, model.mi)] = model  # type: ignore[union-attr,attr-defined]
+        elif model.model_type == "pt":
+            self.pt[(model.kind_name, model.mi)] = model  # type: ignore[assignment]
+        else:
+            raise ModelError(
+                f"ModelStore holds nt/pt models, not {model.model_type!r}"
+            )
+
+    def fingerprint(self) -> str:
+        """Stable hash over every model's own fingerprint (plus the key
+        order), so two stores hash equal iff they estimate identically."""
+        return model_fingerprint(
+            tuple(model.fingerprint() for model in self.models())
+        )
+
     # -- construction -------------------------------------------------------------
 
     @classmethod
@@ -133,21 +163,30 @@ class ModelStore:
     # -- serialization ----------------------------------------------------------------
 
     def to_json(self) -> str:
+        """Format-2 wire form: one flat type-tagged model list (the
+        registry's :func:`~repro.core.model_api.model_to_dict`), so new
+        model classes persist without touching this module."""
         payload = {
-            "nt": [model.to_dict() for model in self.nt.values()],
-            "pt": [model.to_dict() for model in self.pt.values()],
+            "format": 2,
+            "models": [model_to_dict(model) for model in self.models()],
             "build_seconds": self.build_seconds,
         }
         return json.dumps(payload, indent=1)
 
     @classmethod
     def from_json(cls, text: str) -> "ModelStore":
+        """Load either wire format: the legacy ``nt``/``pt`` lists
+        (format 1) or the type-tagged ``models`` list (format 2)."""
         payload = json.loads(text)
         store = cls(build_seconds=float(payload.get("build_seconds", 0.0)))
-        for data in payload["nt"]:
+        if "models" in payload:
+            for data in payload["models"]:
+                store.add(model_from_dict(data))
+            return store
+        for data in payload.get("nt", []):
             model = NTModel.from_dict(data)
             store.nt[(model.kind_name, model.p, model.mi)] = model
-        for data in payload["pt"]:
+        for data in payload.get("pt", []):
             model = PTModel.from_dict(data)
             store.pt[(model.kind_name, model.mi)] = model
         return store

@@ -13,6 +13,10 @@ lower.  Coefficients are extracted by least squares
 (:func:`repro.core.lsq.multifit_linear`), which needs at least four
 distinct ``N`` for ``Ta`` and three for ``Tc`` — the paper's minimum
 measurement requirement.
+
+:class:`NTModel` satisfies the :class:`~repro.core.model_api.TimeModel`
+protocol; it is fitted at fixed ``P``, so the protocol's ``p`` argument
+is accepted and ignored.
 """
 
 from __future__ import annotations
@@ -23,12 +27,14 @@ from typing import Dict, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.core import lsq
+from repro.core.model_api import ModelDomain, TimeModelMixin, register_model
 from repro.errors import FitError, ModelError
 from repro.measure.dataset import Dataset
 
 
+@register_model("nt")
 @dataclass(frozen=True)
-class NTModel:
+class NTModel(TimeModelMixin):
     """Fitted N-T model for one ``(kind, P, Mi)`` configuration."""
 
     kind_name: str
@@ -39,6 +45,7 @@ class NTModel:
     n_range: Tuple[int, int]  # [min, max] N used for fitting
     chisq_ta: float = 0.0
     chisq_tc: float = 0.0
+    composed_from: str = ""  # source kind when built by model composition
 
     def __post_init__(self) -> None:
         if self.p < 1 or self.mi < 1:
@@ -58,22 +65,18 @@ class NTModel:
 
     # -- prediction ---------------------------------------------------------
 
-    def predict_ta(self, n):
-        """Computation time at order ``n`` (scalar or array)."""
+    def predict_ta(self, n, p=None):
+        """Computation time at order ``n`` (scalar or array; the model is
+        bound to its fitted ``P``, so ``p`` is ignored)."""
         return lsq.polyval(self.ka, n)
 
-    def predict_tc(self, n):
+    def predict_tc(self, n, p=None):
         """Communication time at order ``n`` (scalar or array)."""
         return lsq.polyval(self.kc, n)
 
-    def predict_total(self, n):
-        return np.asarray(self.predict_ta(n)) + np.asarray(self.predict_tc(n)) \
-            if np.ndim(n) else self.predict_ta(n) + self.predict_tc(n)
-
-    def extrapolating(self, n: float) -> bool:
-        """True when ``n`` lies outside the fitted range (prediction is an
-        extrapolation — the regime where the NS model fails)."""
-        return not (self.n_range[0] <= n <= self.n_range[1])
+    @property
+    def domain(self) -> ModelDomain:
+        return ModelDomain(n_range=self.n_range)
 
     # -- construction ------------------------------------------------------------
 
@@ -155,10 +158,24 @@ class NTModel:
             tc.append(km.tc)
         return cls.fit(kind_name, p, mi, sizes, ta, tc, weighting=weighting)
 
+    def scaled(self, kind_name: str, ta_factor: float, tc_factor: float) -> "NTModel":
+        """Model composition (paper Section 3.5): derive another kind's
+        N-T model by scaling Ta and Tc by constant factors."""
+        self._check_scale_factors(ta_factor, tc_factor)
+        return NTModel(
+            kind_name=kind_name,
+            p=self.p,
+            mi=self.mi,
+            ka=tuple(c * ta_factor for c in self.ka),
+            kc=tuple(c * tc_factor for c in self.kc),
+            n_range=self.n_range,
+            composed_from=self.kind_name,
+        )
+
     # -- serialization ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "kind": self.kind_name,
             "p": self.p,
             "mi": self.mi,
@@ -168,6 +185,9 @@ class NTModel:
             "chisq_ta": self.chisq_ta,
             "chisq_tc": self.chisq_tc,
         }
+        if self.composed_from:
+            out["composed_from"] = self.composed_from
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "NTModel":
@@ -180,4 +200,5 @@ class NTModel:
             n_range=tuple(int(v) for v in data["n_range"]),  # type: ignore[union-attr,arg-type]
             chisq_ta=float(data.get("chisq_ta", 0.0)),
             chisq_tc=float(data.get("chisq_tc", 0.0)),
+            composed_from=str(data.get("composed_from", "")),
         )

@@ -12,28 +12,45 @@ needed to re-verify).
 Layout of a saved pipeline directory::
 
     cluster.json       the ClusterSpec
-    manifest.json      protocol name, seed, composition mode, adjustment
+    manifest.json      format version, protocol name, seed, adjustment
     construction.json  the measurement Dataset
     models.json        the fitted/composed ModelStore
     evaluation.json    (optional) ground-truth measurements
+
+**Format history.**  Format 1 stored the models as separate ``nt``/``pt``
+lists; format 2 (current) stores one flat list of type-tagged model dicts
+(the :mod:`repro.core.model_api` registry), so any registered model class
+round-trips without changes here.  :func:`load_pipeline` reads both;
+directories written by future formats are rejected with a
+:class:`~repro.errors.ModelError` instead of being misread.
+
+Loading injects the saved artifacts into the pipeline's stage graph
+(:meth:`~repro.core.stages.StageGraph.set`), in dependency order — the
+graph then rebuilds only what was *not* saved (e.g. the evaluation
+measurements when ``evaluation.json`` is absent).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Optional
 
 from repro.cluster.serialize import load_cluster, save_cluster
 from repro.core.adjustment import LinearAdjustment
 from repro.core.model_store import ModelStore
 from repro.core.pipeline import EstimationPipeline, PipelineConfig
-from repro.errors import MeasurementError
+from repro.core.stages import ComposeArtifact, FitArtifact
+from repro.errors import MeasurementError, ModelError
 from repro.measure.campaign import CampaignResult
 from repro.measure.dataset import Dataset
 from repro.measure.grids import plan_by_name
 
 _MANIFEST = "manifest.json"
+
+#: Manifest format this module writes.
+CURRENT_FORMAT = 2
+#: Manifest formats this module can read.
+SUPPORTED_FORMATS = (1, 2)
 
 
 def save_pipeline(
@@ -48,7 +65,7 @@ def save_pipeline(
     pipeline.campaign.dataset.save(out / "construction.json")
     pipeline.store.save(out / "models.json")
     manifest = {
-        "format": 1,
+        "format": CURRENT_FORMAT,
         "protocol": pipeline.plan.name,
         "seed": pipeline.config.seed,
         "adjustment": pipeline.adjustment.to_dict(),
@@ -71,14 +88,23 @@ def load_pipeline(directory: Path | str) -> EstimationPipeline:
     The returned pipeline's campaign, models and adjustment come from disk
     — no simulation (or cluster time) is spent.  Accessing ``evaluation``
     uses the saved ground truth when present, otherwise it re-measures.
+
+    Raises :class:`~repro.errors.MeasurementError` when ``directory`` is
+    not a saved pipeline at all, and :class:`~repro.errors.ModelError`
+    when it was written by an unknown (newer) manifest format.
     """
     src = Path(directory)
     manifest_path = src / _MANIFEST
     if not manifest_path.exists():
         raise MeasurementError(f"{src} is not a saved pipeline (no {_MANIFEST})")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format") != 1:
-        raise MeasurementError(f"unsupported pipeline format {manifest.get('format')!r}")
+    version = manifest.get("format")
+    if version not in SUPPORTED_FORMATS:
+        known = ", ".join(str(v) for v in SUPPORTED_FORMATS)
+        raise ModelError(
+            f"unknown pipeline format {version!r} in {manifest_path} "
+            f"(this build reads formats {known}); refusing to guess"
+        )
 
     spec = load_cluster(src / "cluster.json")
     plan = plan_by_name(str(manifest["protocol"]))
@@ -91,12 +117,22 @@ def load_pipeline(directory: Path | str) -> EstimationPipeline:
         (str(kind), int(n)): float(value)
         for kind, n, value in manifest["cost_by_kind_and_n"]
     }
-    pipeline._campaign = CampaignResult(
-        plan_name=plan.name, dataset=dataset, cost_by_kind_and_n=cost
+    store = ModelStore.load(src / "models.json")
+
+    # Inject in dependency order: StageGraph.set drops everything
+    # downstream of the stage it replaces, so upstream artifacts must land
+    # before the artifacts that derive from them.
+    graph = pipeline.graph
+    graph.set(
+        "campaign",
+        CampaignResult(plan_name=plan.name, dataset=dataset, cost_by_kind_and_n=cost),
     )
-    pipeline._store = ModelStore.load(src / "models.json")
-    pipeline._adjustment = LinearAdjustment.from_dict(manifest["adjustment"])
     evaluation_path = src / "evaluation.json"
     if evaluation_path.exists():
-        pipeline._evaluation = Dataset.load(evaluation_path)
+        graph.set("evaluation", Dataset.load(evaluation_path))
+    # The saved store already contains the composed models; inject it as
+    # both the fit and compose artifacts so neither stage re-runs.
+    graph.set("fit", FitArtifact(store=store, excluded_paging=Dataset()))
+    graph.set("compose", ComposeArtifact(store=store, composed={}))
+    graph.set("adjust", LinearAdjustment.from_dict(manifest["adjustment"]))
     return pipeline

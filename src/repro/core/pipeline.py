@@ -1,20 +1,26 @@
 """End-to-end estimation pipelines: the paper's Basic / NL / NS protocols.
 
-:class:`EstimationPipeline` wires the whole method together over a cluster:
+:class:`EstimationPipeline` wires the whole method together over a cluster
+as an explicit stage graph (:mod:`repro.core.stages`):
 
-1. run the construction campaign (:mod:`repro.measure`);
-2. fit the N-T and P-T models (:mod:`repro.core.model_store`);
-3. compose P-T models for kinds that could not be measured
+1. ``campaign`` — run the construction campaign (:mod:`repro.measure`);
+2. ``fit`` — fit the N-T and P-T models (:mod:`repro.core.model_store`);
+3. ``compose`` — compose P-T models for kinds that could not be measured
    (:mod:`repro.core.composition`);
-4. calibrate the linear adjustment on the designated calibration family
-   (:mod:`repro.core.adjustment`);
-5. expose a configuration estimator and an exhaustive optimizer;
-6. verify against ground-truth measurements of the evaluation grid,
-   producing the rows of the paper's Tables 4 / 7 / 9 and the scatter data
-   of Figures 6-15.
+4. ``adjust`` — calibrate the linear adjustment on the designated
+   calibration family (:mod:`repro.core.adjustment`);
+5. ``search`` — expose a configuration estimator and an exhaustive
+   optimizer through the :class:`~repro.core.estimator.Estimator` facade;
+6. ``verify`` — compare against ground-truth measurements of the
+   evaluation grid, producing the rows of the paper's Tables 4 / 7 / 9
+   and the scatter data of Figures 6-15.
 
-Everything is lazily computed and cached; a pipeline is fully determined
-by ``(spec, plan, PipelineConfig)`` and reproducible from its seed.
+Everything is lazily computed and cached by the
+:class:`~repro.core.stages.StageGraph`; a pipeline is fully determined by
+``(spec, plan, PipelineConfig)`` and reproducible from its seed.  The
+pipeline class itself only (a) supplies the stage context, (b) composes
+per-kind estimates with the adjustment into :class:`ConfigEstimate`, and
+(c) keeps the public API stable.
 """
 
 from __future__ import annotations
@@ -29,17 +35,25 @@ from repro.cluster.spec import ClusterSpec
 from repro.core.adjustment import LinearAdjustment
 from repro.core.binning import KindEstimate, MemoryBin, ModelSelector
 from repro.core.composition import CompositionPolicy
-from repro.core.memory_guard import MemoryGuard, split_dataset
 from repro.core.model_store import ModelStore
-from repro.core.optimizer import ExhaustiveOptimizer, SearchOutcome, actual_best
+from repro.core.optimizer import ExhaustiveOptimizer, SearchOutcome
+from repro.core.stages import (
+    ComposeArtifact,
+    PipelineContext,
+    SearchEngine,
+    StageGraph,
+    calibration_configs,
+    calibration_size,
+    default_stages,
+)
 from repro.errors import ModelError
 from repro.hpl.driver import NoiseSpec, run_hpl
 from repro.hpl.memory import config_memory_ratio
 from repro.hpl.schedule import HPLParameters
-from repro.measure.campaign import CampaignResult, Runner, run_campaign, run_evaluation
+from repro.measure.campaign import CampaignResult, Runner
 from repro.measure.dataset import Dataset
 from repro.measure.grids import CampaignPlan, plan_by_name
-from repro.perf.cache import EstimateCache, model_fingerprint
+from repro.perf.cache import EstimateCache
 from repro.perf.report import PerfReport
 
 
@@ -130,170 +144,78 @@ class EstimationPipeline:
         self.spec = spec
         self.config = config if config is not None else PipelineConfig()
         self.plan = plan if plan is not None else plan_by_name(self.config.protocol)
-        self._campaign: Optional[CampaignResult] = None
-        self._evaluation: Optional[Dataset] = None
-        self._store: Optional[ModelStore] = None
-        self._selector: Optional[ModelSelector] = None
-        self._adjustment: Optional[LinearAdjustment] = None
-        self._composed: Dict[str, List[int]] = {}
         #: Per-stage wall-clock + cache statistics (perf-engine layer 3).
         self.perf = PerfReport()
-        self._estimate_cache: Optional[EstimateCache] = None
+        ctx = PipelineContext(
+            spec=self.spec,
+            config=self.config,
+            plan=self.plan,
+            perf=self.perf,
+            memory_ratio_fn=self._memory_ratio_for,
+            scalar_estimate=lambda config, n: self.estimate(config, n).total,
+            batch_estimate=self.estimate_totals,
+            candidates=lambda: list(self.plan.evaluation_configs),
+        )
+        self.graph = StageGraph(default_stages(), ctx)
 
     # -- stage 1: measurement ---------------------------------------------------
 
     @property
     def campaign(self) -> CampaignResult:
         """Construction measurements (runs the campaign on first access)."""
-        if self._campaign is None:
-            with self.perf.stage("campaign"):
-                self._campaign = run_campaign(
-                    self.spec,
-                    self.plan,
-                    params=self.config.hpl_params,
-                    noise=self.config.noise,
-                    seed=self.config.seed,
-                    runner=self.config.runner,
-                    workers=self.config.workers,
-                )
-        return self._campaign
+        return self.graph.get("campaign")
 
     @property
     def evaluation(self) -> Dataset:
         """Ground-truth measurements of the evaluation grid."""
-        if self._evaluation is None:
-            with self.perf.stage("evaluation"):
-                self._evaluation = run_evaluation(
-                    self.spec,
-                    self.plan,
-                    params=self.config.hpl_params,
-                    noise=self.config.noise,
-                    seed=self.config.seed,
-                    runner=self.config.runner,
-                    workers=self.config.workers,
-                )
-        return self._evaluation
+        return self.graph.get("evaluation")
 
     # -- stage 2+3: models ---------------------------------------------------------
 
     @property
     def store(self) -> ModelStore:
-        if self._store is None:
-            dataset = self.campaign.dataset
-            if self.config.memory_guard:
-                guard = MemoryGuard(
-                    self.spec,
-                    threshold=self.config.guard_threshold,
-                    footprint=self.config.guard_footprint,
-                )
-                dataset, self._excluded_paging = split_dataset(dataset, guard)
-            with self.perf.stage("fit"):
-                store = ModelStore.fit_dataset(
-                    dataset, weighting=self.config.nt_weighting
-                )
-            with self.perf.stage("compose"):
-                self._compose_missing(store)
-            self._store = store
-        return self._store
+        """The fitted-and-composed model store (fits on first access)."""
+        return self.graph.get("compose").store
 
     @property
     def excluded_paging_runs(self) -> Dataset:
         """Construction measurements the memory guard kept out of the fit
         (empty when the guard is off or nothing paged)."""
-        _ = self.store
-        return getattr(self, "_excluded_paging", Dataset())
+        return self.graph.get("fit").excluded_paging
 
-    def _compose_missing(self, store: ModelStore) -> None:
-        """Compose P-T models for kinds without enough measured PEs, using
-        the kind with the most measured P-T models as the source."""
-        measured_counts = {
-            kind: sum(
-                1
-                for (k, _), model in store.pt.items()
-                if k == kind and not model.is_composed
-            )
-            for kind in store.kinds()
-        }
-        if not measured_counts:
-            return
-        source = max(measured_counts, key=lambda k: (measured_counts[k], k))
-        if measured_counts[source] == 0:
-            return
-        for kind in store.kinds():
-            if kind == source:
-                continue
-            composed = self.config.composition.compose_missing(store, kind, source)
-            if composed:
-                self._composed[kind] = composed
+    @property
+    def models(self):
+        """The :class:`~repro.core.estimator.Estimator` facade — the one
+        query surface the optimizer, cache and analyses share."""
+        return self.graph.get("estimator")
 
     @property
     def selector(self) -> ModelSelector:
-        if self._selector is None:
-            self._selector = ModelSelector(
-                self.store, memory_bins=self.config.memory_bins
-            )
-        return self._selector
+        """Backwards-compatible name for :attr:`models` (the facade *is*
+        the binned selector for the standard protocols)."""
+        return self.graph.get("estimator")
 
     @property
     def composed_models(self) -> Dict[str, List[int]]:
         """Which (kind -> Mi list) P-T models were composed, for reporting."""
-        _ = self.store
-        return dict(self._composed)
+        artifact: ComposeArtifact = self.graph.get("compose")
+        return dict(artifact.composed)
 
     # -- stage 4: adjustment ----------------------------------------------------------
 
     @property
     def adjustment(self) -> LinearAdjustment:
-        if self._adjustment is None:
-            if not self.config.adjust:
-                self._adjustment = LinearAdjustment(
-                    mi_threshold=self.config.adjustment_threshold
-                )
-            else:
-                # The calibration fit needs the evaluation dataset; make
-                # sure its (separately timed) measurement stage does not
-                # get charged to "adjust".
-                _ = self.store, self.evaluation
-                with self.perf.stage("adjust"):
-                    self._adjustment = self._fit_adjustment()
-        return self._adjustment
+        return self.graph.get("adjust")
 
     def calibration_size(self) -> int:
         """The paper calibrates at N = 6400; clamp into the eval grid."""
-        if self.config.calibration_n is not None:
-            return self.config.calibration_n
-        sizes = self.plan.evaluation_sizes
-        return 6400 if 6400 in sizes else max(sizes)
+        return calibration_size(self.plan, self.config)
 
     def calibration_configs(self) -> List[ClusterConfig]:
         """The calibration family: evaluation configurations that use every
         kind at full PE count and reach the adjustment threshold (the
         paper's ``M1 >= 3`` at ``P2 = 8``)."""
-        available = self.spec.pe_counts()
-        threshold = self.config.adjustment_threshold
-        out = []
-        for config in self.plan.evaluation_configs:
-            if any(a.pe_count != available[a.kind_name] for a in config.active):
-                continue
-            if len(config.active) != len(available):
-                continue
-            if max(a.procs_per_pe for a in config.active) < threshold:
-                continue
-            out.append(config)
-        return out
-
-    def _fit_adjustment(self) -> LinearAdjustment:
-        n_cal = self.calibration_size()
-        triples = []
-        for config in self.calibration_configs():
-            estimate = self._estimate_raw(config, n_cal)
-            record = self.evaluation.lookup(
-                config.as_flat_tuple(self.plan.kinds), n_cal
-            )
-            triples.append((estimate.max_mi, estimate.raw_total, record.wall_time_s))
-        return LinearAdjustment.fit(
-            triples, mi_threshold=self.config.adjustment_threshold
-        )
+        return calibration_configs(self.spec, self.plan, self.config)
 
     # -- stage 5: estimation & optimization ----------------------------------------------
 
@@ -305,25 +227,13 @@ class EstimationPipeline:
 
     def _estimate_raw(self, config: ClusterConfig, n: int) -> ConfigEstimate:
         config.validate_against(self.spec)
-        p = config.total_processes
-        per_kind = []
-        for alloc in config.active:
-            ratio = (
-                self._memory_ratio_for(config, n, alloc.kind_name)
-                if self.config.memory_bins
-                else None
-            )
-            per_kind.append(
-                self.selector.estimate_kind(
-                    alloc.kind_name, n, p, alloc.procs_per_pe, memory_ratio=ratio
-                )
-            )
+        per_kind = self.models.estimate_kinds(config, n)
         total = max(estimate.total for estimate in per_kind)
         max_mi = max(a.procs_per_pe for a in config.active)
         return ConfigEstimate(
             config=config,
             n=n,
-            per_kind=tuple(per_kind),
+            per_kind=per_kind,
             raw_total=total,
             adjusted_total=total,
             max_mi=max_mi,
@@ -349,48 +259,24 @@ class EstimationPipeline:
         This is the hot inner product of the sweep workloads: per kind it
         evaluates one polynomial over the whole ``ns`` array instead of
         ``len(ns)`` scalar model calls (see
-        :meth:`repro.core.binning.ModelSelector.estimate_kind_batch`).
+        :meth:`repro.core.estimator.Estimator.estimate_kind_batch`).
         """
         config.validate_against(self.spec)
-        n_arr = np.asarray([float(n) for n in ns], dtype=float)
-        p = config.total_processes
-        total: Optional[np.ndarray] = None
-        valid: Optional[np.ndarray] = None
-        for alloc in config.active:
-            ratios = (
-                [
-                    self._memory_ratio_for(config, int(n), alloc.kind_name)
-                    for n in n_arr
-                ]
-                if self.config.memory_bins
-                else None
-            )
-            ta, tc, kind_valid = self.selector.estimate_kind_batch(
-                alloc.kind_name, n_arr, p, alloc.procs_per_pe, memory_ratios=ratios
-            )
-            kind_total = ta + tc
-            total = kind_total if total is None else np.maximum(total, kind_total)
-            valid = kind_valid if valid is None else (valid & kind_valid)
+        total, valid = self.models.estimate_kinds_batch(config, ns)
         max_mi = max(a.procs_per_pe for a in config.active)
         adjusted = self.adjustment.scale_for(max_mi) * total
         return np.where(valid, adjusted, np.inf)
+
+    @property
+    def _engine(self) -> SearchEngine:
+        return self.graph.get("search")
 
     @property
     def estimate_cache(self) -> EstimateCache:
         """Memoized ``(config, N) -> adjusted total`` store, bound to the
         current models by fingerprint (see DESIGN.md for the invalidation
         rule).  Building it forces the model fit."""
-        if self._estimate_cache is None:
-            fingerprint = model_fingerprint(
-                [model.to_dict() for model in self.store.nt.values()],
-                [model.to_dict() for model in self.store.pt.values()],
-                self.adjustment.to_dict(),
-                self.config.memory_bins,
-                self.config.guard_footprint,
-            )
-            self._estimate_cache = EstimateCache(fingerprint)
-            self.perf.cache = self._estimate_cache
-        return self._estimate_cache
+        return self._engine.estimate_cache
 
     def estimator(self, cached: bool = False):
         """The objective function for optimizers: (config, n) -> seconds.
@@ -398,87 +284,33 @@ class EstimationPipeline:
         ``cached=True`` routes lookups through :attr:`estimate_cache`
         (identical values; repeated queries become dict hits).
         """
-        if not cached:
-
-            def objective(config: ClusterConfig, n: int) -> float:
-                return self.estimate(config, n).total
-
-            return objective
-
-        def cached_objective(config: ClusterConfig, n: int) -> float:
-            cache = self.estimate_cache
-            key = cache.key_of(config)
-            hit = cache.get(key, n)
-            if hit is not None:
-                return hit
-            value = self.estimate(config, n).total
-            cache.put(key, n, value)
-            return value
-
-        return cached_objective
+        return self._engine.estimator(cached=cached)
 
     def batch_estimator(self):
         """Vectorized + cached objective for ``optimize_many``:
-        ``(config, [n...]) -> array of seconds``.
-
-        Cache hits are served from :attr:`estimate_cache`; only the
-        missing sizes go through one vectorized model evaluation, whose
-        results then populate the cache.
-        """
-        def batch_objective(config: ClusterConfig, ns: Sequence[int]) -> np.ndarray:
-            cache = self.estimate_cache
-            sizes = [int(n) for n in ns]
-            out = np.empty(len(sizes), dtype=float)
-            key = cache.key_of(config)
-            missing: List[int] = []
-            for i, n in enumerate(sizes):
-                hit = cache.get(key, n)
-                if hit is None:
-                    missing.append(i)
-                else:
-                    out[i] = hit
-            if missing:
-                values = self.estimate_totals(config, [sizes[i] for i in missing])
-                for j, i in enumerate(missing):
-                    out[i] = values[j]
-                    cache.put(key, sizes[i], float(values[j]))
-            return out
-
-        return batch_objective
+        ``(config, [n...]) -> array of seconds``."""
+        return self._engine.batch_estimator()
 
     def optimizer(
         self, candidates: Optional[Sequence[ClusterConfig]] = None
     ) -> ExhaustiveOptimizer:
-        return ExhaustiveOptimizer(
-            self.estimator(),
-            list(candidates) if candidates is not None else list(self.plan.evaluation_configs),
-            batch_estimator=self.batch_estimator(),
-        )
+        return self._engine.optimizer(candidates)
 
     def optimize(self, n: int) -> SearchOutcome:
-        # materialize the models first, so lazy campaign/fit time lands in
-        # its own stages instead of being billed to the search
-        _ = self.store, self.adjustment
-        with self.perf.stage("search"):
-            return self.optimizer().optimize(n)
+        # Resolving the engine forces campaign/fit/adjust through their
+        # own timed stages, so the search timing is pure search.
+        return self._engine.optimize(n)
 
     def optimize_many(self, ns: Sequence[int]) -> List[SearchOutcome]:
         """Rank the candidate grid at every size in one batched search —
         the fast path for sweeps and what-if studies."""
-        _ = self.store, self.adjustment
-        with self.perf.stage("search"):
-            return self.optimizer().optimize_many(ns)
+        return self._engine.optimize_many(ns)
 
     # -- stage 6: verification --------------------------------------------------------------
 
     def measured_time(self, config: ClusterConfig, n: int) -> float:
-        record = self.evaluation.lookup(config.as_flat_tuple(self.plan.kinds), n)
-        return record.wall_time_s
+        return self.graph.get("verify").measured_time(config, n)
 
     def actual_best(self, n: int) -> Tuple[ClusterConfig, float]:
         """Ground-truth optimum over the evaluation grid at order ``n``."""
-        measured = [
-            (config, self.measured_time(config, n))
-            for config in self.plan.evaluation_configs
-        ]
-        return actual_best(measured)
+        return self.graph.get("verify").actual_best(n)

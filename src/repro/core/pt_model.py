@@ -27,6 +27,10 @@ Coefficients are extracted by least squares against the N-T family's
 predictions over the construction grid (the paper fits "from the
 corresponding N-T models"), which requires at least three measured ``P``
 (two coefficients for Ta, three for Tc — Section 3.3).
+
+:class:`PTModel` satisfies the :class:`~repro.core.model_api.TimeModel`
+protocol; unlike the N-T model it genuinely depends on ``P``, so its
+``predict_*`` require the ``p`` argument.
 """
 
 from __future__ import annotations
@@ -37,12 +41,14 @@ from typing import Dict, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.core import lsq
+from repro.core.model_api import ModelDomain, TimeModelMixin, register_model
 from repro.core.nt_model import NTModel
 from repro.errors import FitError, ModelError
 
 
+@register_model("pt")
 @dataclass(frozen=True)
-class PTModel:
+class PTModel(TimeModelMixin):
     """Fitted P-T model for one ``(kind, Mi)`` pair."""
 
     kind_name: str
@@ -66,20 +72,16 @@ class PTModel:
         if len(self.ta_ref) != 4 or len(self.tc_ref) != 3:
             raise ModelError("P-T reference polynomials have wrong degree")
 
-    @property
-    def is_composed(self) -> bool:
-        return bool(self.composed_from)
-
     # -- prediction ---------------------------------------------------------
 
-    def predict_ta(self, n, p):
+    def predict_ta(self, n, p=None):
         """Computation time of this kind's processes at ``(N, P)``."""
         self._check_p(p)
         ref = lsq.polyval(self.ta_ref, n)
         return self.k7 * np.asarray(ref) / np.asarray(p, dtype=float) + self.k8 \
             if np.ndim(ref) or np.ndim(p) else self.k7 * ref / float(p) + self.k8
 
-    def predict_tc(self, n, p):
+    def predict_tc(self, n, p=None):
         """Communication time of this kind's processes at ``(N, P)``."""
         self._check_p(p)
         ref = np.asarray(lsq.polyval(self.tc_ref, n), dtype=float)
@@ -87,17 +89,9 @@ class PTModel:
         result = self.k9 * p_arr * ref + self.k10 * ref / p_arr + self.k11
         return result if result.ndim else float(result)
 
-    def predict_total(self, n, p):
-        return np.asarray(self.predict_ta(n, p)) + np.asarray(self.predict_tc(n, p)) \
-            if np.ndim(n) or np.ndim(p) else self.predict_ta(n, p) + self.predict_tc(n, p)
-
-    def _check_p(self, p) -> None:
-        p_arr = np.asarray(p)
-        if np.any(p_arr < self.mi):
-            raise ModelError(
-                f"P-T model ({self.kind_name}, Mi={self.mi}) queried with "
-                f"P < Mi — that case does not exist (paper Fig. 5)"
-            )
+    @property
+    def domain(self) -> ModelDomain:
+        return ModelDomain(n_range=self.n_range, p_range=self.p_range)
 
     # -- construction ------------------------------------------------------------
 
@@ -178,8 +172,7 @@ class PTModel:
     ) -> "PTModel":
         """Model composition (paper Section 3.5): derive another kind's P-T
         model by scaling this one's Ta and Tc by constant factors."""
-        if ta_factor <= 0 or tc_factor <= 0:
-            raise ModelError("composition factors must be positive")
+        self._check_scale_factors(ta_factor, tc_factor)
         return PTModel(
             kind_name=kind_name,
             mi=self.mi,

@@ -21,6 +21,13 @@ model is simpler and at least as accurate *inside* the measured (N, P)
 envelope, but it shares polynomial extrapolation's fragility — fitted on
 the NS grid it fails exactly like the N-T/P-T stack, because the problem
 is the data, not the plumbing.
+
+:class:`UnifiedModel` satisfies the
+:class:`~repro.core.model_api.TimeModel` protocol, and
+:class:`UnifiedEstimator` is now a thin constructor over the
+:class:`~repro.core.estimator.Estimator` facade with a
+:class:`~repro.core.estimator.UnifiedBackend` — proof that a whole
+alternative estimation method plugs in behind the same interface.
 """
 
 from __future__ import annotations
@@ -31,6 +38,8 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.core import lsq
+from repro.core.estimator import Estimator
+from repro.core.model_api import ModelDomain, TimeModelMixin, register_model
 from repro.errors import FitError, ModelError
 from repro.measure.dataset import Dataset
 
@@ -47,8 +56,9 @@ def _design_tc(n: np.ndarray, p: np.ndarray) -> np.ndarray:
     )
 
 
+@register_model("unified")
 @dataclass(frozen=True)
-class UnifiedModel:
+class UnifiedModel(TimeModelMixin):
     """One direct ``(N, P) -> (Ta, Tc)`` model for a ``(kind, Mi)`` pair."""
 
     kind_name: str
@@ -60,6 +70,7 @@ class UnifiedModel:
     #: fit diagnostics; excluded from equality so serialization round-trips
     chisq_ta: float = field(default=0.0, compare=False)
     chisq_tc: float = field(default=0.0, compare=False)
+    composed_from: str = ""  # source kind when built by model composition
 
     def __post_init__(self) -> None:
         if self.mi < 1:
@@ -69,38 +80,23 @@ class UnifiedModel:
 
     # -- prediction ---------------------------------------------------------
 
-    def predict_ta(self, n, p):
+    def predict_ta(self, n, p=None):
         n_arr = np.asarray(n, dtype=float)
+        self._check_p(p)
         p_arr = np.asarray(p, dtype=float)
-        self._check_p(p_arr)
         out = _design_ta(np.atleast_1d(n_arr), np.atleast_1d(p_arr)) @ np.asarray(self.ua)
         return out if n_arr.ndim or p_arr.ndim else float(out[0])
 
-    def predict_tc(self, n, p):
+    def predict_tc(self, n, p=None):
         n_arr = np.asarray(n, dtype=float)
+        self._check_p(p)
         p_arr = np.asarray(p, dtype=float)
-        self._check_p(p_arr)
         out = _design_tc(np.atleast_1d(n_arr), np.atleast_1d(p_arr)) @ np.asarray(self.uc)
         return out if n_arr.ndim or p_arr.ndim else float(out[0])
 
-    def predict_total(self, n, p):
-        ta = np.asarray(self.predict_ta(n, p))
-        tc = np.asarray(self.predict_tc(n, p))
-        out = ta + tc
-        return out if out.ndim else float(out)
-
-    def _check_p(self, p: np.ndarray) -> None:
-        if np.any(p < self.mi):
-            raise ModelError(
-                f"unified model ({self.kind_name}, Mi={self.mi}) queried "
-                f"with P < Mi"
-            )
-
-    def extrapolating(self, n: float, p: float) -> bool:
-        return not (
-            self.n_range[0] <= n <= self.n_range[1]
-            and self.p_range[0] <= p <= self.p_range[1]
-        )
+    @property
+    def domain(self) -> ModelDomain:
+        return ModelDomain(n_range=self.n_range, p_range=self.p_range)
 
     # -- construction ------------------------------------------------------------
 
@@ -163,8 +159,7 @@ class UnifiedModel:
 
     def scaled(self, kind_name: str, ta_factor: float, tc_factor: float) -> "UnifiedModel":
         """Model composition, as for P-T models (Section 3.5)."""
-        if ta_factor <= 0 or tc_factor <= 0:
-            raise ModelError("composition factors must be positive")
+        self._check_scale_factors(ta_factor, tc_factor)
         return UnifiedModel(
             kind_name=kind_name,
             mi=self.mi,
@@ -172,12 +167,13 @@ class UnifiedModel:
             uc=tuple(c * tc_factor for c in self.uc),
             n_range=self.n_range,
             p_range=self.p_range,
+            composed_from=self.kind_name,
         )
 
     # -- serialization ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "kind": self.kind_name,
             "mi": self.mi,
             "ua": list(self.ua),
@@ -185,6 +181,9 @@ class UnifiedModel:
             "n_range": list(self.n_range),
             "p_range": list(self.p_range),
         }
+        if self.composed_from:
+            out["composed_from"] = self.composed_from
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "UnifiedModel":
@@ -195,12 +194,14 @@ class UnifiedModel:
             uc=tuple(float(v) for v in data["uc"]),  # type: ignore[union-attr]
             n_range=tuple(int(v) for v in data["n_range"]),  # type: ignore[union-attr,arg-type]
             p_range=tuple(int(v) for v in data["p_range"]),  # type: ignore[union-attr,arg-type]
+            composed_from=str(data.get("composed_from", "")),
         )
 
 
 class UnifiedEstimator:
     """Drop-in estimator over unified models: composes per-kind times with
-    the same bottleneck (max) rule as the binned pipeline.
+    the same bottleneck (max) rule as the binned pipeline, via the
+    :class:`~repro.core.estimator.Estimator` facade.
 
     Build with :meth:`fit_dataset`; kinds without enough (N, P) coverage
     are composed from the richest kind with the same constant-factor
@@ -208,9 +209,8 @@ class UnifiedEstimator:
     """
 
     def __init__(self, models: Dict[Tuple[str, int], UnifiedModel]):
-        if not models:
-            raise ModelError("no unified models supplied")
-        self.models = dict(models)
+        self._facade = Estimator.for_unified(dict(models))
+        self.models = self._facade.backend.by_key  # type: ignore[attr-defined]
 
     @classmethod
     def fit_dataset(
@@ -275,26 +275,11 @@ class UnifiedEstimator:
         model is out of its domain for that configuration and must not
         make it look cheap (same semantics as the binned pipeline).
         """
-        p = config.total_processes
-        worst = 0.0
-        for alloc in config.active:
-            key = (alloc.kind_name, alloc.procs_per_pe)
-            if key not in self.models:
-                raise ModelError(f"no unified model for {key}")
-            model = self.models[key]
-            raw = float(model.predict_ta(n, p)) + float(model.predict_tc(n, p))
-            if raw <= 0.0:
-                return float("inf")
-            worst = max(worst, raw)
-        return worst
+        return self._facade.estimate_total(config, n)
 
     def estimator(self):
         """Objective-function form for the optimizers."""
-
-        def objective(config, n: int) -> float:
-            return self.estimate(config, n)
-
-        return objective
+        return self._facade.objective()
 
 
 def _derive_factors(

@@ -24,11 +24,10 @@ visible in the plan itself.  The advisor inspects a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.cluster.spec import ClusterSpec
 from repro.core.memory_guard import MemoryGuard
-from repro.errors import MeasurementError
 from repro.hpl.workload import hpl_benchmark_flops
 from repro.measure.grids import CampaignPlan
 from repro.units import GFLOPS, pretty_seconds

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.correlation import correlation_data
 from repro.analysis.figures import (
-    FIG1_SIZES,
     Series,
     ascii_scatter,
     fig1_series,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.network import fast_ethernet, gigabit_sx
 from repro.cluster.node import Node
-from repro.cluster.presets import athlon_1333, kishimoto_cluster, pentium2_400, single_node_cluster, synthetic_cluster
+from repro.cluster.presets import athlon_1333, kishimoto_cluster, single_node_cluster, synthetic_cluster
 from repro.cluster.spec import ClusterSpec
 from repro.errors import ClusterError
 from repro.simnet.mpich import mpich_1_2_1, mpich_1_2_2

@@ -14,7 +14,7 @@ from repro.cluster.presets import kishimoto_cluster
 from repro.core.pipeline import EstimationPipeline, PipelineConfig
 from repro.hpl.driver import NoiseSpec
 from repro.measure.campaign import run_campaign
-from repro.measure.grids import PAPER_KINDS, basic_plan, nl_plan, ns_plan
+from repro.measure.grids import PAPER_KINDS, basic_plan
 
 
 @pytest.fixture(scope="session")

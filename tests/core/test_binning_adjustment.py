@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.adjustment import LinearAdjustment
-from repro.core.binning import KindEstimate, MemoryBin, ModelSelector
+from repro.core.binning import MemoryBin, ModelSelector
 from repro.core.model_store import ModelStore
 from repro.core.nt_model import NTModel
 from repro.core.pt_model import PTModel

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.nt_model import NTModel
 from repro.errors import FitError, ModelError
-from repro.measure.grids import ns_plan
 
 
 class TestFit:

@@ -12,7 +12,6 @@ from repro.cluster.serialize import (
     save_cluster,
 )
 from repro.core.persistence import load_pipeline, save_pipeline
-from repro.core.pipeline import EstimationPipeline, PipelineConfig
 from repro.errors import ClusterError, MeasurementError
 
 

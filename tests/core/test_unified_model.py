@@ -1,11 +1,9 @@
 """Tests for the unified two-variable model (future-work extension)."""
 
-import numpy as np
 import pytest
 
 from repro.core.unified_model import UnifiedEstimator, UnifiedModel
 from repro.errors import FitError, ModelError
-from repro.measure.grids import PAPER_KINDS
 
 
 def synthetic_samples():

@@ -1,6 +1,5 @@
 """Unit tests for 1-D block-cyclic distribution arithmetic."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

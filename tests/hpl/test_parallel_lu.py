@@ -13,7 +13,6 @@ from repro.cluster.presets import kishimoto_cluster
 from repro.errors import SimulationError
 from repro.hpl.lu import blocked_lu, lu_solve
 from repro.hpl.parallel_lu import (
-    DistributedLUResult,
     distributed_lu,
     expected_ring_messages,
 )

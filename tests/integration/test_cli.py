@@ -1,5 +1,8 @@
 """CLI integration tests (in-process via cli.main)."""
 
+import re
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -97,6 +100,25 @@ class TestCLI:
         assert code == 0
         assert "synthetic-2kinds" in out
         assert "athlon" not in out
+
+    def test_models_inventory_of_saved_pipeline(self, capsys):
+        fixture = Path(__file__).parent.parent / "golden" / "format1_pipeline"
+        code, out, _ = run_cli(capsys, "models", "--dir", str(fixture))
+        assert code == 0
+        assert "backend: binned" in out
+        # every model row carries type, identity, provenance, coefficients
+        assert "nt " in out and "pt " in out
+        assert "fitted" in out and "composed<-" in out
+        assert "ka=[" in out and "ta_ref=[" in out
+        # fingerprints are the 16-hex model_fingerprint form
+        assert re.search(r"\b[0-9a-f]{16}\b", out)
+        lines = [line for line in out.splitlines() if line.startswith("  ")]
+        assert len(lines) == 42  # 36 N-T + 6 P-T models of the NS fixture
+
+    def test_models_rejects_non_pipeline_dir(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "models", "--dir", str(tmp_path))
+        assert code == 1
+        assert "not a saved pipeline" in err
 
     def test_unknown_command_exits_nonzero(self, capsys):
         with pytest.raises(SystemExit):

@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.measure.advisor import SAFE_EXTRAPOLATION, advise
 from repro.measure.grids import basic_plan, custom_plan, nl_plan, ns_plan

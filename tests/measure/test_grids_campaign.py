@@ -8,7 +8,6 @@ from repro.errors import MeasurementError
 from repro.hpl.driver import NoiseSpec
 from repro.measure.campaign import run_campaign, run_evaluation
 from repro.measure.grids import (
-    PAPER_KINDS,
     basic_plan,
     evaluation_configs,
     nl_plan,

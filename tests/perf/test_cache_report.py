@@ -1,7 +1,6 @@
 """Unit tests for the estimate cache (keys, counters, fingerprint
 invalidation) and the per-stage performance report."""
 
-import time
 
 from repro.cluster.config import ClusterConfig
 from repro.measure.grids import PAPER_KINDS

@@ -7,8 +7,8 @@ from hypothesis import strategies as st
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.placement import place_processes, ring_neighbors
-from repro.cluster.presets import kishimoto_cluster, synthetic_cluster
-from repro.simnet.transport import LinkKind, Transport, classify
+from repro.cluster.presets import kishimoto_cluster
+from repro.simnet.transport import LinkKind, Transport
 
 KINDS = ("athlon", "pentium2")
 SPEC = kishimoto_cluster()

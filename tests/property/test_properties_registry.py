@@ -1,0 +1,130 @@
+"""Property-based round-trips of the model registry (repro.core.model_api).
+
+Serialization through the type-tagged registry must be lossless for every
+registered model class — including composed (``scaled``) variants, whose
+``composed_from`` provenance has to survive the wire format.  The
+strategies build models directly from finite coefficients (fitting is
+covered elsewhere); round-trip equality is dataclass equality, i.e.
+bitwise on every compared field.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model_api import (
+    TimeModel,
+    model_from_dict,
+    model_to_dict,
+    registered_model_types,
+)
+from repro.core.nt_model import NTModel
+from repro.core.pt_model import PTModel
+from repro.core.unified_model import UnifiedModel
+from repro.errors import ModelError
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+factor = st.floats(min_value=1e-3, max_value=1e3)
+kind_names = st.sampled_from(["athlon", "pentium2", "opteron", "k6"])
+
+
+@st.composite
+def n_ranges(draw):
+    low = draw(st.integers(min_value=100, max_value=4000))
+    high = draw(st.integers(min_value=low, max_value=20000))
+    return (low, high)
+
+
+@st.composite
+def nt_models(draw):
+    mi = draw(st.integers(min_value=1, max_value=6))
+    p = draw(st.integers(min_value=mi, max_value=32))
+    return NTModel(
+        kind_name=draw(kind_names),
+        p=p,
+        mi=mi,
+        ka=tuple(draw(st.lists(finite, min_size=4, max_size=4))),
+        kc=tuple(draw(st.lists(finite, min_size=3, max_size=3))),
+        n_range=draw(n_ranges()),
+        chisq_ta=draw(finite),
+        chisq_tc=draw(finite),
+    )
+
+
+@st.composite
+def pt_models(draw):
+    k = draw(st.lists(finite, min_size=5, max_size=5))
+    return PTModel(
+        kind_name=draw(kind_names),
+        mi=draw(st.integers(min_value=1, max_value=6)),
+        ta_ref=tuple(draw(st.lists(finite, min_size=4, max_size=4))),
+        tc_ref=tuple(draw(st.lists(finite, min_size=3, max_size=3))),
+        k7=k[0],
+        k8=k[1],
+        k9=k[2],
+        k10=k[3],
+        k11=k[4],
+        n_range=draw(n_ranges()),
+        p_range=(1, draw(st.integers(min_value=1, max_value=64))),
+    )
+
+
+@st.composite
+def unified_models(draw):
+    return UnifiedModel(
+        kind_name=draw(kind_names),
+        mi=draw(st.integers(min_value=1, max_value=6)),
+        ua=tuple(draw(st.lists(finite, min_size=5, max_size=5))),
+        uc=tuple(draw(st.lists(finite, min_size=5, max_size=5))),
+        n_range=draw(n_ranges()),
+        p_range=(1, draw(st.integers(min_value=1, max_value=64))),
+    )
+
+
+any_model = st.one_of(nt_models(), pt_models(), unified_models())
+
+
+class TestRegistryRoundTrip:
+    @given(model=any_model)
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_is_identity(self, model):
+        data = model_to_dict(model)
+        assert data["type"] == model.model_type
+        assert model_from_dict(data) == model
+
+    @given(model=any_model, ta_factor=factor, tc_factor=factor)
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_variants_round_trip_with_provenance(
+        self, model, ta_factor, tc_factor
+    ):
+        composed = model.scaled("composed-target", ta_factor, tc_factor)
+        assert composed.is_composed
+        restored = model_from_dict(model_to_dict(composed))
+        assert restored == composed
+        assert restored.is_composed
+        assert restored.composed_from == model.kind_name
+
+    @given(model=any_model)
+    @settings(max_examples=30, deadline=None)
+    def test_every_model_satisfies_the_protocol(self, model):
+        assert isinstance(model, TimeModel)
+        assert model.model_type in registered_model_types()
+        # fingerprint is stable and serialization-determined
+        assert model.fingerprint() == model_from_dict(
+            model_to_dict(model)
+        ).fingerprint()
+
+
+class TestRegistryErrors:
+    def test_unknown_tag_is_rejected(self):
+        with pytest.raises(ModelError, match="unknown model type 'xgboost'"):
+            model_from_dict({"type": "xgboost"})
+
+    def test_missing_tag_is_rejected(self):
+        with pytest.raises(ModelError, match="unknown model type"):
+            model_from_dict({"kind": "athlon"})
+
+    def test_known_tags(self):
+        assert registered_model_types() == ("nt", "pt", "unified")

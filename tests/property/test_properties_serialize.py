@@ -1,6 +1,5 @@
 """Property-based round-trip tests for serialization layers."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

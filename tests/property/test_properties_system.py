@@ -14,7 +14,7 @@ from repro.hpl.driver import run_hpl
 from repro.hpl.lu import blocked_lu, lu_solve, permutation_vector, reconstruct
 from repro.hpl.timing import PhaseTimes
 from repro.simnet.collectives import ring_delivery_times
-from repro.simnet.event_sim import Put, Receive, Simulator, Timeout
+from repro.simnet.event_sim import Put, Receive, Simulator
 
 KINDS = ("athlon", "pentium2")
 SPEC = kishimoto_cluster()

@@ -1,7 +1,6 @@
 """Tests for the MPI-like API and broadcast algorithms, including the
 closed-form-vs-event-driven cross-validation."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.config import ClusterConfig

@@ -10,7 +10,7 @@ from repro.errors import ClusterError, SimulationError
 from repro.simnet.mpich import MPICHVersion, mpich_1_2_1, mpich_1_2_2, mpich_1_2_5
 from repro.simnet.netpipe import probe_link, probe_transport, standard_block_sizes
 from repro.simnet.transport import LinkKind, Transport
-from repro.units import GBPS_IN_BYTES, KB, to_gbps
+from repro.units import KB, to_gbps
 
 KINDS = ("athlon", "pentium2")
 

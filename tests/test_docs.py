@@ -9,10 +9,8 @@ Docs are deliverables here; these tests keep them honest:
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
-import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
 
