@@ -124,6 +124,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--per-process", action="store_true", help="also print per-rank rows"
     )
 
+    save = sub.add_parser(
+        "save", help="run a pipeline and persist it for repro serve/estimate"
+    )
+    save.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
+    save.add_argument("--out", required=True, help="target directory")
+
     models = sub.add_parser(
         "models", help="model inventory of a saved pipeline directory"
     )
@@ -132,6 +138,78 @@ def _build_parser() -> argparse.ArgumentParser:
         required=True,
         help="directory written by save_pipeline (see repro.core.persistence)",
     )
+
+    estimate = sub.add_parser(
+        "estimate", help="estimate one configuration from a saved pipeline"
+    )
+    estimate.add_argument(
+        "--dir", required=True, help="directory written by save_pipeline"
+    )
+    estimate.add_argument(
+        "--config",
+        required=True,
+        help="flat configuration tuple, e.g. 1,2,8,1 (P1,M1,P2,M2 order)",
+    )
+    estimate.add_argument(
+        "--n",
+        type=int,
+        required=True,
+        action="append",
+        help="problem order (repeatable for several sizes)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve saved pipelines over a JSON-lines TCP socket"
+    )
+    serve.add_argument(
+        "--dir",
+        required=True,
+        action="append",
+        metavar="[NAME=]PATH",
+        help=(
+            "saved pipeline directory to serve (repeatable); NAME defaults "
+            "to the directory's basename"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7453)
+    serve.add_argument(
+        "--max-pending", type=int, default=256,
+        help="pending-queue bound; beyond it requests are shed (Overloaded)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="micro-batch size cap (1 disables batching)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="coalescing window after the first queued request (0 disables)",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=4096,
+        help="per-pipeline LRU estimate-cache bound (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--refresh-interval", type=float, default=0.5,
+        help="seconds between hot-reload directory checks (0 disables)",
+    )
+
+    client = sub.add_parser(
+        "client", help="query a running `repro serve` (smoke testing)"
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7453)
+    client.add_argument(
+        "--op",
+        required=True,
+        choices=["estimate", "optimize", "whatif", "models", "stats", "reload", "ping"],
+    )
+    client.add_argument("--pipeline", default=None, help="pipeline name on the server")
+    client.add_argument("--config", default=None, help="flat tuple, e.g. 1,2,8,1")
+    client.add_argument(
+        "--n", type=int, action="append", default=None, help="problem order (repeatable)"
+    )
+    client.add_argument("--top", type=int, default=10, help="ranking depth (optimize)")
 
     export = sub.add_parser(
         "export", help="write every experiment's data as CSV for plotting"
@@ -207,6 +285,86 @@ def _model_inventory(pipeline: EstimationPipeline, source: str) -> str:
             f"{model.fingerprint()}  {coefficients}"
         )
     return "\n".join(lines)
+
+
+def _run_server(args: argparse.Namespace) -> None:
+    """``repro serve``: load every --dir, serve until interrupted."""
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve import EstimationServer, ModelRegistry
+
+    registry = ModelRegistry(
+        cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None
+    )
+    for spec_text in args.dir:
+        name, _, path = spec_text.rpartition("=")
+        if not name:
+            name = Path(path).name or "pipeline"
+        entry = registry.add(name, path)
+        print(
+            f"loaded {name!r} from {path} "
+            f"(protocol {entry.pipeline.plan.name}, "
+            f"fingerprint {entry.fingerprint})"
+        )
+
+    async def run() -> None:
+        server = EstimationServer(
+            registry,
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            max_batch=args.max_batch,
+            batch_window_s=args.batch_window_ms / 1e3,
+            refresh_interval_s=args.refresh_interval or None,
+        )
+        host, port = await server.start()
+        print(
+            f"serving {len(registry)} pipeline(s) on {host}:{port} "
+            f"(max_batch={args.max_batch}, window={args.batch_window_ms}ms, "
+            f"max_pending={args.max_pending}); Ctrl-C to stop"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.shutdown()
+            print("\n" + server.metrics.describe())
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+
+
+def _run_client(args: argparse.Namespace) -> None:
+    """``repro client``: one request against a running server."""
+    import json
+
+    from repro.serve import ServeClient
+
+    params = {}
+    if args.pipeline is not None:
+        params["pipeline"] = args.pipeline
+    if args.config is not None:
+        params["config"] = [int(v) for v in args.config.split(",")]
+    if args.n:
+        params["ns"] = list(args.n)
+    if args.op == "optimize":
+        params["top"] = args.top
+    try:
+        client = ServeClient(args.host, args.port)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach server at {args.host}:{args.port} ({exc})"
+        ) from exc
+    with client:
+        reply = client.request(args.op, **params)
+    print(json.dumps(reply, indent=1))
+    if not reply.get("ok"):
+        error = reply.get("error") or {}
+        raise ReproError(
+            f"{error.get('type', 'Internal')}: {error.get('message', 'request failed')}"
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -288,10 +446,31 @@ def _dispatch(args: argparse.Namespace) -> None:
                 spec, config, args.n, seed=args.seed, per_process=args.per_process
             )
         )
+    elif args.command == "save":
+        from repro.core.persistence import save_pipeline
+
+        out = save_pipeline(_pipeline(args), args.out)
+        print(f"saved {args.protocol} pipeline (seed {args.seed}) to {out}")
     elif args.command == "models":
         from repro.core.persistence import load_pipeline
 
         print(_model_inventory(load_pipeline(args.dir), args.dir))
+    elif args.command == "estimate":
+        from repro.cluster.config import ClusterConfig
+        from repro.core.persistence import load_pipeline
+
+        pipeline = load_pipeline(args.dir)
+        values = [int(v) for v in args.config.split(",")]
+        config = ClusterConfig.from_tuple(pipeline.plan.kinds, values)
+        config.validate_against(pipeline.spec)
+        totals = pipeline.estimate_totals(config, args.n)
+        for n, total in zip(args.n, totals):
+            rendered = f"{total:.6g} s" if total < float("inf") else "unestimable"
+            print(f"{config.label(pipeline.plan.kinds):>12s}  N={n:<6d} {rendered}")
+    elif args.command == "serve":
+        _run_server(args)
+    elif args.command == "client":
+        _run_client(args)
     elif args.command == "export":
         from repro.analysis.export import export_figures, export_protocol
 

@@ -53,6 +53,31 @@ CURRENT_FORMAT = 2
 SUPPORTED_FORMATS = (1, 2)
 
 
+def _required(path: Path, what: str) -> Path:
+    """Existence gate for one artifact of a saved pipeline directory."""
+    if not path.exists():
+        raise ModelError(f"saved pipeline is missing its {what}: {path}")
+    return path
+
+
+def _load_artifact(path: Path, what: str, loader):
+    """Run one artifact loader, converting file corruption into a
+    :class:`~repro.errors.ModelError` that names the offending path.
+
+    A truncated/garbled JSON file raises ``json.JSONDecodeError``; a file
+    that parses but lacks required structure raises ``KeyError`` /
+    ``TypeError`` / ``ValueError`` from the loader.  All of those mean
+    the same thing to a caller — this directory cannot be served — so
+    they surface uniformly, with the path, instead of as tracebacks.
+    """
+    try:
+        return loader(_required(path, what))
+    except ModelError:
+        raise
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise ModelError(f"corrupt {what} in saved pipeline: {path} ({exc})") from exc
+
+
 def save_pipeline(
     pipeline: EstimationPipeline,
     directory: Path | str,
@@ -97,7 +122,11 @@ def load_pipeline(directory: Path | str) -> EstimationPipeline:
     manifest_path = src / _MANIFEST
     if not manifest_path.exists():
         raise MeasurementError(f"{src} is not a saved pipeline (no {_MANIFEST})")
-    manifest = json.loads(manifest_path.read_text())
+    manifest = _load_artifact(
+        manifest_path, "manifest", lambda p: json.loads(p.read_text())
+    )
+    if not isinstance(manifest, dict):
+        raise ModelError(f"corrupt manifest in saved pipeline: {manifest_path}")
     version = manifest.get("format")
     if version not in SUPPORTED_FORMATS:
         known = ", ".join(str(v) for v in SUPPORTED_FORMATS)
@@ -106,18 +135,27 @@ def load_pipeline(directory: Path | str) -> EstimationPipeline:
             f"(this build reads formats {known}); refusing to guess"
         )
 
-    spec = load_cluster(src / "cluster.json")
-    plan = plan_by_name(str(manifest["protocol"]))
+    spec = _load_artifact(src / "cluster.json", "cluster description", load_cluster)
+    try:
+        plan = plan_by_name(str(manifest["protocol"]))
+        seed = int(manifest["seed"])
+        cost = {
+            (str(kind), int(n)): float(value)
+            for kind, n, value in manifest["cost_by_kind_and_n"]
+        }
+        adjustment = LinearAdjustment.from_dict(manifest["adjustment"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelError(
+            f"corrupt manifest in saved pipeline: {manifest_path} ({exc!r})"
+        ) from exc
     pipeline = EstimationPipeline(
-        spec, PipelineConfig(protocol=plan.name, seed=int(manifest["seed"])), plan=plan
+        spec, PipelineConfig(protocol=plan.name, seed=seed), plan=plan
     )
 
-    dataset = Dataset.load(src / "construction.json")
-    cost = {
-        (str(kind), int(n)): float(value)
-        for kind, n, value in manifest["cost_by_kind_and_n"]
-    }
-    store = ModelStore.load(src / "models.json")
+    dataset = _load_artifact(
+        src / "construction.json", "construction dataset", Dataset.load
+    )
+    store = _load_artifact(src / "models.json", "model store", ModelStore.load)
 
     # Inject in dependency order: StageGraph.set drops everything
     # downstream of the stage it replaces, so upstream artifacts must land
@@ -129,10 +167,13 @@ def load_pipeline(directory: Path | str) -> EstimationPipeline:
     )
     evaluation_path = src / "evaluation.json"
     if evaluation_path.exists():
-        graph.set("evaluation", Dataset.load(evaluation_path))
+        graph.set(
+            "evaluation",
+            _load_artifact(evaluation_path, "evaluation dataset", Dataset.load),
+        )
     # The saved store already contains the composed models; inject it as
     # both the fit and compose artifacts so neither stage re-runs.
     graph.set("fit", FitArtifact(store=store, excluded_paging=Dataset()))
     graph.set("compose", ComposeArtifact(store=store, composed={}))
-    graph.set("adjust", LinearAdjustment.from_dict(manifest["adjustment"]))
+    graph.set("adjust", adjustment)
     return pipeline

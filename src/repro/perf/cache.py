@@ -15,13 +15,24 @@ by one model generation can never answer for another; refit the models
 and the pipeline builds a fresh cache with a fresh fingerprint.  Timing
 fields (e.g. ``ModelStore.build_seconds``) are deliberately excluded:
 two stores holding identical models fingerprint identically.
+
+**Bounding rule**: a long-lived cache (the serving layer keeps one per
+registry entry for the lifetime of the process) must not grow without
+limit.  Passing ``capacity`` turns the cache into an LRU: both hits and
+updates refresh an entry's recency, and inserting beyond capacity evicts
+the least-recently-used entry, counted in :attr:`CacheStats.evictions`.
+The default (``capacity=None``) keeps the historical unbounded behavior
+for the in-pipeline caches, whose working set is the candidate grid.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import ReproError
 
 
 def model_fingerprint(*parts: object) -> str:
@@ -39,10 +50,11 @@ def model_fingerprint(*parts: object) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`EstimateCache`."""
+    """Hit/miss/eviction counters of one :class:`EstimateCache`."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -52,11 +64,21 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another counter set into this one (e.g. when a serving
+        registry retires a cache generation but keeps session totals)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.hits} hits / {self.misses} misses "
             f"({self.hit_rate:.1%} hit rate)"
         )
+        if self.evictions:
+            text += f", {self.evictions} evictions"
+        return text
 
 
 class EstimateCache:
@@ -64,13 +86,17 @@ class EstimateCache:
 
     Keys are ``(config.key(), n, fingerprint)``;
     :meth:`key_of` exposes the config part so hot loops can compute it
-    once per configuration instead of once per lookup.
+    once per configuration instead of once per lookup.  With a
+    ``capacity`` the cache is a strict LRU (see module docstring).
     """
 
-    def __init__(self, fingerprint: str = ""):
+    def __init__(self, fingerprint: str = "", capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ReproError(f"cache capacity must be >= 1, got {capacity}")
         self.fingerprint = fingerprint
+        self.capacity = capacity
         self.stats = CacheStats()
-        self._data: Dict[Tuple[Hashable, int, str], float] = {}
+        self._data: OrderedDict[Tuple[Hashable, int, str], float] = OrderedDict()
 
     @staticmethod
     def key_of(config) -> Hashable:
@@ -79,15 +105,27 @@ class EstimateCache:
 
     def get(self, config_key: Hashable, n: int) -> Optional[float]:
         """Cached estimate, counting the lookup as a hit or miss."""
-        value = self._data.get((config_key, n, self.fingerprint))
+        key = (config_key, n, self.fingerprint)
+        value = self._data.get(key)
         if value is None:
             self.stats.misses += 1
         else:
             self.stats.hits += 1
+            if self.capacity is not None:
+                self._data.move_to_end(key)
         return value
 
     def put(self, config_key: Hashable, n: int, value: float) -> None:
-        self._data[(config_key, n, self.fingerprint)] = value
+        key = (config_key, n, self.fingerprint)
+        if key in self._data:
+            self._data[key] = value
+            if self.capacity is not None:
+                self._data.move_to_end(key)
+            return
+        self._data[key] = value
+        if self.capacity is not None and len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters survive; they describe the session)."""
@@ -97,7 +135,8 @@ class EstimateCache:
         return len(self._data)
 
     def describe(self) -> str:
+        bound = f"/{self.capacity}" if self.capacity is not None else ""
         return (
             f"EstimateCache(fingerprint={self.fingerprint or '(none)'}, "
-            f"{len(self._data)} entries, {self.stats.describe()})"
+            f"{len(self._data)}{bound} entries, {self.stats.describe()})"
         )

@@ -1,0 +1,45 @@
+"""``repro.serve`` — the estimation service.
+
+The paper's workflow is "measure once, decide often": a campaign costs
+hours of cluster time, every subsequent estimate is milliseconds.  This
+package turns a directory of saved pipelines into a long-lived service
+many schedulers/clients can share:
+
+* :mod:`repro.serve.registry` — named, fingerprinted pipeline entries
+  with hot reload (re-save a directory, the entry swaps atomically);
+* :mod:`repro.serve.batcher` — async micro-batching of concurrent
+  requests into the vectorized :class:`~repro.core.estimator.Estimator`
+  paths, with bounded-queue admission control and typed load shedding;
+* :mod:`repro.serve.server` — the asyncio JSON-lines frontend with
+  graceful drain-on-shutdown;
+* :mod:`repro.serve.protocol` — the wire format and typed errors;
+* :mod:`repro.serve.metrics` — per-endpoint latency histograms, batch
+  size distribution, cache hit rates;
+* :mod:`repro.serve.client` — a blocking client (``repro client``) and
+  an asyncio load generator for benches and smoke tests.
+
+Run it: ``repro serve --dir name=path/to/saved-pipeline``.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import ServeClient, ServeReplyError, fire_concurrent
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import Overloaded, ProtocolError, Request, parse_request
+from repro.serve.registry import ModelRegistry, RegistryEntry, UnknownPipeline
+from repro.serve.server import EstimationServer
+
+__all__ = [
+    "EstimationServer",
+    "MicroBatcher",
+    "ModelRegistry",
+    "Overloaded",
+    "ProtocolError",
+    "RegistryEntry",
+    "Request",
+    "ServeClient",
+    "ServeMetrics",
+    "ServeReplyError",
+    "UnknownPipeline",
+    "fire_concurrent",
+    "parse_request",
+]

@@ -1,0 +1,149 @@
+"""Clients for the estimation service.
+
+:class:`ServeClient` is the synchronous, stdlib-socket client used by
+``repro client`` and by smoke tests — one connection, blocking
+request/reply, no event loop required.  :func:`fire_concurrent` is the
+asyncio load generator used by the throughput bench and the CI smoke:
+``concurrency`` closed-loop workers, each with its own connection,
+pumping a shared request list through the service.
+
+Error replies raise :class:`ServeReplyError`, which keeps the typed
+error payload — an ``Overloaded`` rejection is ``exc.error_type ==
+"Overloaded"`` with a ``retry_after_ms`` hint, not an opaque failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.serve.protocol import decode_reply
+
+
+class ServeReplyError(ReproError):
+    """The service answered ``ok: false``; carries the typed error."""
+
+    def __init__(self, error: Dict[str, object]):
+        super().__init__(str(error.get("message", "request failed")))
+        self.error_type = str(error.get("type", "Internal"))
+        self.error = error
+
+    @property
+    def is_overloaded(self) -> bool:
+        return self.error_type == "Overloaded"
+
+
+def _raise_or_result(reply: dict) -> dict:
+    if not reply.get("ok"):
+        raise ServeReplyError(reply.get("error") or {})
+    return reply["result"]
+
+
+class ServeClient:
+    """Blocking JSON-lines client over one TCP connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7453, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def request(self, op: str, **params) -> dict:
+        """Send one request, block for its reply, return the raw reply."""
+        self._next_id += 1
+        payload = {"id": self._next_id, "op": op}
+        payload.update({k: v for k, v in params.items() if v is not None})
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ReproError("server closed the connection")
+        return decode_reply(line.decode("utf-8"))
+
+    # -- typed ops ----------------------------------------------------------
+
+    def estimate(
+        self, pipeline: str, config: Sequence[int], ns: Sequence[int]
+    ) -> dict:
+        return _raise_or_result(
+            self.request(
+                "estimate", pipeline=pipeline, config=list(config), ns=list(ns)
+            )
+        )
+
+    def optimize(self, pipeline: str, n: int, top: int = 10) -> dict:
+        return _raise_or_result(
+            self.request("optimize", pipeline=pipeline, n=n, top=top)
+        )
+
+    def whatif(self, config: Sequence[int], ns: Sequence[int]) -> dict:
+        return _raise_or_result(
+            self.request("whatif", config=list(config), ns=list(ns))
+        )
+
+    def models(self, pipeline: str) -> dict:
+        return _raise_or_result(self.request("models", pipeline=pipeline))
+
+    def stats(self) -> dict:
+        return _raise_or_result(self.request("stats"))
+
+    def reload(self, force: bool = False) -> dict:
+        return _raise_or_result(self.request("reload", force=force or None))
+
+    def ping(self) -> dict:
+        return _raise_or_result(self.request("ping"))
+
+
+async def fire_concurrent(
+    host: str,
+    port: int,
+    payloads: Sequence[dict],
+    concurrency: int,
+) -> Tuple[List[dict], float]:
+    """Closed-loop load generation: ``concurrency`` workers, each with its
+    own connection, draining a shared request list.  Returns
+    ``(replies aligned with payloads, wall seconds)``."""
+    loop = asyncio.get_running_loop()
+    replies: List[Optional[dict]] = [None] * len(payloads)
+    next_index = 0
+
+    async def worker() -> None:
+        nonlocal next_index
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            while True:
+                if next_index >= len(payloads):
+                    return
+                index = next_index
+                next_index += 1
+                payload = dict(payloads[index])
+                payload.setdefault("id", index)
+                writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+                await writer.drain()
+                line = await reader.readline()
+                if not line:
+                    raise ReproError("server closed the connection mid-run")
+                replies[index] = decode_reply(line.decode("utf-8"))
+        finally:
+            writer.close()
+
+    started = loop.time()
+    await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+    elapsed = loop.time() - started
+    return [reply for reply in replies if reply is not None], elapsed

@@ -1,0 +1,193 @@
+"""Service metrics: latency histograms, batch sizes, shed/error counters.
+
+Everything here is plain counting — no clocks are read in this module
+(callers pass durations measured with ``time.perf_counter``), so the
+numbers are exact for tests and cheap for the hot path.  A snapshot
+(:meth:`ServeMetrics.to_dict`) is what the ``stats`` op returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Latency bucket upper bounds in milliseconds (last bucket is open).
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with exact count/sum/max."""
+
+    def __init__(self, buckets_ms: Tuple[float, ...] = LATENCY_BUCKETS_MS):
+        self.buckets_ms = buckets_ms
+        self.counts = [0] * (len(buckets_ms) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def record(self, seconds: float) -> None:
+        ms = seconds * 1e3
+        index = len(self.buckets_ms)
+        for i, bound in enumerate(self.buckets_ms):
+            if ms <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.sum_ms / self.total if self.total else 0.0
+
+    def quantile_ms(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile observation
+        (the open last bucket reports the observed maximum)."""
+        if not self.total:
+            return 0.0
+        rank = max(1, int(q * self.total + 0.999999))
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if i < len(self.buckets_ms):
+                    return self.buckets_ms[i]
+                return self.max_ms
+        return self.max_ms
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.total,
+            "mean_ms": round(self.mean_ms, 4),
+            "max_ms": round(self.max_ms, 4),
+            "p50_ms": self.quantile_ms(0.50),
+            "p90_ms": self.quantile_ms(0.90),
+            "p99_ms": self.quantile_ms(0.99),
+            "buckets_ms": list(self.buckets_ms),
+            "counts": list(self.counts),
+        }
+
+
+class Distribution:
+    """Exact small-integer distribution (batch sizes, group counts)."""
+
+    def __init__(self):
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+        self.sum = 0
+
+    def record(self, value: int) -> None:
+        self.counts[value] = self.counts.get(value, 0) + 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    @property
+    def max(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.total,
+            "mean": round(self.mean, 3),
+            "max": self.max,
+            "histogram": {str(k): v for k, v in sorted(self.counts.items())},
+        }
+
+
+@dataclass
+class EndpointMetrics:
+    """Per-op request accounting."""
+
+    requests: int = 0
+    errors: int = 0
+    shed: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "shed": self.shed,
+            "latency": self.latency.to_dict(),
+        }
+
+
+class ServeMetrics:
+    """All service-side counters, grouped per endpoint plus batcher-wide."""
+
+    def __init__(self):
+        self.by_op: Dict[str, EndpointMetrics] = {}
+        self.batch_sizes = Distribution()
+        self.batch_groups = Distribution()
+        self.batches = 0
+        self.coalesced_requests = 0
+        self.reloads = 0
+        self.connections = 0
+
+    def endpoint(self, op: str) -> EndpointMetrics:
+        if op not in self.by_op:
+            self.by_op[op] = EndpointMetrics()
+        return self.by_op[op]
+
+    def record_request(
+        self, op: str, seconds: float, error: bool = False, shed: bool = False
+    ) -> None:
+        endpoint = self.endpoint(op)
+        endpoint.requests += 1
+        if error:
+            endpoint.errors += 1
+        if shed:
+            endpoint.shed += 1
+        endpoint.latency.record(seconds)
+
+    def record_batch(self, size: int, groups: int) -> None:
+        self.batches += 1
+        self.batch_sizes.record(size)
+        self.batch_groups.record(groups)
+        if size > 1:
+            self.coalesced_requests += size
+
+    @property
+    def total_shed(self) -> int:
+        return sum(e.shed for e in self.by_op.values())
+
+    def to_dict(
+        self, cache: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "endpoints": {op: e.to_dict() for op, e in sorted(self.by_op.items())},
+            "batches": {
+                "dispatched": self.batches,
+                "coalesced_requests": self.coalesced_requests,
+                "sizes": self.batch_sizes.to_dict(),
+                "groups": self.batch_groups.to_dict(),
+            },
+            "shed": self.total_shed,
+            "reloads": self.reloads,
+            "connections": self.connections,
+        }
+        if cache is not None:
+            payload["cache"] = cache
+        return payload
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        for op, endpoint in sorted(self.by_op.items()):
+            lines.append(
+                f"{op:>9s}: {endpoint.requests} requests, "
+                f"{endpoint.errors} errors, {endpoint.shed} shed, "
+                f"mean {endpoint.latency.mean_ms:.2f} ms, "
+                f"p99 <= {endpoint.latency.quantile_ms(0.99):.2f} ms"
+            )
+        lines.append(
+            f"  batches: {self.batches} dispatched, "
+            f"mean size {self.batch_sizes.mean:.2f}, max {self.batch_sizes.max}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Wire protocol of the estimation service: JSON lines, typed errors.
+
+One request per line, one reply per line, both UTF-8 JSON objects.  A
+request carries a caller-chosen ``id`` (echoed verbatim in the reply so
+pipelined requests can be matched out of order), an ``op``, and the
+op-specific parameters::
+
+    {"id": 1, "op": "estimate", "pipeline": "ns7", "config": [1,2,8,1], "ns": [3200]}
+    {"id": 2, "op": "optimize", "pipeline": "ns7", "n": 3200, "top": 5}
+    {"id": 3, "op": "whatif",   "config": [1,2,8,1], "ns": [1600, 3200]}
+    {"id": 4, "op": "models",   "pipeline": "ns7"}
+    {"id": 5, "op": "stats"}
+    {"id": 6, "op": "reload"}
+    {"id": 7, "op": "ping"}
+
+Replies are ``{"id": ..., "ok": true, "result": {...}}`` or
+``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}``.
+The error ``type`` is machine-dispatchable; :data:`ERROR_OVERLOADED` in
+particular is the service's typed load-shedding reply — a client seeing
+it should back off for the suggested ``retry_after_ms`` instead of
+treating the service as broken.
+
+Estimates can legitimately be ``inf`` (a configuration outside every
+model's trustworthy domain ranks unestimable, never cheap), so encoding
+uses Python's JSON dialect with ``Infinity`` tokens; the bundled client
+(:mod:`repro.serve.client`) reads them back bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Ops the service understands.  estimate/optimize/whatif flow through the
+#: micro-batcher; the rest are control-plane ops answered immediately.
+BATCHED_OPS = ("estimate", "optimize", "whatif")
+CONTROL_OPS = ("models", "stats", "reload", "ping")
+ALL_OPS = BATCHED_OPS + CONTROL_OPS
+
+ERROR_BAD_REQUEST = "BadRequest"
+ERROR_UNKNOWN_PIPELINE = "UnknownPipeline"
+ERROR_MODEL = "ModelError"
+ERROR_OVERLOADED = "Overloaded"
+ERROR_SHUTTING_DOWN = "ShuttingDown"
+ERROR_INTERNAL = "Internal"
+
+
+class ProtocolError(ReproError):
+    """A request line the service refuses to act on, with its reply type."""
+
+    def __init__(self, message: str, error_type: str = ERROR_BAD_REQUEST):
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class Overloaded(ProtocolError):
+    """Typed admission-control rejection: the pending queue is full.
+
+    Carries the queue state so the reply (and the caller's backoff) can be
+    informed rather than blind.
+    """
+
+    def __init__(self, pending: int, capacity: int, retry_after_ms: float = 50.0):
+        super().__init__(
+            f"service overloaded: {pending} requests pending (capacity {capacity})",
+            ERROR_OVERLOADED,
+        )
+        self.pending = pending
+        self.capacity = capacity
+        self.retry_after_ms = retry_after_ms
+
+    def extra(self) -> Dict[str, object]:
+        return {
+            "pending": self.pending,
+            "capacity": self.capacity,
+            "retry_after_ms": self.retry_after_ms,
+        }
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request line."""
+
+    id: object
+    op: str
+    pipeline: Optional[str] = None
+    config: Optional[Tuple[int, ...]] = None
+    ns: Tuple[int, ...] = ()
+    top: int = 10
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+def _require_int_list(payload: dict, key: str, minimum: int = 1) -> List[int]:
+    value = payload.get(key)
+    if not isinstance(value, list) or not value:
+        raise ProtocolError(f"{key!r} must be a non-empty list of integers")
+    out = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise ProtocolError(f"{key!r} must contain only integers, got {item!r}")
+        if item < minimum:
+            raise ProtocolError(f"{key!r} values must be >= {minimum}, got {item}")
+        out.append(item)
+    return out
+
+
+def _sizes_of(payload: dict) -> Tuple[int, ...]:
+    """The problem orders of a request: ``ns`` (list) or scalar ``n``."""
+    if "ns" in payload:
+        return tuple(_require_int_list(payload, "ns"))
+    n = payload.get("n")
+    if isinstance(n, bool) or not isinstance(n, int) or n < 1:
+        raise ProtocolError("request needs 'ns' (list of ints) or 'n' (positive int)")
+    return (n,)
+
+
+def parse_request(line: str) -> Request:
+    """Decode and validate one request line.
+
+    Raises :class:`ProtocolError` on anything malformed; the server turns
+    that into a ``BadRequest`` reply (with ``id: null`` when even the id
+    could not be recovered).
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+
+    request_id = payload.get("id")
+    op = payload.get("op")
+    if op not in ALL_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (known: {', '.join(ALL_OPS)})"
+        )
+
+    pipeline = payload.get("pipeline")
+    if pipeline is not None and not isinstance(pipeline, str):
+        raise ProtocolError("'pipeline' must be a string")
+
+    config: Optional[Tuple[int, ...]] = None
+    ns: Tuple[int, ...] = ()
+    top = 10
+
+    if op in ("estimate", "whatif"):
+        config = tuple(_require_int_list(payload, "config", minimum=0))
+        ns = _sizes_of(payload)
+    if op == "estimate" and pipeline is None:
+        raise ProtocolError("'estimate' needs a 'pipeline' name")
+    if op == "optimize":
+        if pipeline is None:
+            raise ProtocolError("'optimize' needs a 'pipeline' name")
+        ns = _sizes_of(payload)
+        top = payload.get("top", 10)
+        if isinstance(top, bool) or not isinstance(top, int) or top < 1:
+            raise ProtocolError("'top' must be a positive integer")
+    if op == "models" and pipeline is None:
+        raise ProtocolError("'models' needs a 'pipeline' name")
+
+    known = {"id", "op", "pipeline", "config", "ns", "n", "top"}
+    extra = {key: value for key, value in payload.items() if key not in known}
+    return Request(
+        id=request_id, op=op, pipeline=pipeline, config=config, ns=ns, top=top,
+        params=extra,
+    )
+
+
+def _jsonable(value):
+    """Render numpy scalars/arrays and tuples into plain JSON values."""
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()
+    return value
+
+
+def encode_ok(request_id: object, result: Dict[str, object]) -> str:
+    """Encode a success reply line for ``request_id``."""
+    return json.dumps({"id": request_id, "ok": True, "result": _jsonable(result)})
+
+
+def encode_error(
+    request_id: object,
+    error_type: str,
+    message: str,
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Encode a typed error reply line (``extra`` merges into the error)."""
+    error: Dict[str, object] = {"type": error_type, "message": message}
+    if extra:
+        error.update(_jsonable(extra))
+    return json.dumps({"id": request_id, "ok": False, "error": error})
+
+
+def encode_exception(request_id: object, exc: BaseException) -> str:
+    """The reply line for a failed request, typed by exception class."""
+    if isinstance(exc, Overloaded):
+        return encode_error(request_id, exc.error_type, str(exc), exc.extra())
+    if isinstance(exc, ProtocolError):
+        return encode_error(request_id, exc.error_type, str(exc))
+    if isinstance(exc, ReproError):
+        return encode_error(request_id, ERROR_MODEL, str(exc))
+    return encode_error(request_id, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")
+
+
+def decode_reply(line: str) -> dict:
+    """Parse one reply line (used by clients and tests)."""
+    payload = json.loads(line)
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ProtocolError(f"malformed reply line: {line!r}")
+    return payload
+
+
+def finite_or_none(value: float) -> Optional[float]:
+    """Human-facing rendering helper: ``inf`` means unestimable."""
+    return None if not math.isfinite(value) else value

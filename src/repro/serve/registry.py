@@ -1,0 +1,286 @@
+"""Hot-reloadable model registry: named, fingerprinted pipeline entries.
+
+The registry is the serving layer's source of truth for *which models
+answer queries*.  Each entry pairs a caller-facing name with one loaded
+pipeline (:func:`repro.core.persistence.load_pipeline`) and is keyed by
+``(name, fingerprint)`` where the fingerprint covers every model's
+coefficients plus the adjustment — exactly the estimate-cache
+invalidation fingerprint, so "same fingerprint" provably means "same
+answers".
+
+**Hot reload.**  ``save_pipeline`` re-writing a served directory must
+take effect without restarting the service and without dropping
+requests.  :meth:`ModelRegistry.refresh` compares each entry's on-disk
+file signature (mtime + size of the four artifacts); a changed directory
+is re-loaded *beside* the live entry and only then swapped in — one
+attribute assignment, atomic under the event loop, so a batch already
+holding the old entry finishes against the old models while the next
+batch sees the new ones.  A half-written directory (re-save in progress)
+fails to load and is simply skipped until a later refresh finds it whole:
+serving continues from the previous generation.  When the swap changes
+the fingerprint the entry's estimate cache is retired with it (its
+counters fold into the registry's session totals); a byte-identical
+re-save keeps the cache — the entries are still provably valid.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.core.persistence import load_pipeline
+from repro.core.pipeline import EstimationPipeline
+from repro.errors import ReproError
+from repro.perf.cache import CacheStats, EstimateCache
+from repro.serve.protocol import ERROR_UNKNOWN_PIPELINE, ProtocolError
+
+#: The artifacts whose on-disk state defines a pipeline directory's
+#: signature for change detection.
+_WATCHED_FILES = ("manifest.json", "models.json", "cluster.json", "construction.json")
+
+#: Default LRU capacity of each entry's estimate cache.
+DEFAULT_CACHE_CAPACITY = 4096
+
+
+def _directory_signature(directory: Path) -> Tuple[Tuple[str, int, int], ...]:
+    """(name, mtime_ns, size) of every watched artifact that exists."""
+    out = []
+    for name in _WATCHED_FILES:
+        path = directory / name
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        out.append((name, stat.st_mtime_ns, stat.st_size))
+    return tuple(out)
+
+
+class UnknownPipeline(ProtocolError):
+    """A request named a pipeline the registry does not hold."""
+
+    def __init__(self, name: str, known: Sequence[str]):
+        known_text = ", ".join(sorted(known)) or "(none)"
+        super().__init__(
+            f"no pipeline named {name!r} (serving: {known_text})",
+            ERROR_UNKNOWN_PIPELINE,
+        )
+
+
+@dataclass
+class RegistryEntry:
+    """One served pipeline generation.
+
+    Immutable in spirit: a reload builds a *new* entry and swaps it into
+    the registry, so any in-flight batch keeps a consistent
+    (pipeline, fingerprint, cache) triple for its whole execution.
+    """
+
+    name: str
+    directory: Path
+    pipeline: EstimationPipeline
+    fingerprint: str
+    cache: EstimateCache
+    signature: Tuple[Tuple[str, int, int], ...]
+    generation: int
+    loaded_monotonic: float
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The registry key: pipeline name + model fingerprint."""
+        return (self.name, self.fingerprint)
+
+    def parse_config(self, values: Sequence[int]) -> ClusterConfig:
+        config = ClusterConfig.from_tuple(self.pipeline.plan.kinds, values)
+        config.validate_against(self.pipeline.spec)
+        return config
+
+    def cached_totals(self, config: ClusterConfig, ns: Sequence[int]) -> np.ndarray:
+        """Adjusted totals over ``ns``, served from this entry's cache
+        where possible; misses go through one vectorized
+        :meth:`~repro.core.pipeline.EstimationPipeline.estimate_totals`
+        call, so values are bitwise those of the direct path."""
+        sizes = [int(n) for n in ns]
+        out = np.empty(len(sizes), dtype=float)
+        key = self.cache.key_of(config)
+        missing: List[int] = []
+        for i, n in enumerate(sizes):
+            hit = self.cache.get(key, n)
+            if hit is None:
+                missing.append(i)
+            else:
+                out[i] = hit
+        if missing:
+            values = self.pipeline.estimate_totals(
+                config, [sizes[i] for i in missing]
+            )
+            for j, i in enumerate(missing):
+                out[i] = values[j]
+                self.cache.put(key, sizes[i], float(values[j]))
+        return out
+
+    def model_inventory(self) -> Dict[str, object]:
+        """Structured model listing for the ``models`` op."""
+        facade = self.pipeline.models
+        models = []
+        for model in facade.models():
+            data = model.to_dict()
+            models.append(
+                {
+                    "type": model.model_type,
+                    "kind": model.kind_name,
+                    "mi": model.mi,
+                    "p": data.get("p"),
+                    "composed": model.is_composed,
+                    "fingerprint": model.fingerprint(),
+                }
+            )
+        return {
+            "pipeline": self.name,
+            "backend": facade.backend.name,
+            "fingerprint": self.fingerprint,
+            "generation": self.generation,
+            "count": len(models),
+            "models": models,
+        }
+
+    def cache_snapshot(self) -> Dict[str, object]:
+        stats = self.cache.stats
+        return {
+            "fingerprint": self.fingerprint,
+            "entries": len(self.cache),
+            "capacity": self.cache.capacity,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "hit_rate": round(stats.hit_rate, 4),
+        }
+
+
+class ModelRegistry:
+    """Name -> :class:`RegistryEntry` map with explicit/automatic reload."""
+
+    def __init__(self, cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY):
+        self.cache_capacity = cache_capacity
+        self._entries: Dict[str, RegistryEntry] = {}
+        #: Counters of retired cache generations, folded on swap.
+        self.retired_cache_stats = CacheStats()
+        #: (name, error text) of reload attempts that failed and were skipped.
+        self.last_reload_errors: List[Tuple[str, str]] = []
+
+    # -- loading ------------------------------------------------------------
+
+    def _load_entry(self, name: str, directory: Path, generation: int) -> RegistryEntry:
+        signature = _directory_signature(directory)
+        pipeline = load_pipeline(directory)
+        # The pipeline's own search-engine cache fingerprint already covers
+        # the facade (every model + memory bins), the adjustment and the
+        # guard footprint — reuse it so serve-level invalidation can never
+        # drift from the in-pipeline rule.
+        fingerprint = pipeline.estimate_cache.fingerprint
+        return RegistryEntry(
+            name=name,
+            directory=directory,
+            pipeline=pipeline,
+            fingerprint=fingerprint,
+            cache=EstimateCache(fingerprint, capacity=self.cache_capacity),
+            signature=signature,
+            generation=generation,
+            loaded_monotonic=time.monotonic(),
+        )
+
+    def add(self, name: str, directory: Path | str) -> RegistryEntry:
+        """Load and register a saved pipeline directory under ``name``.
+
+        Raises the loader's :class:`~repro.errors.ReproError` subclasses
+        (missing directory, corrupt artifact, future format) unchanged.
+        """
+        if name in self._entries:
+            raise ReproError(f"pipeline name {name!r} already registered")
+        entry = self._load_entry(name, Path(directory), generation=1)
+        self._entries[name] = entry
+        return entry
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, name: str) -> RegistryEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownPipeline(name, list(self._entries)) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def entries(self) -> List[RegistryEntry]:
+        return [self._entries[name] for name in self.names()]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- hot reload ---------------------------------------------------------
+
+    def _swap(self, old: RegistryEntry) -> Optional[RegistryEntry]:
+        fresh = self._load_entry(
+            old.name, old.directory, generation=old.generation + 1
+        )
+        if fresh.fingerprint == old.fingerprint:
+            # Same models, same answers: keep the warm cache (its entries
+            # are still provably valid under the unchanged fingerprint).
+            fresh.cache = old.cache
+        else:
+            self.retired_cache_stats.merge(old.cache.stats)
+        self._entries[old.name] = fresh
+        return fresh
+
+    def refresh(self, force: bool = False) -> List[str]:
+        """Re-load every entry whose directory changed on disk.
+
+        Returns the names that were swapped.  A directory that currently
+        fails to load (e.g. a re-save caught mid-write) is *skipped* — the
+        live entry keeps serving — and recorded in
+        :attr:`last_reload_errors` for the ``stats``/``reload`` replies.
+        """
+        swapped: List[str] = []
+        errors: List[Tuple[str, str]] = []
+        for entry in list(self._entries.values()):
+            if not force and _directory_signature(entry.directory) == entry.signature:
+                continue
+            try:
+                self._swap(entry)
+                swapped.append(entry.name)
+            except ReproError as exc:
+                errors.append((entry.name, str(exc)))
+        self.last_reload_errors = errors
+        return swapped
+
+    def snapshot(self) -> Dict[str, object]:
+        """Registry state for the ``stats`` op."""
+        aggregate = CacheStats()
+        aggregate.merge(self.retired_cache_stats)
+        entries = {}
+        for entry in self.entries():
+            aggregate.merge(entry.cache.stats)
+            entries[entry.name] = {
+                "directory": str(entry.directory),
+                "generation": entry.generation,
+                "protocol": entry.pipeline.plan.name,
+                "cache": entry.cache_snapshot(),
+            }
+        return {
+            "pipelines": entries,
+            "session_cache": {
+                "hits": aggregate.hits,
+                "misses": aggregate.misses,
+                "evictions": aggregate.evictions,
+                "hit_rate": round(aggregate.hit_rate, 4),
+            },
+            "reload_errors": [
+                {"pipeline": name, "error": text}
+                for name, text in self.last_reload_errors
+            ],
+        }

@@ -1,0 +1,248 @@
+"""The asyncio frontend: JSON-lines over TCP, graceful lifecycle.
+
+:class:`EstimationServer` owns the socket, the per-connection read
+loops, and the service lifecycle; everything model-shaped lives in the
+registry and the batcher.  Per connection, every request line spawns its
+own task, so a pipelining client gets genuinely concurrent handling (and
+therefore micro-batching) over a single connection; replies carry the
+request ``id`` because they may complete out of order.  Writes are
+serialized per connection.
+
+Ops route two ways:
+
+* data plane (``estimate``/``optimize``/``whatif``) — through the
+  :class:`~repro.serve.batcher.MicroBatcher` (bounded queue, typed
+  ``Overloaded`` shedding);
+* control plane (``models``/``stats``/``reload``/``ping``) — answered
+  inline, *not* queued, so health checks and reloads keep working while
+  the data plane is saturated.
+
+**Graceful shutdown** (:meth:`shutdown`) runs in strict order: stop
+accepting connections, refuse new request lines (typed ``ShuttingDown``
+replies), wait for every admitted request's handler task, drain the
+batcher's in-flight work, then close the connections.  Nothing admitted
+is ever dropped.
+
+**Hot reload** is a periodic :meth:`ModelRegistry.refresh` task (plus
+the explicit ``reload`` op); see :mod:`repro.serve.registry` for the
+swap semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Optional, Set, Tuple
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import (
+    ERROR_SHUTTING_DOWN,
+    ProtocolError,
+    Request,
+    encode_error,
+    encode_exception,
+    encode_ok,
+    parse_request,
+)
+from repro.serve.registry import ModelRegistry
+
+
+def _recover_id(text: str):
+    """Best-effort request id of an unparseable line, for the error reply."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    return payload.get("id") if isinstance(payload, dict) else None
+
+
+class EstimationServer:
+    """One serving process: socket + batcher + registry + metrics."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 256,
+        max_batch: int = 64,
+        batch_window_s: float = 0.002,
+        refresh_interval_s: Optional[float] = 0.5,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.metrics = ServeMetrics()
+        self.batcher = MicroBatcher(
+            registry,
+            metrics=self.metrics,
+            max_pending=max_pending,
+            max_batch=max_batch,
+            batch_window_s=batch_window_s,
+        )
+        self.refresh_interval_s = refresh_interval_s
+        self._server: Optional[asyncio.Server] = None
+        self._refresh_task: Optional[asyncio.Task] = None
+        self._request_tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._draining = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``
+        (useful with ``port=0``)."""
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        if self.refresh_interval_s:
+            self._refresh_task = asyncio.get_running_loop().create_task(
+                self._refresh_loop()
+            )
+        return (self.host, self.port)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    async def shutdown(self) -> None:
+        """Graceful stop: see module docstring for the ordering."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._refresh_task is not None:
+            self._refresh_task.cancel()
+            try:
+                await self._refresh_task
+            except asyncio.CancelledError:
+                pass
+        # Admitted requests finish: their tasks await batcher futures,
+        # which resolve as the drain empties the queue.
+        drain = asyncio.get_running_loop().create_task(
+            self.batcher.drain_and_stop()
+        )
+        if self._request_tasks:
+            await asyncio.gather(*self._request_tasks, return_exceptions=True)
+        await drain
+        for writer in list(self._writers):
+            writer.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def _refresh_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.refresh_interval_s)
+            swapped = self.registry.refresh()
+            if swapped:
+                self.metrics.reloads += len(swapped)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_line(text, writer, write_lock)
+                )
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def _serve_line(
+        self, text: str, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        started = time.perf_counter()
+        op = "invalid"
+        error = False
+        shed = False
+        request_id = _recover_id(text)
+        try:
+            request = parse_request(text)
+            op = request.op
+            request_id = request.id
+            if self._draining:
+                raise ProtocolError("service is shutting down", ERROR_SHUTTING_DOWN)
+            reply = await self._dispatch(request)
+        except Exception as exc:
+            error = True
+            shed = getattr(exc, "error_type", "") == "Overloaded"
+            reply = encode_exception(request_id, exc)
+        await self._write(reply, writer, lock)
+        self.metrics.record_request(
+            op, time.perf_counter() - started, error=error, shed=shed
+        )
+
+    async def _write(
+        self, reply: str, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        async with lock:
+            try:
+                writer.write(reply.encode("utf-8") + b"\n")
+                await writer.drain()
+            except (ConnectionResetError, RuntimeError):
+                pass  # client went away; nothing to tell it
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> str:
+        if request.op in ("estimate", "optimize", "whatif"):
+            future = self.batcher.submit(request)
+            result = await future
+            return encode_ok(request.id, result)
+        if request.op == "models":
+            entry = self.registry.get(request.pipeline)
+            return encode_ok(request.id, entry.model_inventory())
+        if request.op == "stats":
+            return encode_ok(
+                request.id, self.metrics.to_dict(cache=self.registry.snapshot())
+            )
+        if request.op == "reload":
+            swapped = self.registry.refresh(force=bool(request.params.get("force")))
+            self.metrics.reloads += len(swapped)
+            return encode_ok(
+                request.id,
+                {
+                    "reloaded": swapped,
+                    "checked": len(self.registry),
+                    "errors": [
+                        {"pipeline": name, "error": text}
+                        for name, text in self.registry.last_reload_errors
+                    ],
+                },
+            )
+        if request.op == "ping":
+            return encode_ok(
+                request.id, {"pong": True, "pipelines": self.registry.names()}
+            )
+        return encode_error(request.id, "BadRequest", f"unhandled op {request.op!r}")

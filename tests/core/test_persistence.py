@@ -1,6 +1,8 @@
 """Tests for cluster serialization and pipeline persistence."""
 
 import json
+import shutil
+from pathlib import Path
 
 import pytest
 
@@ -12,7 +14,7 @@ from repro.cluster.serialize import (
     save_cluster,
 )
 from repro.core.persistence import load_pipeline, save_pipeline
-from repro.errors import ClusterError, MeasurementError
+from repro.errors import ClusterError, MeasurementError, ModelError
 
 
 class TestClusterSerialization:
@@ -95,3 +97,66 @@ class TestPipelinePersistence:
     def test_not_a_pipeline_directory(self, tmp_path):
         with pytest.raises(MeasurementError, match="not a saved pipeline"):
             load_pipeline(tmp_path)
+
+
+class TestPersistenceFailurePaths:
+    """Every broken-directory shape surfaces as a ModelError naming the
+    offending path — never a traceback from json/KeyError internals."""
+
+    FIXTURE = Path(__file__).parent.parent / "golden" / "format1_pipeline"
+
+    @pytest.fixture
+    def saved_dir(self, tmp_path):
+        target = tmp_path / "pipeline"
+        shutil.copytree(self.FIXTURE, target)
+        return target
+
+    def test_absent_models_json(self, saved_dir):
+        (saved_dir / "models.json").unlink()
+        with pytest.raises(ModelError) as excinfo:
+            load_pipeline(saved_dir)
+        assert str(saved_dir / "models.json") in str(excinfo.value)
+
+    def test_truncated_models_json(self, saved_dir):
+        full = (saved_dir / "models.json").read_text()
+        (saved_dir / "models.json").write_text(full[: len(full) // 2])
+        with pytest.raises(ModelError) as excinfo:
+            load_pipeline(saved_dir)
+        assert str(saved_dir / "models.json") in str(excinfo.value)
+
+    def test_future_format_rejected(self, saved_dir):
+        manifest_path = saved_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ModelError) as excinfo:
+            load_pipeline(saved_dir)
+        message = str(excinfo.value)
+        assert str(manifest_path) in message and "99" in message
+
+    def test_truncated_manifest(self, saved_dir):
+        (saved_dir / "manifest.json").write_text('{"format": 2, "proto')
+        with pytest.raises(ModelError) as excinfo:
+            load_pipeline(saved_dir)
+        assert str(saved_dir / "manifest.json") in str(excinfo.value)
+
+    def test_manifest_missing_fields(self, saved_dir):
+        manifest_path = saved_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["adjustment"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ModelError) as excinfo:
+            load_pipeline(saved_dir)
+        assert str(manifest_path) in str(excinfo.value)
+
+    def test_absent_construction_dataset(self, saved_dir):
+        (saved_dir / "construction.json").unlink()
+        with pytest.raises(ModelError) as excinfo:
+            load_pipeline(saved_dir)
+        assert str(saved_dir / "construction.json") in str(excinfo.value)
+
+    def test_truncated_cluster_json(self, saved_dir):
+        (saved_dir / "cluster.json").write_text('{"kinds": [')
+        with pytest.raises(ModelError) as excinfo:
+            load_pipeline(saved_dir)
+        assert str(saved_dir / "cluster.json") in str(excinfo.value)

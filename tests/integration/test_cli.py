@@ -123,3 +123,76 @@ class TestCLI:
     def test_unknown_command_exits_nonzero(self, capsys):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+GOLDEN = Path(__file__).parent.parent / "golden" / "format1_pipeline"
+
+
+@pytest.fixture
+def corrupt_dir(tmp_path):
+    """A saved pipeline whose model store was truncated mid-write."""
+    import shutil
+
+    target = tmp_path / "pipeline"
+    shutil.copytree(GOLDEN, target)
+    (target / "models.json").write_text('{"backend": "binned", "mod')
+    return target
+
+
+class TestEstimateCommand:
+    def test_save_then_load_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "saved"
+        code, msg, _ = run_cli(capsys, "save", "--protocol", "ns", "--out", str(out))
+        assert code == 0
+        assert str(out) in msg
+        code, inventory, _ = run_cli(capsys, "models", "--dir", str(out))
+        assert code == 0
+        assert "backend: binned" in inventory
+        code, estimate, _ = run_cli(
+            capsys, "estimate", "--dir", str(out),
+            "--config", "1,2,8,1", "--n", "3200",
+        )
+        assert code == 0
+        assert "N=3200" in estimate
+
+    def test_estimate_saved_pipeline(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "--dir", str(GOLDEN),
+            "--config", "1,2,8,1", "--n", "1600", "--n", "3200",
+        )
+        assert code == 0
+        assert "N=1600" in out and "N=3200" in out
+        assert re.search(r"N=3200\s+[0-9.]+ s", out)
+
+    def test_estimate_missing_dir_one_line_error(self, capsys, tmp_path):
+        code, out, err = run_cli(
+            capsys, "estimate", "--dir", str(tmp_path / "nope"),
+            "--config", "1,2,8,1", "--n", "1600",
+        )
+        assert code == 1
+        assert out == ""
+        assert err.startswith("error:") and err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_estimate_corrupt_dir_one_line_error(self, capsys, corrupt_dir):
+        code, _, err = run_cli(
+            capsys, "estimate", "--dir", str(corrupt_dir),
+            "--config", "1,2,8,1", "--n", "1600",
+        )
+        assert code == 1
+        assert err.startswith("error:") and err.count("\n") == 1
+        assert "models.json" in err
+        assert "Traceback" not in err
+
+    def test_models_missing_dir_one_line_error(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "models", "--dir", str(tmp_path / "gone"))
+        assert code == 1
+        assert err.startswith("error:") and err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_models_corrupt_dir_one_line_error(self, capsys, corrupt_dir):
+        code, _, err = run_cli(capsys, "models", "--dir", str(corrupt_dir))
+        assert code == 1
+        assert err.startswith("error:") and err.count("\n") == 1
+        assert "models.json" in err
+        assert "Traceback" not in err

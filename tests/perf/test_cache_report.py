@@ -2,7 +2,10 @@
 invalidation) and the per-stage performance report."""
 
 
+import pytest
+
 from repro.cluster.config import ClusterConfig
+from repro.errors import ReproError
 from repro.measure.grids import PAPER_KINDS
 from repro.perf.cache import CacheStats, EstimateCache, model_fingerprint
 from repro.perf.report import PerfReport
@@ -61,6 +64,68 @@ class TestEstimateCache:
         cache = EstimateCache("abcd")
         assert "abcd" in cache.describe()
         assert "0 hits" in cache.describe()
+
+
+class TestLRUBound:
+    def test_capacity_evicts_oldest_insertion(self):
+        cache = EstimateCache("fp", capacity=2)
+        key = cache.key_of(cfg(1, 1, 0, 0))
+        cache.put(key, 100, 1.0)
+        cache.put(key, 200, 2.0)
+        cache.put(key, 300, 3.0)  # evicts (key, 100)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(key, 100) is None
+        assert cache.get(key, 300) == 3.0
+
+    def test_hit_refreshes_recency(self):
+        cache = EstimateCache("fp", capacity=2)
+        key = cache.key_of(cfg(1, 1, 0, 0))
+        cache.put(key, 100, 1.0)
+        cache.put(key, 200, 2.0)
+        assert cache.get(key, 100) == 1.0  # 100 is now most-recent
+        cache.put(key, 300, 3.0)  # evicts 200, not 100
+        assert cache.get(key, 100) == 1.0
+        assert cache.get(key, 200) is None
+
+    def test_update_refreshes_recency_without_eviction(self):
+        cache = EstimateCache("fp", capacity=2)
+        key = cache.key_of(cfg(1, 1, 0, 0))
+        cache.put(key, 100, 1.0)
+        cache.put(key, 200, 2.0)
+        cache.put(key, 100, 1.5)  # update, no growth, 100 refreshed
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        cache.put(key, 300, 3.0)  # evicts 200
+        assert cache.get(key, 100) == 1.5
+        assert cache.get(key, 200) is None
+
+    def test_describe_surfaces_capacity_and_evictions(self):
+        cache = EstimateCache("fp", capacity=1)
+        key = cache.key_of(cfg(1, 1, 0, 0))
+        cache.put(key, 100, 1.0)
+        cache.put(key, 200, 2.0)
+        text = cache.describe()
+        assert "1/1 entries" in text
+        assert "1 evictions" in text
+
+    def test_unbounded_default_never_evicts(self):
+        cache = EstimateCache("fp")
+        key = cache.key_of(cfg(1, 1, 0, 0))
+        for n in range(100, 200):
+            cache.put(key, n, float(n))
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+        assert "entries" in cache.describe() and "/" not in cache.describe().split(",")[0]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ReproError, match="capacity"):
+            EstimateCache("fp", capacity=0)
+
+    def test_stats_merge(self):
+        a = CacheStats(hits=2, misses=3, evictions=1)
+        a.merge(CacheStats(hits=1, misses=1, evictions=0))
+        assert (a.hits, a.misses, a.evictions) == (3, 4, 1)
 
 
 class TestModelFingerprint:

@@ -1,0 +1,114 @@
+"""Wire-protocol unit tests: parsing, validation, typed error replies."""
+
+import json
+import math
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_OVERLOADED,
+    Overloaded,
+    ProtocolError,
+    decode_reply,
+    encode_error,
+    encode_exception,
+    encode_ok,
+    parse_request,
+)
+
+
+class TestParseRequest:
+    def test_estimate_with_ns(self):
+        request = parse_request(
+            '{"id": 7, "op": "estimate", "pipeline": "p", '
+            '"config": [1,2,8,1], "ns": [1600, 3200]}'
+        )
+        assert request.id == 7
+        assert request.op == "estimate"
+        assert request.pipeline == "p"
+        assert request.config == (1, 2, 8, 1)
+        assert request.ns == (1600, 3200)
+
+    def test_scalar_n_normalizes_to_ns(self):
+        request = parse_request(
+            '{"id": 1, "op": "estimate", "pipeline": "p", "config": [1,1], "n": 400}'
+        )
+        assert request.ns == (400,)
+
+    def test_optimize_carries_top(self):
+        request = parse_request(
+            '{"id": 2, "op": "optimize", "pipeline": "p", "n": 3200, "top": 3}'
+        )
+        assert request.top == 3 and request.ns == (3200,)
+
+    def test_control_ops_need_no_params(self):
+        for op in ("stats", "reload", "ping"):
+            assert parse_request(json.dumps({"id": 0, "op": op})).op == op
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json at all",
+            '["a", "list"]',
+            '{"id": 1}',  # no op
+            '{"id": 1, "op": "frobnicate"}',
+            '{"id": 1, "op": "estimate", "config": [1,1], "n": 4}',  # no pipeline
+            '{"id": 1, "op": "estimate", "pipeline": "p", "n": 4}',  # no config
+            '{"id": 1, "op": "estimate", "pipeline": "p", "config": [1,1]}',  # no n
+            '{"id": 1, "op": "estimate", "pipeline": "p", "config": [1,1], "n": -3}',
+            '{"id": 1, "op": "estimate", "pipeline": "p", "config": [1,1], "ns": []}',
+            '{"id": 1, "op": "estimate", "pipeline": "p", "config": [1,"x"], "n": 4}',
+            '{"id": 1, "op": "estimate", "pipeline": "p", "config": [1,1], "ns": [4.5]}',
+            '{"id": 1, "op": "optimize", "pipeline": "p", "n": 4, "top": 0}',
+            '{"id": 1, "op": "models"}',  # no pipeline
+            '{"id": 1, "op": "estimate", "pipeline": 5, "config": [1,1], "n": 4}',
+        ],
+    )
+    def test_malformed_requests_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            parse_request(line)
+
+    def test_booleans_are_not_integers(self):
+        with pytest.raises(ProtocolError):
+            parse_request(
+                '{"id": 1, "op": "estimate", "pipeline": "p", '
+                '"config": [true, 1], "n": 4}'
+            )
+
+
+class TestReplies:
+    def test_ok_roundtrip(self):
+        line = encode_ok(3, {"totals": [1.5, float("inf")]})
+        reply = decode_reply(line)
+        assert reply["ok"] is True and reply["id"] == 3
+        assert reply["result"]["totals"][0] == 1.5
+        assert math.isinf(reply["result"]["totals"][1])
+
+    def test_numpy_scalars_encode(self):
+        import numpy as np
+
+        reply = decode_reply(encode_ok(1, {"value": np.float64(2.5), "n": np.int64(4)}))
+        assert reply["result"] == {"value": 2.5, "n": 4}
+
+    def test_error_reply_is_typed(self):
+        reply = decode_reply(encode_error(9, "BadRequest", "nope"))
+        assert reply["ok"] is False
+        assert reply["error"]["type"] == "BadRequest"
+        assert reply["error"]["message"] == "nope"
+
+    def test_overloaded_exception_reply_carries_backoff(self):
+        exc = Overloaded(pending=256, capacity=256, retry_after_ms=40.0)
+        reply = decode_reply(encode_exception(5, exc))
+        assert reply["error"]["type"] == ERROR_OVERLOADED
+        assert reply["error"]["pending"] == 256
+        assert reply["error"]["capacity"] == 256
+        assert reply["error"]["retry_after_ms"] == 40.0
+
+    def test_unknown_exception_maps_to_internal(self):
+        reply = decode_reply(encode_exception(None, RuntimeError("boom")))
+        assert reply["error"]["type"] == "Internal"
+        assert "boom" in reply["error"]["message"]
+
+    def test_malformed_reply_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_reply('{"id": 1}')
