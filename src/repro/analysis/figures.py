@@ -17,10 +17,18 @@ from repro.analysis.correlation import CorrelationData
 from repro.cluster.config import ClusterConfig
 from repro.cluster.presets import kishimoto_cluster, single_node_cluster
 from repro.cluster.spec import ClusterSpec
-from repro.hpl.driver import NoiseSpec, run_hpl
+from repro.hpl.driver import NoiseSpec, run_hpl_batch
 from repro.simnet.mpich import mpich_1_2_1, mpich_1_2_2
 from repro.simnet.netpipe import probe_link, standard_block_sizes
 from repro.units import to_gbps
+
+
+def _gflops_curve(spec, config, sizes, noise, seed) -> List[float]:
+    """Gflops at each size, one batched simulation per configuration."""
+    results = run_hpl_batch(
+        spec, config, [int(n) for n in sizes], noise=noise, seed=seed
+    )
+    return [result.gflops for result in results]
 
 
 @dataclass(frozen=True)
@@ -53,9 +61,7 @@ def fig1_series(
     out = []
     for procs in range(1, max_procs + 1):
         config = ClusterConfig.of(athlon=(1, procs))
-        gflops = [
-            run_hpl(spec, config, n, noise=noise, seed=seed).gflops for n in sizes
-        ]
+        gflops = _gflops_curve(spec, config, sizes, noise, seed)
         out.append(Series(f"{procs}P/CPU", tuple(float(n) for n in sizes), tuple(gflops)))
     return out
 
@@ -97,9 +103,7 @@ def fig3a_series(
     }
     out = []
     for label, config in cases.items():
-        gflops = [
-            run_hpl(cluster, config, n, noise=noise, seed=seed).gflops for n in sizes
-        ]
+        gflops = _gflops_curve(cluster, config, sizes, noise, seed)
         out.append(Series(label, tuple(float(n) for n in sizes), tuple(gflops)))
     return out
 
@@ -119,19 +123,19 @@ def fig3b_series(
             "Athlon x 1",
             tuple(float(n) for n in sizes),
             tuple(
-                run_hpl(
-                    cluster, ClusterConfig.of(athlon=(1, 1), pentium2=(0, 0)), n,
-                    noise=noise, seed=seed,
-                ).gflops
-                for n in sizes
+                _gflops_curve(
+                    cluster,
+                    ClusterConfig.of(athlon=(1, 1), pentium2=(0, 0)),
+                    sizes,
+                    noise,
+                    seed,
+                )
             ),
         )
     ]
     for procs in range(1, max_procs + 1):
         config = ClusterConfig.of(athlon=(1, procs), pentium2=(4, 1))
-        gflops = [
-            run_hpl(cluster, config, n, noise=noise, seed=seed).gflops for n in sizes
-        ]
+        gflops = _gflops_curve(cluster, config, sizes, noise, seed)
         out.append(Series(f"n = {procs}", tuple(float(n) for n in sizes), tuple(gflops)))
     return out
 

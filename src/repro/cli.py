@@ -6,6 +6,7 @@ Examples::
     repro fig1 --mpich 1.2.1            # Fig. 1(a) series
     repro fig2                          # Fig. 2 (NetPIPE curves)
     repro fig3                          # Fig. 3(a)+(b) series
+    repro campaign --protocol ns --profile      # measurements + PerfReport
     repro cost --protocol basic         # Table 3 (measurement cost)
     repro verify --protocol ns          # Table 9 (best-config errors)
     repro correlate --protocol basic --n 6400   # Fig. 6/7 ASCII scatter
@@ -87,6 +88,24 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--protocol", default="basic", choices=["basic", "nl", "ns"]
         )
+
+    campaign = sub.add_parser(
+        "campaign", help="run a construction campaign (the measurement step)"
+    )
+    campaign.add_argument(
+        "--protocol", default="basic", choices=["basic", "nl", "ns"]
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="process-pool width for the runs"
+    )
+    campaign.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the per-stage PerfReport (walker time, batch sizes, "
+            "panel-table hits) after the run"
+        ),
+    )
 
     corr = sub.add_parser("correlate", help="estimate-vs-measurement scatter (Figs 6-15)")
     corr.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
@@ -397,6 +416,21 @@ def _dispatch(args: argparse.Namespace) -> None:
         print(series_table(fig3a_series(seed=args.seed, spec=spec), "N"))
         print("\nFigure 3(b): multiprocessing [Gflops]")
         print(series_table(fig3b_series(seed=args.seed, spec=spec), "N"))
+    elif args.command == "campaign":
+        pipeline = EstimationPipeline(
+            _spec(args),
+            PipelineConfig(
+                protocol=args.protocol, seed=args.seed, workers=args.workers
+            ),
+        )
+        result = pipeline.campaign
+        print(
+            f"{result.plan_name} campaign: {len(result.dataset)} measurements, "
+            f"simulated cost {result.total_cost_s:.1f} s"
+        )
+        if args.profile:
+            print()
+            print(pipeline.perf.render())
     elif args.command == "cost":
         print(cost_table(_pipeline(args)))
     elif args.command == "verify":

@@ -96,6 +96,15 @@ class ExhaustiveOptimizer:
         ``len(candidates) * len(sizes)`` scalar calls.  Must agree
         numerically with ``estimator`` (the pipeline's implementations
         are element-for-element identical).
+    allow_unestimable:
+        ``+inf`` is the pipeline estimator's sanctioned "model outside its
+        domain" signal, and by default such candidates simply rank last
+        (raising only when *no* candidate is finite).  An estimator that
+        is supposed to cover every candidate — a plain function in a
+        heuristic-search comparison, say — can pass ``False`` to turn any
+        ``+inf`` into an immediate :class:`SearchError` instead of a
+        silently deprioritized candidate.  NaN and negative values
+        (including ``-inf``) always raise.
     """
 
     def __init__(
@@ -103,17 +112,20 @@ class ExhaustiveOptimizer:
         estimator: Estimator,
         candidates: Sequence[ClusterConfig],
         batch_estimator: Optional[BatchEstimator] = None,
+        allow_unestimable: bool = True,
     ):
         if not candidates:
             raise SearchError("empty candidate set")
         self.estimator = estimator
         self.candidates = list(candidates)
         self.batch_estimator = batch_estimator
+        self.allow_unestimable = allow_unestimable
         # Sort keys are recomputed on every optimize(); cache them once.
         self._candidate_keys = [config.key() for config in self.candidates]
 
     def _validated(self, value: float, config: ClusterConfig, n: int) -> float:
-        if math.isnan(value) or value < 0:
+        invalid = math.isnan(value) or value < 0
+        if invalid or (value == math.inf and not self.allow_unestimable):
             raise SearchError(
                 f"estimator returned invalid time {value!r} for "
                 f"{config.label()} at N={n}"

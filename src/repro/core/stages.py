@@ -52,6 +52,7 @@ from repro.core.memory_guard import MemoryGuard, split_dataset
 from repro.core.model_store import ModelStore
 from repro.core.optimizer import ExhaustiveOptimizer, SearchOutcome
 from repro.core.optimizer import actual_best as _actual_best
+from repro.hpl.schedule import walker_stats
 from repro.measure.campaign import CampaignResult, run_campaign, run_evaluation
 from repro.measure.dataset import Dataset
 from repro.perf.cache import EstimateCache, model_fingerprint
@@ -254,7 +255,8 @@ class MeasureStage(Stage):
     name = "campaign"
 
     def build(self, ctx: PipelineContext) -> CampaignResult:
-        return run_campaign(
+        before = walker_stats().snapshot()
+        result = run_campaign(
             ctx.spec,
             ctx.plan,
             params=ctx.config.hpl_params,
@@ -263,6 +265,9 @@ class MeasureStage(Stage):
             runner=ctx.config.runner,
             workers=ctx.config.workers,
         )
+        # main-process counters only: pool workers keep their own
+        ctx.perf.record_walker(walker_stats().delta(before))
+        return result
 
 
 class EvaluationStage(Stage):
@@ -271,7 +276,8 @@ class EvaluationStage(Stage):
     name = "evaluation"
 
     def build(self, ctx: PipelineContext) -> Dataset:
-        return run_evaluation(
+        before = walker_stats().snapshot()
+        dataset = run_evaluation(
             ctx.spec,
             ctx.plan,
             params=ctx.config.hpl_params,
@@ -280,6 +286,8 @@ class EvaluationStage(Stage):
             runner=ctx.config.runner,
             workers=ctx.config.workers,
         )
+        ctx.perf.record_walker(walker_stats().delta(before))
+        return dataset
 
 
 class FitStage(Stage):

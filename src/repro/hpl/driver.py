@@ -13,14 +13,19 @@ the property the model-fitting layer and all tests rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.spec import ClusterSpec
 from repro.errors import SimulationError
-from repro.hpl.schedule import HPLParameters, ScheduleResult, simulate_schedule
+from repro.hpl.schedule import (
+    HPLParameters,
+    ScheduleResult,
+    simulate_schedule,
+    simulate_schedule_batch,
+)
 from repro.hpl.timing import PhaseTimes, ProcessTiming, aggregate_mean
 from repro.hpl.workload import hpl_benchmark_flops
 from repro.rng import stream
@@ -161,6 +166,77 @@ def run_hpl(
     return HPLResult(spec_name=spec.name, config=config, n=n, schedule=schedule)
 
 
+def _noise_rows(
+    config: ClusterConfig,
+    sizes: Sequence[int],
+    trials: Sequence[int],
+    noise: Optional[NoiseSpec],
+    seed: int,
+):
+    """Per-run noise rows for a batch, drawn exactly as :func:`run_hpl`
+    draws them — one independent ``(seed, config, N, trial)`` stream per
+    row — so batched results stay bit-identical to per-run ones."""
+    if noise is None or not noise.enabled:
+        return None, None
+    p = config.total_processes
+    compute_rows = np.empty((len(sizes), p))
+    comm_rows = np.empty((len(sizes), p))
+    for i, (n, trial) in enumerate(zip(sizes, trials)):
+        rng = stream(seed, "hpl-run", config.key(), n, trial)
+        compute = np.exp(rng.normal(0.0, noise.sigma_compute, size=p))
+        comm = np.exp(rng.normal(0.0, noise.sigma_comm, size=p))
+        if noise.outlier_probability > 0 and rng.random() < noise.outlier_probability:
+            compute = compute * noise.outlier_factor
+            comm = comm * noise.outlier_factor
+        compute_rows[i] = compute
+        comm_rows[i] = comm
+    return compute_rows, comm_rows
+
+
+def run_hpl_batch(
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    ns: Sequence[int],
+    params: Optional[HPLParameters] = None,
+    noise: Optional[NoiseSpec] = None,
+    seed: int = 0,
+    trial: Union[int, Sequence[int]] = 0,
+) -> List[HPLResult]:
+    """Run one configuration at many problem orders in a single batched
+    simulation (:func:`~repro.hpl.schedule.simulate_schedule_batch`).
+
+    ``ns`` may repeat sizes; ``trial`` is either one trial index shared by
+    every entry or a per-entry sequence (a campaign batches a config's full
+    ``sizes x trials`` grid in one call).  Each entry's noise comes from
+    the same ``(seed, config, N, trial)`` stream :func:`run_hpl` would use,
+    and the batched walker is bitwise-equal to the scalar one, so entry
+    ``i`` of the result is bit-identical to
+    ``run_hpl(spec, config, ns[i], ..., trial=trial[i])``.
+    """
+    sizes = [int(n) for n in ns]
+    if isinstance(trial, (int, np.integer)):
+        trials = [int(trial)] * len(sizes)
+    else:
+        trials = [int(t) for t in trial]
+        if len(trials) != len(sizes):
+            raise SimulationError(
+                f"{len(sizes)} sizes but {len(trials)} trial indices"
+            )
+    compute_rows, comm_rows = _noise_rows(config, sizes, trials, noise, seed)
+    schedules = simulate_schedule_batch(
+        spec,
+        config,
+        sizes,
+        params=params,
+        compute_noise=compute_rows,
+        comm_noise=comm_rows,
+    )
+    return [
+        HPLResult(spec_name=spec.name, config=config, n=n, schedule=schedule)
+        for n, schedule in zip(sizes, schedules)
+    ]
+
+
 def sweep_sizes(
     spec: ClusterSpec,
     config: ClusterConfig,
@@ -169,8 +245,9 @@ def sweep_sizes(
     noise: Optional[NoiseSpec] = None,
     seed: int = 0,
 ) -> Dict[int, HPLResult]:
-    """Run one configuration across several problem orders."""
-    return {
-        int(n): run_hpl(spec, config, int(n), params=params, noise=noise, seed=seed)
-        for n in sizes
-    }
+    """Run one configuration across several problem orders (one batched
+    simulation; later duplicates of a size win, as in the dict literal)."""
+    results = run_hpl_batch(
+        spec, config, [int(n) for n in sizes], params=params, noise=noise, seed=seed
+    )
+    return {result.n: result for result in results}

@@ -23,14 +23,35 @@ and a final backward substitution (``uptrsv``) closes the run.
 
 Rates come from :class:`~repro.cluster.pe.PEKind` (efficiency ramp,
 oversubscription) degraded by the node-level paging model of
-:mod:`repro.hpl.memory`.  The loop is vectorized over processes with NumPy;
-only the O(N/nb) step loop is Python.
+:mod:`repro.hpl.memory`.
+
+Two walkers share those models:
+
+* :func:`simulate_schedule` — the **reference implementation**: a Python
+  loop over the O(N/nb) panel steps, vectorized only over processes.
+* :func:`simulate_schedule_batch` — the **production walker**: the whole
+  panel sweep is evaluated as one NumPy array program over a
+  ``(sizes, num_panels, P)`` grid, batching *several problem orders of one
+  configuration* in a single call by padding every size to the largest
+  panel count.  Padded steps contribute exact zeros, and every array
+  expression applies the same IEEE operations in the same order as the
+  reference loop, so for identical inputs the two walkers agree **bitwise**
+  (golden-tested per phase, per rank).
+
+The per-``(n, nb, P)`` step geometry (panel widths, owners, trailing-column
+counts and the derived workload tables — all analytic in ``(n, nb, k)``) is
+memoized in a :class:`PanelTable` cache so repeated trials of one
+configuration/size skip the recomputation entirely.  :func:`walker_stats`
+exposes walker timings, batch sizes and table hit counts; the measurement
+layer folds them into :class:`~repro.perf.report.PerfReport`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +62,7 @@ from repro.errors import SimulationError
 from repro.hpl import workload
 from repro.hpl.memory import node_slowdowns
 from repro.hpl.timing import PHASE_NAMES, PhaseTimes, ProcessTiming
-from repro.simnet.collectives import ring_delivery_times
+from repro.simnet.collectives import ring_delivery_times, ring_delivery_times_batch
 from repro.simnet.transport import LinkKind, Transport
 
 
@@ -150,32 +171,192 @@ class ScheduleResult:
         return sum(self.phase_arrays[name] for name in PHASE_NAMES)
 
 
-def simulate_schedule(
-    spec: ClusterSpec,
-    config: ClusterConfig,
-    n: int,
-    params: Optional[HPLParameters] = None,
-    compute_noise: Optional[np.ndarray] = None,
-    comm_noise: Optional[np.ndarray] = None,
-) -> ScheduleResult:
-    """Simulate HPL of order ``n`` under ``config`` on ``spec``.
+# -- walker instrumentation ----------------------------------------------------
 
-    ``compute_noise`` / ``comm_noise`` are optional per-rank multiplicative
-    factors (length ``P``) applied to computation and communication costs
-    respectively; the measurement layer supplies them (seeded), unit tests
-    usually omit them for determinism.
+
+@dataclass
+class WalkerStats:
+    """Counters of both schedule walkers (per process; see note below).
+
+    ``scalar_*`` track the reference per-step loop, ``batch_*`` the
+    vectorized multi-size walker (``batch_sizes`` = total problem orders
+    simulated across batched calls, ``batch_max`` = largest single batch),
+    and ``table_*`` the :class:`PanelTable` memo.  Counters live in module
+    state: campaigns fanned out over a process pool accumulate them in the
+    workers, so a parallel campaign's main-process report only covers work
+    done in the main process.
     """
-    if n < 1:
-        raise SimulationError(f"matrix order must be >= 1, got {n}")
-    params = params if params is not None else HPLParameters()
-    slots = place_processes(spec, config)
+
+    scalar_calls: int = 0
+    scalar_seconds: float = 0.0
+    batch_calls: int = 0
+    batch_seconds: float = 0.0
+    batch_sizes: int = 0
+    batch_max: int = 0
+    table_hits: int = 0
+    table_misses: int = 0
+
+    def snapshot(self) -> "WalkerStats":
+        return replace(self)
+
+    def delta(self, earlier: "WalkerStats") -> "WalkerStats":
+        """Field-wise difference (``batch_max`` takes the current value)."""
+        return WalkerStats(
+            scalar_calls=self.scalar_calls - earlier.scalar_calls,
+            scalar_seconds=self.scalar_seconds - earlier.scalar_seconds,
+            batch_calls=self.batch_calls - earlier.batch_calls,
+            batch_seconds=self.batch_seconds - earlier.batch_seconds,
+            batch_sizes=self.batch_sizes - earlier.batch_sizes,
+            batch_max=self.batch_max,
+            table_hits=self.table_hits - earlier.table_hits,
+            table_misses=self.table_misses - earlier.table_misses,
+        )
+
+    def merge(self, other: "WalkerStats") -> None:
+        """Accumulate ``other`` into this record (maxing ``batch_max``)."""
+        for f in fields(self):
+            if f.name == "batch_max":
+                self.batch_max = max(self.batch_max, other.batch_max)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def to_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def describe(self) -> str:
+        batch = (
+            f"batch {self.batch_calls} calls/{self.batch_sizes} sizes "
+            f"(max {self.batch_max}) {self.batch_seconds:.4f}s"
+        )
+        scalar = f"scalar {self.scalar_calls} calls {self.scalar_seconds:.4f}s"
+        table = f"panel-table {self.table_hits} hits/{self.table_misses} misses"
+        return f"{batch}; {scalar}; {table}"
+
+
+_WALKER_STATS = WalkerStats()
+
+
+def walker_stats() -> WalkerStats:
+    """The live (mutable) walker counters of this process."""
+    return _WALKER_STATS
+
+
+def reset_walker_stats() -> None:
+    """Zero the walker counters (tests and benches)."""
+    global _WALKER_STATS
+    _WALKER_STATS = WalkerStats()
+
+
+# -- memoized panel geometry ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PanelTable:
+    """Precomputed step geometry and workload of one ``(n, nb, P)`` sweep.
+
+    Everything here is analytic in ``(n, nb, k)`` and the ring position —
+    independent of rates, noise and the network — so one table serves every
+    trial and every configuration sharing the process count.  Shapes:
+    ``(K,)`` per step, ``(K, P)`` per step and rank, ``K = ceil(n / nb)``.
+    """
+
+    n: int
+    nb: int
+    p: int
+    nblocks: int
+    owner: np.ndarray  #: (K,) int — panel owner, ``k % P``
+    width: np.ndarray  #: (K,) float — panel column count (last may be partial)
+    m_rows: np.ndarray  #: (K,) float — trailing height ``n - k*nb``
+    q: np.ndarray  #: (K, P) float — trailing columns owned per rank
+    pfact_flops: np.ndarray  #: (K,) float
+    update_flops: np.ndarray  #: (K, P) float
+    laswp_bytes: np.ndarray  #: (K, P) float
+    panel_nbytes: np.ndarray  #: (K,) float — broadcast payload per step
+
+
+def _build_panel_table(n: int, nb: int, p: int) -> PanelTable:
+    nblocks = (n + nb - 1) // nb
+    last_block_cols = n - (nblocks - 1) * nb
+    k = np.arange(nblocks)
+    j0 = k * nb
+    width = np.minimum(nb, n - j0).astype(float)
+    m_rows = (n - j0).astype(float)
+    owner = k % p
+    # Trailing blocks of step k are k+1 .. nblocks-1; the count owned by
+    # rank r is the number of offsets o in [0, T) with o = (r - k - 1) mod p,
+    # T = nblocks - 1 - k — the closed form of the reference walker's
+    # bincount over ``arange(k+1, nblocks) % p``.
+    trailing = nblocks - 1 - k  # (K,)
+    offset0 = (np.arange(p)[None, :] - k[:, None] - 1) % p  # (K, P)
+    count = np.where(
+        trailing[:, None] > offset0,
+        (trailing[:, None] - offset0 + p - 1) // p,
+        0,
+    ).astype(float)
+    q = count * nb
+    if nblocks > 1:
+        # the final block may be partial; it is trailing for every k < K-1
+        q[: nblocks - 1, (nblocks - 1) % p] -= nb - last_block_cols
+    return PanelTable(
+        n=n,
+        nb=nb,
+        p=p,
+        nblocks=nblocks,
+        owner=owner,
+        width=width,
+        m_rows=m_rows,
+        q=q,
+        pfact_flops=np.asarray(workload.pfact_flops(m_rows, width), dtype=float),
+        update_flops=np.asarray(
+            workload.update_flops(m_rows[:, None], width[:, None], q), dtype=float
+        ),
+        laswp_bytes=np.asarray(
+            workload.laswp_bytes(width[:, None], q), dtype=float
+        ),
+        panel_nbytes=np.asarray(workload.panel_bytes(m_rows, width), dtype=float),
+    )
+
+
+#: Bounded LRU of panel tables; a campaign touches ``sizes x process
+#: counts`` keys (tens), trials and repeated configurations hit.
+_PANEL_TABLE_CAP = 256
+_panel_tables: "OrderedDict[Tuple[int, int, int], PanelTable]" = OrderedDict()
+
+
+def panel_table(n: int, nb: int, p: int) -> PanelTable:
+    """The memoized :class:`PanelTable` for ``(n, nb, p)`` (LRU-bounded)."""
+    if n < 1 or nb < 1 or p < 1:
+        raise SimulationError(f"panel_table needs positive (n, nb, p), got {(n, nb, p)}")
+    key = (int(n), int(nb), int(p))
+    table = _panel_tables.get(key)
+    if table is not None:
+        _WALKER_STATS.table_hits += 1
+        _panel_tables.move_to_end(key)
+        return table
+    _WALKER_STATS.table_misses += 1
+    table = _build_panel_table(*key)
+    _panel_tables[key] = table
+    while len(_panel_tables) > _PANEL_TABLE_CAP:
+        _panel_tables.popitem(last=False)
+    return table
+
+
+def clear_panel_tables() -> None:
+    """Drop every memoized panel table (tests)."""
+    _panel_tables.clear()
+
+
+# -- shared rate/ring models ---------------------------------------------------
+
+
+def _rank_rates(
+    spec: ClusterSpec,
+    slots: Sequence[ProcessSlot],
+    n: int,
+    params: HPLParameters,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-rank static rates (update, pfact, laswp) and step overheads."""
     p = len(slots)
-    transport = Transport(spec, slots)
-
-    f_comp = _noise_or_ones(compute_noise, p, "compute_noise")
-    f_comm = _noise_or_ones(comm_noise, p, "comm_noise")
-
-    # Per-rank static rates --------------------------------------------------
     paging = node_slowdowns(spec, slots, n, nb=params.nb, slope=params.paging_slope)
     update_rate = np.empty(p)
     pfact_rate = np.empty(p)
@@ -192,10 +373,18 @@ def simulate_schedule(
         pfact_rate[r] = kind.process_rate(n, m) * params.pfact_efficiency / paging[r]
         laswp_rate[r] = kind.mem_copy_rate() / m / paging[r]
         step_overhead[r] = kind.step_overhead(m)
+    return update_rate, pfact_rate, laswp_rate, step_overhead
 
-    # Ring-forwarding slowdown of each sender (CPU time-sharing; see
-    # HPLParameters.forward_interference).  Network hops take the full
-    # interference; shared-memory hops a calibrated fraction of it.
+
+def _ring_factors(
+    params: HPLParameters,
+    slots: Sequence[ProcessSlot],
+    transport: Transport,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Ring-forwarding slowdown of each sender (CPU time-sharing; see
+    ``HPLParameters.forward_interference``) and the fixed scheduler-handoff
+    cost on hops whose endpoints time-share a CPU.  Network hops take the
+    full interference; shared-memory hops a calibrated fraction of it."""
     co_res = np.array([slot.co_resident for slot in slots], dtype=float)
     ring_kinds = transport.ring_link_kinds()
     edge_weight = np.array(
@@ -205,13 +394,51 @@ def simulate_schedule(
         ]
     )
     forward_slow = 1.0 + params.forward_interference * (co_res - 1.0) * edge_weight
-    # Fixed scheduler-handoff cost on hops whose endpoints time-share a CPU.
     same_cpu_edge = np.array(
         [kind is LinkKind.SAME_CPU for kind in ring_kinds], dtype=bool
     )
     hop_handoff = np.where(
         same_cpu_edge, params.same_cpu_handoff_s * (co_res - 1.0), 0.0
     )
+    return forward_slow, hop_handoff
+
+
+# -- reference walker ----------------------------------------------------------
+
+
+def simulate_schedule(
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    n: int,
+    params: Optional[HPLParameters] = None,
+    compute_noise: Optional[np.ndarray] = None,
+    comm_noise: Optional[np.ndarray] = None,
+) -> ScheduleResult:
+    """Simulate HPL of order ``n`` under ``config`` on ``spec``.
+
+    ``compute_noise`` / ``comm_noise`` are optional per-rank multiplicative
+    factors (length ``P``) applied to computation and communication costs
+    respectively; the measurement layer supplies them (seeded), unit tests
+    usually omit them for determinism.
+
+    This is the reference per-step loop; :func:`simulate_schedule_batch`
+    is the vectorized production walker and must agree with it bitwise.
+    """
+    if n < 1:
+        raise SimulationError(f"matrix order must be >= 1, got {n}")
+    started = time.perf_counter()
+    params = params if params is not None else HPLParameters()
+    slots = place_processes(spec, config)
+    p = len(slots)
+    transport = Transport(spec, slots)
+
+    f_comp = _noise_or_ones(compute_noise, p, "compute_noise")
+    f_comm = _noise_or_ones(comm_noise, p, "comm_noise")
+
+    update_rate, pfact_rate, laswp_rate, step_overhead = _rank_rates(
+        spec, slots, n, params
+    )
+    forward_slow, hop_handoff = _ring_factors(params, slots, transport)
 
     phase = {name: np.zeros(p) for name in PHASE_NAMES}
     wall = 0.0
@@ -285,6 +512,9 @@ def simulate_schedule(
     phase["uptrsv"] += t_uptrsv
     wall += float(np.max(t_uptrsv))
 
+    _WALKER_STATS.scalar_calls += 1
+    _WALKER_STATS.scalar_seconds += time.perf_counter() - started
+
     return ScheduleResult(
         n=n,
         params=params,
@@ -292,6 +522,177 @@ def simulate_schedule(
         phase_arrays=phase,
         wall_time_s=wall,
     )
+
+
+# -- vectorized multi-size walker ----------------------------------------------
+
+
+def simulate_schedule_batch(
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    ns: Sequence[int],
+    params: Optional[HPLParameters] = None,
+    compute_noise: Optional[np.ndarray] = None,
+    comm_noise: Optional[np.ndarray] = None,
+) -> List[ScheduleResult]:
+    """Simulate one configuration at *many* problem orders in one call.
+
+    ``ns`` may repeat sizes (e.g. one entry per trial); noise arrays, when
+    given, carry one row per entry (shape ``(len(ns), P)``).  Every size is
+    padded to the largest panel count and the whole ``(sizes, panels, P)``
+    grid is evaluated as a handful of NumPy array programs; padded steps
+    contribute exact zeros.  Results are bitwise identical to calling
+    :func:`simulate_schedule` per entry with the matching noise row —
+    the golden tests assert per-phase, per-rank equality.
+    """
+    sizes = [int(n) for n in ns]
+    if not sizes:
+        raise SimulationError("simulate_schedule_batch needs at least one size")
+    for n in sizes:
+        if n < 1:
+            raise SimulationError(f"matrix order must be >= 1, got {n}")
+    started = time.perf_counter()
+    params = params if params is not None else HPLParameters()
+    slots = place_processes(spec, config)
+    p = len(slots)
+    transport = Transport(spec, slots)
+    rows = len(sizes)
+
+    f_comp = _noise_rows(compute_noise, rows, p, "compute_noise")  # (S, P)
+    f_comm = _noise_rows(comm_noise, rows, p, "comm_noise")
+
+    forward_slow, hop_handoff = _ring_factors(params, slots, transport)
+
+    # -- per-unique-size tables, rates and (noise-free) broadcast chains ------
+    unique_sizes = list(dict.fromkeys(sizes))
+    position = {n: i for i, n in enumerate(unique_sizes)}
+    row_of = np.array([position[n] for n in sizes])
+    tables = [panel_table(n, params.nb, p) for n in unique_sizes]
+    steps = max(table.nblocks for table in tables)  # padded panel count K
+
+    def padded(stack_shape, per_table):
+        out = np.zeros((len(tables),) + stack_shape)
+        for i, table in enumerate(tables):
+            value = per_table(table)
+            out[i, : table.nblocks] = value
+        return out
+
+    pfact_flops_u = padded((steps,), lambda t: t.pfact_flops)
+    width_u = padded((steps,), lambda t: t.width)
+    update_flops_u = padded((steps, p), lambda t: t.update_flops)
+    laswp_bytes_u = padded((steps, p), lambda t: t.laswp_bytes)
+    valid_u = padded((steps,), lambda t: np.ones(t.nblocks))
+    rates_u = np.empty((len(tables), 4, p))
+    for i, table in enumerate(tables):
+        rates_u[i] = _rank_rates(spec, slots, table.n, params)
+    if p > 1:
+        hops_own_u = np.zeros((len(tables), steps))
+        delivery_u = np.zeros((len(tables), steps, p))
+        for i, table in enumerate(tables):
+            hops = (
+                transport.ring_hop_times_batch(table.panel_nbytes) * forward_slow
+                + hop_handoff
+            )
+            delivery_u[i, : table.nblocks] = ring_delivery_times_batch(
+                hops, table.owner, pipeline_factor=params.ring_pipeline_factor
+            )
+            hops_own_u[i, : table.nblocks] = hops[
+                np.arange(table.nblocks), table.owner
+            ]
+
+    # -- expand to batch rows (one row per (size, noise) entry) ---------------
+    owner = np.arange(steps) % p  # owners do not depend on n
+    kidx = np.arange(steps)
+    update_rate = rates_u[row_of, 0]  # (S, P)
+    pfact_rate = rates_u[row_of, 1]
+    laswp_rate = rates_u[row_of, 2]
+    step_overhead = rates_u[row_of, 3]
+    valid = valid_u[row_of, :, None].astype(bool)  # (S, K, 1)
+
+    # -- pfact / mxswp (owner-only phases) ------------------------------------
+    t_pfact = (
+        pfact_flops_u[row_of] / pfact_rate[:, owner] * f_comp[:, owner]
+    )  # (S, K)
+    t_mxswp = width_u[row_of] * params.mxswp_per_column_s * f_comm[:, owner]
+    own_base = t_pfact + t_mxswp
+
+    phase_mats: Dict[str, np.ndarray] = {}
+    scatter = np.zeros((rows, steps, p))
+    scatter[:, kidx, owner] = t_pfact
+    phase_mats["pfact"] = scatter
+    scatter = np.zeros((rows, steps, p))
+    scatter[:, kidx, owner] = t_mxswp
+    phase_mats["mxswp"] = scatter
+
+    # -- broadcast ------------------------------------------------------------
+    if p > 1:
+        head_wait = own_base * params.pfact_wait_factor  # (S, K)
+        non_owner = np.arange(p)[None, :] != owner[:, None]  # (K, P)
+        wait = np.where(
+            non_owner[None, :, :],
+            head_wait[:, :, None] + delivery_u[row_of],
+            0.0,
+        )
+        wait = wait * f_comm[:, None, :]
+        send_cost = hops_own_u[row_of] * f_comm[:, owner]  # (S, K)
+        bcast = wait.copy()
+        bcast[:, kidx, owner] = send_cost
+        phase_mats["bcast"] = bcast
+        step_base = wait.copy()
+        step_base[:, kidx, owner] = own_base + send_cost
+    else:
+        phase_mats["bcast"] = np.zeros((rows, steps, p))
+        step_base = np.zeros((rows, steps, p))
+        step_base[:, kidx, owner] = own_base
+
+    # -- laswp / update / overhead --------------------------------------------
+    t_laswp = laswp_bytes_u[row_of] / laswp_rate[:, None, :] * f_comm[:, None, :]
+    t_update = (
+        update_flops_u[row_of] / update_rate[:, None, :] * f_comp[:, None, :]
+    )
+    t_over = (step_overhead * f_comp)[:, None, :]  # same every (real) step
+    phase_mats["laswp"] = t_laswp
+    phase_mats["update"] = np.where(valid, t_update + t_over, 0.0)
+
+    step = step_base + np.where(valid, (t_laswp + t_update) + t_over, 0.0)
+    wall_body = step.max(axis=2).cumsum(axis=1)[:, -1]  # (S,)
+
+    # -- backward substitution ------------------------------------------------
+    solve = np.array([workload.solve_flops(n) for n in sizes])  # (S,)
+    t_uptrsv = (
+        solve[:, None] / p / update_rate + params.uptrsv_latency_s * p
+    ) * f_comp  # (S, P)
+
+    # -- fold steps into per-rank phase totals --------------------------------
+    # cumsum accumulates left-to-right exactly like the reference loop's
+    # ``+=`` per step (padded steps add exact zeros), keeping bitwise parity.
+    phase_totals = {
+        name: mat.cumsum(axis=1)[:, -1, :] for name, mat in phase_mats.items()
+    }
+    phase_totals["uptrsv"] = t_uptrsv
+    walls = wall_body + t_uptrsv.max(axis=1)
+
+    results = []
+    for s, n in enumerate(sizes):
+        arrays = {
+            name: np.ascontiguousarray(phase_totals[name][s])
+            for name in PHASE_NAMES
+        }
+        results.append(
+            ScheduleResult(
+                n=n,
+                params=params,
+                slots=slots,
+                phase_arrays=arrays,
+                wall_time_s=float(walls[s]),
+            )
+        )
+
+    _WALKER_STATS.batch_calls += 1
+    _WALKER_STATS.batch_seconds += time.perf_counter() - started
+    _WALKER_STATS.batch_sizes += rows
+    _WALKER_STATS.batch_max = max(_WALKER_STATS.batch_max, rows)
+    return results
 
 
 def _noise_or_ones(
@@ -302,6 +703,21 @@ def _noise_or_ones(
     arr = np.asarray(noise, dtype=float)
     if arr.shape != (p,):
         raise SimulationError(f"{name} must have shape ({p},), got {arr.shape}")
+    if np.any(arr <= 0) or not np.all(np.isfinite(arr)):
+        raise SimulationError(f"{name} must be positive and finite")
+    return arr
+
+
+def _noise_rows(
+    noise: Optional[np.ndarray], rows: int, p: int, name: str
+) -> np.ndarray:
+    if noise is None:
+        return np.ones((rows, p))
+    arr = np.asarray(noise, dtype=float)
+    if arr.shape != (rows, p):
+        raise SimulationError(
+            f"{name} must have shape ({rows}, {p}), got {arr.shape}"
+        )
     if np.any(arr <= 0) or not np.all(np.isfinite(arr)):
         raise SimulationError(f"{name} must be positive and finite")
     return arr

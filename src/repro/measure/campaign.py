@@ -17,15 +17,15 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.spec import ClusterSpec
 from repro.errors import MeasurementError
-from repro.hpl.driver import HPLResult, NoiseSpec, run_hpl
+from repro.hpl.driver import HPLResult, NoiseSpec, run_hpl, run_hpl_batch
 from repro.hpl.schedule import HPLParameters
 from repro.measure.dataset import Dataset
-from repro.measure.grids import CampaignPlan
+from repro.measure.grids import CampaignPlan, group_runs_by_config
 from repro.measure.record import MeasurementRecord
 from repro.perf.parallel import ParallelRunner
 
@@ -33,6 +33,17 @@ from repro.perf.parallel import ParallelRunner
 #: object (``run_hpl``, or an alternative application such as
 #: :func:`repro.exts.apps.run_summa` — the paper's method is not HPL-bound).
 Runner = Callable[..., HPLResult]
+
+#: Batched runner: all problem orders of one configuration in a single call
+#: (``run_hpl_batch`` signature), returning one result per entry.
+BatchRunner = Callable[..., List[HPLResult]]
+
+#: Scalar runner -> batched equivalent.  Campaigns whose runner has an
+#: entry here simulate each configuration's whole size grid in one
+#: vectorized walker call; unknown runners keep the run-by-run path.
+#: Both paths produce bit-identical records — registering a batch runner
+#: is a pure throughput decision.
+BATCH_RUNNERS: Dict[Runner, BatchRunner] = {run_hpl: run_hpl_batch}
 
 
 @dataclass
@@ -101,6 +112,73 @@ def _measure_entry(
     )
 
 
+def _measure_config_batch(
+    group: Tuple[ClusterConfig, List[Tuple[int, int]]],
+    spec: ClusterSpec,
+    kinds: Tuple[str, ...],
+    params: Optional[HPLParameters],
+    noise: Optional[NoiseSpec],
+    seed: int,
+    batch_runner: BatchRunner,
+) -> List[Tuple[int, MeasurementRecord]]:
+    """All sizes of one configuration in a single batched simulation —
+    module-level so process-pool workers can unpickle it.  Returns records
+    tagged with their original plan positions."""
+    config, indexed = group
+    results = batch_runner(
+        spec, config, [n for _, n in indexed], params=params, noise=noise, seed=seed
+    )
+    return [
+        (index, MeasurementRecord.from_result(result, kinds, seed=seed, trial=0))
+        for (index, _), result in zip(indexed, results)
+    ]
+
+
+def _measure_entries(
+    entries: Sequence[Tuple[int, ClusterConfig]],
+    spec: ClusterSpec,
+    kinds: Tuple[str, ...],
+    params: Optional[HPLParameters],
+    noise: Optional[NoiseSpec],
+    seed: int,
+    runner: Runner,
+    workers: int,
+) -> List[MeasurementRecord]:
+    """Measure plan entries, batched per configuration when the runner has
+    a registered batch form, and return records in plan-entry order."""
+    batch_runner = BATCH_RUNNERS.get(runner)
+    if batch_runner is None:
+        measure = partial(
+            _measure_entry,
+            spec=spec,
+            kinds=kinds,
+            params=params,
+            noise=noise,
+            seed=seed,
+            runner=runner,
+        )
+        return ParallelRunner(workers=workers).map(measure, list(entries))
+    measure_batch = partial(
+        _measure_config_batch,
+        spec=spec,
+        kinds=kinds,
+        params=params,
+        noise=noise,
+        seed=seed,
+        batch_runner=batch_runner,
+    )
+    chunks = ParallelRunner(workers=workers).map(
+        measure_batch, group_runs_by_config(list(entries))
+    )
+    records: List[Optional[MeasurementRecord]] = [None] * sum(
+        len(chunk) for chunk in chunks
+    )
+    for chunk in chunks:
+        for index, record in chunk:
+            records[index] = record
+    return records
+
+
 def run_campaign(
     spec: ClusterSpec,
     plan: CampaignPlan,
@@ -112,23 +190,21 @@ def run_campaign(
 ) -> CampaignResult:
     """Execute every construction measurement of ``plan``.
 
-    ``workers > 1`` fans the runs out over a process pool
-    (:class:`repro.perf.parallel.ParallelRunner`).  Every run derives its
-    own noise stream from ``(seed, config, N, trial)``, so the resulting
-    dataset and cost ledger are bit-identical to the serial ones; the
-    default ``workers=1`` never forks.
+    Runners with a :data:`BATCH_RUNNERS` entry (the default ``run_hpl``)
+    simulate each configuration's whole size grid in one vectorized walker
+    call; records are reassembled into plan order, so the dataset and cost
+    ledger are bit-identical to the run-by-run path.
+
+    ``workers > 1`` fans the work out over a process pool
+    (:class:`repro.perf.parallel.ParallelRunner`) — one configuration
+    batch (or, for unregistered runners, one run) per task.  Every run
+    derives its own noise stream from ``(seed, config, N, trial)``, so
+    results do not depend on ``workers``; the default ``workers=1`` never
+    forks.
     """
-    measure = partial(
-        _measure_entry,
-        spec=spec,
-        kinds=plan.kinds,
-        params=params,
-        noise=noise,
-        seed=seed,
-        runner=runner,
-    )
-    records = ParallelRunner(workers=workers).map(
-        measure, list(plan.construction_runs())
+    records = _measure_entries(
+        list(plan.construction_runs()),
+        spec, plan.kinds, params, noise, seed, runner, workers,
     )
     dataset = Dataset()
     cost: Dict[Tuple[str, int], float] = defaultdict(float)
@@ -152,19 +228,11 @@ def run_evaluation(
     """Measure the full evaluation grid (the ground-truth runs the paper
     uses to find the *actual* best configuration).
 
-    ``workers`` behaves exactly as in :func:`run_campaign`.
+    Batching and ``workers`` behave exactly as in :func:`run_campaign`.
     """
-    measure = partial(
-        _measure_entry,
-        spec=spec,
-        kinds=plan.kinds,
-        params=params,
-        noise=noise,
-        seed=seed,
-        runner=runner,
-    )
-    records = ParallelRunner(workers=workers).map(
-        measure, list(plan.evaluation_runs())
+    records = _measure_entries(
+        list(plan.evaluation_runs()),
+        spec, plan.kinds, params, noise, seed, runner, workers,
     )
     return Dataset(records)
 

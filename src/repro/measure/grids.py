@@ -22,6 +22,7 @@ the 62 configurations P1 in {0,1} x M1 in 1..6 x P2 in 0..8 with M2 = 1.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
@@ -73,6 +74,24 @@ class CampaignPlan:
         for n in self.evaluation_sizes:
             for config in self.evaluation_configs:
                 yield n, config
+
+
+def group_runs_by_config(
+    entries: Sequence[Tuple[int, ClusterConfig]],
+) -> List[Tuple[ClusterConfig, List[Tuple[int, int]]]]:
+    """Group plan entries by configuration for batched simulation.
+
+    The plans enumerate runs size-major; the batched walker wants all
+    sizes of one configuration together.  Returns
+    ``[(config, [(original_index, n), ...]), ...]`` in first-seen config
+    order — the original indices let the campaign reassemble records into
+    plan order, keeping datasets and cost ledgers identical to the
+    run-by-run path.
+    """
+    groups: "OrderedDict[ClusterConfig, List[Tuple[int, int]]]" = OrderedDict()
+    for index, (n, config) in enumerate(entries):
+        groups.setdefault(config, []).append((index, n))
+    return list(groups.items())
 
 
 def construction_configs(

@@ -28,9 +28,15 @@ from repro.errors import MeasurementError
 from repro.hpl.driver import NoiseSpec, run_hpl
 from repro.hpl.schedule import HPLParameters
 from repro.hpl.timing import PHASE_NAMES, PhaseTimes
-from repro.measure.campaign import CampaignResult, Runner, _charged_kind
+from repro.measure.campaign import (
+    BATCH_RUNNERS,
+    BatchRunner,
+    CampaignResult,
+    Runner,
+    _charged_kind,
+)
 from repro.measure.dataset import Dataset
-from repro.measure.grids import CampaignPlan
+from repro.measure.grids import CampaignPlan, group_runs_by_config
 from repro.measure.record import KindMeasurement, MeasurementRecord
 from repro.perf.parallel import ParallelRunner
 
@@ -143,6 +149,40 @@ def _measure_trials_entry(
     )
 
 
+def _measure_trials_config_batch(
+    group: Tuple[ClusterConfig, List[Tuple[int, int]]],
+    spec: ClusterSpec,
+    kinds: Tuple[str, ...],
+    trials: int,
+    how: str,
+    params: Optional[HPLParameters],
+    noise: Optional[NoiseSpec],
+    seed: int,
+    batch_runner: BatchRunner,
+) -> List[Tuple[int, MeasurementRecord, float]]:
+    """One configuration's entire ``sizes x trials`` grid in a single
+    batched simulation — module-level for process pools.  Returns
+    aggregated records tagged with their original plan positions."""
+    config, indexed = group
+    ns = [n for _, n in indexed for _ in range(trials)]
+    ts = [t for _ in indexed for t in range(trials)]
+    results = batch_runner(
+        spec, config, ns, params=params, noise=noise, seed=seed, trial=ts
+    )
+    out: List[Tuple[int, MeasurementRecord, float]] = []
+    for slot, (index, _) in enumerate(indexed):
+        records = []
+        cost = 0.0
+        for t in range(trials):
+            record = MeasurementRecord.from_result(
+                results[slot * trials + t], kinds, seed=seed, trial=t
+            )
+            cost += record.wall_time_s
+            records.append(record)
+        out.append((index, aggregate_records(records, how), cost))
+    return out
+
+
 def run_campaign_with_trials(
     spec: ClusterSpec,
     plan: CampaignPlan,
@@ -159,25 +199,49 @@ def run_campaign_with_trials(
     The cost ledger charges every trial (a 3-trial campaign costs ~3x the
     single-shot one — the price of outlier immunity).
 
-    ``workers > 1`` fans plan entries out over a process pool, each worker
-    running that entry's whole trial batch; results are identical to the
-    serial path because every ``(config, N, trial)`` seeds its own noise
-    stream.
+    Runners with a :data:`~repro.measure.campaign.BATCH_RUNNERS` entry (the
+    default) simulate each configuration's whole ``sizes x trials`` grid in
+    one vectorized walker call; every ``(config, N, trial)`` still seeds
+    its own noise stream, so datasets and cost ledgers are bit-identical
+    to the run-by-run path regardless of batching or ``workers``.
     """
-    measure = partial(
-        _measure_trials_entry,
-        spec=spec,
-        kinds=plan.kinds,
-        trials=trials,
-        how=how,
-        params=params,
-        noise=noise,
-        seed=seed,
-        runner=runner,
-    )
-    results = ParallelRunner(workers=workers).map(
-        measure, list(plan.construction_runs())
-    )
+    if trials < 1:
+        raise MeasurementError("trials must be >= 1")
+    entries = list(plan.construction_runs())
+    batch_runner = BATCH_RUNNERS.get(runner)
+    if batch_runner is None:
+        measure = partial(
+            _measure_trials_entry,
+            spec=spec,
+            kinds=plan.kinds,
+            trials=trials,
+            how=how,
+            params=params,
+            noise=noise,
+            seed=seed,
+            runner=runner,
+        )
+        results = ParallelRunner(workers=workers).map(measure, entries)
+    else:
+        measure_batch = partial(
+            _measure_trials_config_batch,
+            spec=spec,
+            kinds=plan.kinds,
+            trials=trials,
+            how=how,
+            params=params,
+            noise=noise,
+            seed=seed,
+            batch_runner=batch_runner,
+        )
+        chunks = ParallelRunner(workers=workers).map(
+            measure_batch, group_runs_by_config(entries)
+        )
+        ordered: List[Optional[Tuple[MeasurementRecord, float]]] = [None] * len(entries)
+        for chunk in chunks:
+            for index, record, run_cost in chunk:
+                ordered[index] = (record, run_cost)
+        results = ordered
     dataset = Dataset()
     cost: Dict[Tuple[str, int], float] = defaultdict(float)
     for record, run_cost in results:

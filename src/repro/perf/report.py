@@ -41,6 +41,20 @@ class PerfReport:
     def __init__(self) -> None:
         self._stages: Dict[str, StageTiming] = {}
         self.cache: Optional[EstimateCache] = None
+        #: Schedule-walker counters (duck-typed
+        #: :class:`repro.hpl.schedule.WalkerStats` — kept loose so the perf
+        #: layer stays below ``hpl`` in the import graph).
+        self.walker: Optional[object] = None
+
+    def record_walker(self, stats) -> None:
+        """Fold a walker-stats delta (``snapshot``/``delta``/``merge``
+        protocol of :class:`repro.hpl.schedule.WalkerStats`) into the
+        report; the measure and evaluation stages call this with the
+        counters their campaign runs accumulated."""
+        if self.walker is None:
+            self.walker = stats.snapshot()
+        else:
+            self.walker.merge(stats)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -84,6 +98,8 @@ class PerfReport:
                 "hits": self.cache.stats.hits,
                 "misses": self.cache.stats.misses,
             }
+        if self.walker is not None:
+            out["walker"] = self.walker.to_dict()
         return out
 
     def render(self) -> str:
@@ -95,4 +111,6 @@ class PerfReport:
         lines.append(f"{'total':<12} {'':>5}   {self.total_seconds:9.4f}")
         if self.cache is not None:
             lines.append(f"cache: {self.cache.describe()}")
+        if self.walker is not None:
+            lines.append(f"walker: {self.walker.describe()}")
         return "\n".join(lines)

@@ -66,6 +66,55 @@ def ring_delivery_times(
     return out
 
 
+def ring_delivery_times_batch(
+    hop_times,
+    roots,
+    pipeline_factor: float = 1.0,
+) -> np.ndarray:
+    """Root-vector form of :func:`ring_delivery_times`.
+
+    ``hop_times`` is ``(K, P)`` — one ring of per-edge costs per step —
+    and ``roots`` is ``(K,)`` — that step's broadcast root.  Returns the
+    ``(K, P)`` delivery times, row ``k`` bitwise identical to
+    ``ring_delivery_times(hop_times[k], roots[k], pipeline_factor)``
+    (same element-wise operations, and the cumulative sum along the chain
+    accumulates in the same left-to-right order).  A 1-D ``hop_times`` is
+    broadcast across all roots.
+    """
+    hops = np.asarray(hop_times, dtype=float)
+    roots_arr = np.asarray(roots, dtype=int)
+    if roots_arr.ndim != 1:
+        raise SimulationError(f"roots must be 1-D, got shape {roots_arr.shape}")
+    if hops.ndim == 1:
+        hops = np.broadcast_to(hops, (roots_arr.shape[0], hops.shape[0]))
+    if hops.ndim != 2:
+        raise SimulationError(f"hop_times must be 1-D or 2-D, got {hops.ndim}-D")
+    steps, p = hops.shape
+    if p == 0:
+        raise SimulationError("empty ring")
+    if steps != roots_arr.shape[0]:
+        raise SimulationError(
+            f"{steps} hop rows but {roots_arr.shape[0]} roots"
+        )
+    if steps and (roots_arr.min() < 0 or roots_arr.max() >= p):
+        bad = roots_arr[(roots_arr < 0) | (roots_arr >= p)][0]
+        raise SimulationError(f"invalid root {bad} for ring of {p}")
+    if not (0.0 <= pipeline_factor <= 1.0):
+        raise SimulationError(f"pipeline_factor must be in [0,1]: {pipeline_factor}")
+    if p == 1:
+        return np.zeros((steps, 1))
+    # Edge used to reach the rank at distance d (1-based) is (root+d-1) mod p.
+    edge_order = (roots_arr[:, None] + np.arange(p - 1)[None, :]) % p
+    chain = np.take_along_axis(hops, edge_order, axis=1)
+    discounted = chain.copy()
+    discounted[:, 1:] *= pipeline_factor
+    arrival_by_distance = np.concatenate(
+        [np.zeros((steps, 1)), np.cumsum(discounted, axis=1)], axis=1
+    )
+    distances = (np.arange(p)[None, :] - roots_arr[:, None]) % p
+    return np.take_along_axis(arrival_by_distance, distances, axis=1)
+
+
 def ring_busy_times(
     hop_times: Sequence[float],
     root: int = 0,

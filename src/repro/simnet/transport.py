@@ -109,6 +109,29 @@ class Transport:
                 times[i] = intranode_time
         return times
 
+    def ring_hop_times_batch(self, nbytes) -> np.ndarray:
+        """Per-edge transfer times for *many* message sizes at once.
+
+        ``nbytes`` is an array of ``K`` message sizes (one per panel step);
+        the result is ``(K, P)`` where row ``k`` is bitwise identical to
+        ``ring_hop_times(nbytes[k])`` — both link models evaluate their
+        cost curves element-wise, so batching the sizes changes nothing
+        numerically.  This is the batched schedule walker's hop kernel.
+        """
+        sizes = np.asarray(nbytes, dtype=float).reshape(-1)
+        kinds = self.ring_link_kinds()
+        is_network = np.array([kind is LinkKind.NETWORK for kind in kinds])
+        out = np.empty((sizes.shape[0], self.size), dtype=float)
+        if is_network.any():
+            network = np.asarray(self.spec.network.message_time(sizes), dtype=float)
+            out[:, is_network] = network[:, None]
+        if (~is_network).any():
+            intranode = np.asarray(
+                self.spec.intranode.message_time(sizes), dtype=float
+            )
+            out[:, ~is_network] = intranode[:, None]
+        return out
+
     def describe_ring(self) -> str:
         """Human-readable ring path, for debugging placements."""
         parts = []

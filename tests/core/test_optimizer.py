@@ -92,6 +92,45 @@ class TestOptimize:
         with pytest.raises(SearchError, match="no candidate"):
             optimizer.optimize(1)
 
+    def test_strict_mode_rejects_inf(self):
+        """With ``allow_unestimable=False`` a +inf estimate is an error,
+        not a silently last-ranked candidate."""
+
+        def estimator(config, n):
+            return float("inf") if config.label(KINDS) == "1,1,0,0" else 5.0
+
+        optimizer = ExhaustiveOptimizer(
+            estimator, CANDIDATES, allow_unestimable=False
+        )
+        with pytest.raises(SearchError, match="invalid time"):
+            optimizer.optimize(1)
+
+    def test_strict_mode_rejects_inf_in_batch_path(self):
+        def batch(config, ns):
+            value = float("inf") if config.label(KINDS) == "1,1,0,0" else 5.0
+            return [value] * len(ns)
+
+        optimizer = ExhaustiveOptimizer(
+            lambda c, n: 5.0,
+            CANDIDATES,
+            batch_estimator=batch,
+            allow_unestimable=False,
+        )
+        with pytest.raises(SearchError, match="invalid time"):
+            optimizer.optimize_many([1, 2])
+
+    def test_strict_mode_still_accepts_finite(self):
+        table = {(c.label(KINDS), 1): float(i) for i, c in enumerate(CANDIDATES, 1)}
+        optimizer = ExhaustiveOptimizer(
+            table_estimator(table), CANDIDATES, allow_unestimable=False
+        )
+        assert optimizer.optimize(1).best.estimate_s == 1.0
+
+    def test_negative_inf_always_rejected(self):
+        optimizer = ExhaustiveOptimizer(lambda c, n: float("-inf"), CANDIDATES)
+        with pytest.raises(SearchError, match="invalid time"):
+            optimizer.optimize(1)
+
 
 class TestActualBest:
     def test_picks_minimum(self):

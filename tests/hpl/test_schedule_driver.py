@@ -7,7 +7,7 @@ import pytest
 from repro.cluster.config import ClusterConfig
 from repro.cluster.presets import kishimoto_cluster, single_node_cluster
 from repro.errors import SimulationError
-from repro.hpl.driver import NoiseSpec, run_hpl, sweep_sizes
+from repro.hpl.driver import NoiseSpec, run_hpl, run_hpl_batch, sweep_sizes
 from repro.hpl.schedule import HPLParameters, simulate_schedule
 from repro.hpl.timing import PHASE_NAMES
 from repro.hpl.workload import hpl_benchmark_flops
@@ -129,6 +129,57 @@ class TestDriver:
         results = sweep_sizes(spec, cfg(1, 1, 0, 0), [400, 800])
         assert sorted(results) == [400, 800]
         assert results[800].wall_time_s > results[400].wall_time_s
+
+
+class TestDriverBatch:
+    """run_hpl_batch must be bit-identical to per-call run_hpl."""
+
+    def assert_same(self, a, b):
+        assert a.n == b.n
+        assert a.wall_time_s == b.wall_time_s
+        assert a.gflops == b.gflops
+        for name in PHASE_NAMES:
+            assert np.array_equal(
+                a.schedule.phase_arrays[name], b.schedule.phase_arrays[name]
+            )
+
+    def test_noise_free_matches_scalar(self, spec):
+        config = cfg(1, 2, 4, 1)
+        ns = [800, 1600, 2400]
+        batch = run_hpl_batch(spec, config, ns)
+        assert [r.n for r in batch] == ns
+        for result, n in zip(batch, ns):
+            self.assert_same(result, run_hpl(spec, config, n))
+
+    def test_noisy_matches_scalar_per_size(self, spec):
+        config = cfg(1, 1, 8, 1)
+        noise = NoiseSpec()
+        ns = [1600, 3200, 1600]  # duplicate sizes draw identical streams
+        batch = run_hpl_batch(spec, config, ns, noise=noise, seed=9)
+        for result, n in zip(batch, ns):
+            self.assert_same(result, run_hpl(spec, config, n, noise=noise, seed=9))
+        assert batch[0].wall_time_s == batch[2].wall_time_s
+
+    def test_per_entry_trial_sequence(self, spec):
+        config = cfg(1, 1, 4, 1)
+        noise = NoiseSpec()
+        ns = [1600, 1600, 1600]
+        trials = [0, 1, 2]
+        batch = run_hpl_batch(spec, config, ns, noise=noise, seed=3, trial=trials)
+        for result, n, t in zip(batch, ns, trials):
+            self.assert_same(
+                result, run_hpl(spec, config, n, noise=noise, seed=3, trial=t)
+            )
+        walls = {r.wall_time_s for r in batch}
+        assert len(walls) == 3  # each trial gets its own stream
+
+    def test_trial_length_mismatch_rejected(self, spec):
+        with pytest.raises(SimulationError, match="trial"):
+            run_hpl_batch(spec, cfg(1, 1, 0, 0), [400, 800], trial=[0])
+
+    def test_empty_sizes_rejected(self, spec):
+        with pytest.raises(SimulationError):
+            run_hpl_batch(spec, cfg(1, 1, 0, 0), [])
 
 
 class TestCalibrationShapes:

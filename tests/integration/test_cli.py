@@ -41,6 +41,22 @@ class TestCLI:
         assert code == 0
         assert "Measurement cost" in out and "Total" in out
 
+    def test_campaign_ns(self, capsys):
+        code, out, _ = run_cli(capsys, "campaign", "--protocol", "ns")
+        assert code == 0
+        assert "ns campaign: 120 measurements" in out
+        assert "walker" not in out  # profile output only with --profile
+
+    def test_campaign_profile(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "campaign", "--protocol", "ns", "--profile"
+        )
+        assert code == 0
+        assert "stage        calls   seconds" in out
+        assert re.search(r"campaign\s+1\s+\d+\.\d+", out)
+        assert re.search(r"walker: batch \d+ calls/\d+ sizes", out)
+        assert "panel-table" in out
+
     def test_verify_ns(self, capsys):
         code, out, _ = run_cli(capsys, "verify", "--protocol", "ns")
         assert code == 0

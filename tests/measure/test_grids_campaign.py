@@ -6,10 +6,12 @@ import pytest
 from repro.cluster.presets import kishimoto_cluster
 from repro.errors import MeasurementError
 from repro.hpl.driver import NoiseSpec
+from repro.hpl.driver import run_hpl
 from repro.measure.campaign import run_campaign, run_evaluation
 from repro.measure.grids import (
     basic_plan,
     evaluation_configs,
+    group_runs_by_config,
     nl_plan,
     ns_plan,
     plan_by_name,
@@ -63,6 +65,20 @@ class TestGrids:
         evals = list(plan.evaluation_runs())
         assert len(evals) == plan.evaluation_count == 6 * 62
 
+    def test_group_runs_by_config_preserves_order_and_indices(self):
+        plan = ns_plan()
+        entries = list(plan.construction_runs())
+        groups = group_runs_by_config(entries)
+        # First-seen configuration order, one group per distinct config.
+        assert [config.key() for config, _ in groups] == list(
+            dict.fromkeys(config.key() for _, config in entries)
+        )
+        # Every original entry appears exactly once with its plan index.
+        flattened = sorted(
+            (index, n) for _, indexed in groups for index, n in indexed
+        )
+        assert flattened == [(i, n) for i, (n, _) in enumerate(entries)]
+
 
 class TestCampaign:
     @pytest.fixture(scope="class")
@@ -105,6 +121,42 @@ class TestCampaign:
         evaluation = run_evaluation(spec, small, noise=NoiseSpec(), seed=3)
         assert len(evaluation) == 62
         assert evaluation.sizes() == [1600]
+
+
+class TestBatchedCampaignEquality:
+    """The batched walker path must be value-identical to run-by-run
+    measurement — same datasets, same cost ledgers."""
+
+    @staticmethod
+    def scalar_runner(spec, config, n, params=None, noise=None, seed=0, trial=0):
+        # A wrapper is not in BATCH_RUNNERS, so campaigns fall back to
+        # the per-run path even though it computes exactly run_hpl.
+        return run_hpl(
+            spec, config, n, params=params, noise=noise, seed=seed, trial=trial
+        )
+
+    def test_campaign_dataset_and_costs_identical(self):
+        spec = kishimoto_cluster()
+        plan = ns_plan()
+        noise = NoiseSpec()
+        batched = run_campaign(spec, plan, noise=noise, seed=3)
+        scalar = run_campaign(
+            spec, plan, noise=noise, seed=3, runner=self.scalar_runner
+        )
+        assert batched.dataset.to_json() == scalar.dataset.to_json()
+        for kind in ("athlon", "pentium2"):
+            assert batched.cost_for_kind(kind) == scalar.cost_for_kind(kind)
+
+    def test_evaluation_identical(self):
+        from dataclasses import replace
+
+        spec = kishimoto_cluster()
+        small = replace(ns_plan(), evaluation_sizes=(1600,))
+        batched = run_evaluation(spec, small, noise=NoiseSpec(), seed=3)
+        scalar = run_evaluation(
+            spec, small, noise=NoiseSpec(), seed=3, runner=self.scalar_runner
+        )
+        assert batched.to_json() == scalar.to_json()
 
 
 class TestCostOrdering:

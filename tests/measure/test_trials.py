@@ -139,3 +139,22 @@ class TestTrialCampaign:
             3 * single.total_cost_s, rel=0.10
         )
         assert tripled.plan_name == "ns-x3"
+
+    def test_batched_trials_identical_to_scalar_path(self, spec):
+        """The batched sizes-times-trials grid must reproduce the run-by-run
+        trial campaign exactly, outliers included."""
+
+        def scalar_runner(spec, config, n, params=None, noise=None, seed=0, trial=0):
+            return run_hpl(
+                spec, config, n, params=params, noise=noise, seed=seed, trial=trial
+            )
+
+        noise = NoiseSpec(outlier_probability=0.2, outlier_factor=3.0)
+        plan = ns_plan()
+        batched = run_campaign_with_trials(spec, plan, trials=3, noise=noise, seed=7)
+        scalar = run_campaign_with_trials(
+            spec, plan, trials=3, noise=noise, seed=7, runner=scalar_runner
+        )
+        assert batched.dataset.to_json() == scalar.dataset.to_json()
+        for kind in KINDS:
+            assert batched.cost_for_kind(kind) == scalar.cost_for_kind(kind)

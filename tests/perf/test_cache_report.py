@@ -185,3 +185,31 @@ class TestPerfReport:
         report = PerfReport()
         assert report.stage_seconds("nope") == 0.0
         assert report.stage_calls("nope") == 0
+
+    def test_record_walker_merges_and_renders(self):
+        from repro.hpl.schedule import WalkerStats
+
+        report = PerfReport()
+        assert report.walker is None
+        report.record_walker(
+            WalkerStats(batch_calls=2, batch_sizes=10, batch_max=5, table_hits=3)
+        )
+        report.record_walker(
+            WalkerStats(batch_calls=1, batch_sizes=4, batch_max=4, scalar_calls=2)
+        )
+        assert report.walker.batch_calls == 3
+        assert report.walker.batch_sizes == 14
+        assert report.walker.batch_max == 5  # merge keeps the maximum
+        assert report.walker.scalar_calls == 2
+        assert report.walker.table_hits == 3
+        assert report.to_dict()["walker"]["batch_calls"] == 3
+        assert "walker:" in report.render()
+
+    def test_record_walker_does_not_alias_argument(self):
+        from repro.hpl.schedule import WalkerStats
+
+        report = PerfReport()
+        stats = WalkerStats(batch_calls=1)
+        report.record_walker(stats)
+        stats.batch_calls = 99
+        assert report.walker.batch_calls == 1

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Simulator smoke check: fast CI guard for the vectorized schedule walker.
+
+A trimmed-down version of ``benchmarks/bench_schedule_walker.py`` that
+runs in seconds with no pytest dependency.  It drives a tiny campaign
+grid through BOTH walkers and verifies the property that must never
+regress: the batched multi-size walker is *bitwise* identical to the
+reference per-panel loop — wall clock and every per-rank phase array.
+
+The observed speedup is printed for the CI log but NOT gated on; shared
+runners are too noisy for a wall-time assertion here.  The real >= 10x
+target lives in the benchmark.
+
+Exit status is non-zero on any failure.  Run it as::
+
+    PYTHONPATH=src python tools/sim_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.hpl.schedule import (
+    HPLParameters,
+    clear_panel_tables,
+    reset_walker_stats,
+    simulate_schedule,
+    simulate_schedule_batch,
+    walker_stats,
+)
+from repro.hpl.timing import PHASE_NAMES
+
+#: Sizes chosen to exercise the padding paths: single panel, partial
+#: final panel, and multi-panel problems of different block counts.
+SIZES = (79, 400, 999, 1600, 2400)
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_walker_identity(spec) -> None:
+    from repro.cluster.config import ClusterConfig
+
+    kinds = tuple(kind.name for kind in spec.kinds)
+    configs = [
+        ClusterConfig.from_tuple(kinds, values)
+        for values in ((1, 1, 0, 0), (1, 2, 4, 1), (1, 1, 8, 1), (0, 0, 8, 2))
+    ]
+    params = HPLParameters(nb=80)
+    sizes = list(SIZES)
+
+    clear_panel_tables()
+    reset_walker_stats()
+
+    started = time.perf_counter()
+    scalar = {
+        config.key(): [
+            simulate_schedule(spec, config, n, params) for n in sizes
+        ]
+        for config in configs
+    }
+    scalar_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = {
+        config.key(): simulate_schedule_batch(spec, config, sizes, params)
+        for config in configs
+    }
+    batched_s = time.perf_counter() - started
+
+    for config in configs:
+        for ref, got in zip(scalar[config.key()], batched[config.key()]):
+            if got.wall_time_s != ref.wall_time_s:
+                fail(
+                    f"wall time differs for {config.label(kinds)} at "
+                    f"N={ref.n}: scalar {ref.wall_time_s!r}, "
+                    f"batched {got.wall_time_s!r}"
+                )
+            for name in PHASE_NAMES:
+                if not np.array_equal(
+                    ref.phase_arrays[name], got.phase_arrays[name]
+                ):
+                    fail(
+                        f"phase {name!r} differs for {config.label(kinds)} "
+                        f"at N={ref.n}"
+                    )
+
+    cells = len(configs) * len(sizes)
+    speedup = scalar_s / batched_s if batched_s > 0 else float("inf")
+    print(
+        f"ok: walker identity over {cells} cells "
+        f"({scalar_s:.3f}s scalar, {batched_s:.3f}s batched, "
+        f"{speedup:.1f}x — informational only)"
+    )
+    print(f"ok: walker counters — {walker_stats().describe()}")
+
+
+def check_noisy_identity(spec) -> None:
+    from repro.cluster.config import ClusterConfig
+    from repro.hpl.driver import NoiseSpec, run_hpl, run_hpl_batch
+
+    kinds = tuple(kind.name for kind in spec.kinds)
+    config = ClusterConfig.from_tuple(kinds, (1, 2, 4, 1))
+    noise = NoiseSpec(outlier_probability=0.3, outlier_factor=3.0)
+    sizes = [800, 1600, 800]
+
+    batch = run_hpl_batch(spec, config, sizes, noise=noise, seed=11)
+    for result, n in zip(batch, sizes):
+        ref = run_hpl(spec, config, n, noise=noise, seed=11)
+        if result.wall_time_s != ref.wall_time_s:
+            fail(f"noisy batched run differs from run_hpl at N={n}")
+    print("ok: noisy batched runs reproduce run_hpl streams exactly")
+
+
+def main() -> None:
+    from repro.cluster.presets import kishimoto_cluster
+
+    spec = kishimoto_cluster()
+    check_walker_identity(spec)
+    check_noisy_identity(spec)
+    print("sim smoke passed")
+
+
+if __name__ == "__main__":
+    main()
