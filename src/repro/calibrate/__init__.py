@@ -1,0 +1,54 @@
+"""Online calibration: observation ingestion, drift detection, refit,
+and model version promotion — the measure→fit→serve loop, closed.
+
+The paper's models are empirical; :mod:`repro.calibrate` keeps them
+honest after deployment.  Observed runs stream into an
+:class:`ObservationLog`; residuals against the promoted model feed a
+deterministic Page–Hinkley :class:`DriftDetector`; on alarm a
+:class:`Recalibrator` refits the same least-squares models on seed ∪
+observed data, the candidate is shadow-scored on a held-out tail, and a
+:class:`ModelVersions` ledger records every generation with explicit
+promote/rollback.  :class:`Calibrator` drives the whole loop.
+"""
+
+from repro.calibrate.drift import (
+    DriftConfig,
+    DriftDetector,
+    DriftState,
+    ResidualStats,
+    ResidualTracker,
+)
+from repro.calibrate.manager import Calibrator, IngestResult
+from repro.calibrate.observations import (
+    OBSERVATION_TRIAL_BASE,
+    Observation,
+    ObservationLog,
+)
+from repro.calibrate.recalibrate import (
+    Candidate,
+    Recalibrator,
+    ShadowReport,
+    ShadowScore,
+    merge_with_observations,
+)
+from repro.calibrate.versions import ModelVersions, VersionInfo
+
+__all__ = [
+    "OBSERVATION_TRIAL_BASE",
+    "Calibrator",
+    "Candidate",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftState",
+    "IngestResult",
+    "ModelVersions",
+    "Observation",
+    "ObservationLog",
+    "Recalibrator",
+    "ResidualStats",
+    "ResidualTracker",
+    "ShadowReport",
+    "ShadowScore",
+    "VersionInfo",
+    "merge_with_observations",
+]

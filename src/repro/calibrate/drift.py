@@ -1,0 +1,265 @@
+"""Residual tracking and drift detection for the calibration loop.
+
+A fitted model's health is one number stream: the **relative residual**
+``(observed - predicted) / predicted`` of each incoming observation
+against the currently promoted model.  A healthy model produces residuals
+scattered around zero; a platform change (degraded network, changed MPI
+library, paging) shifts the stream's mean.  Two consumers watch it:
+
+* :class:`ResidualTracker` — exact running statistics (Welford) of the
+  residuals, overall and per ``(kind, Mi)``, so operators can see *which*
+  model family degraded (an intra-node drift shows up on ``Mi >= 2``
+  families, a network drift on multi-PE kinds);
+* :class:`DriftDetector` — a two-sided Page–Hinkley test that turns the
+  stream into a deterministic alarm.  Page–Hinkley accumulates
+  ``x_t - mean_t - delta`` and alarms when the accumulation rises more
+  than ``threshold`` above its running minimum — the classic
+  change-point detector for "the mean shifted and stayed shifted",
+  robust to isolated outliers because a single spike cannot sustain the
+  accumulation.  Everything is seed-free arithmetic on the residual
+  stream: the same log contents always produce the same alarm at the
+  same sequence number.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CalibrationError
+
+#: Valid drift directions: degradation only (+), speedup only (-), or both.
+DIRECTIONS = ("increase", "decrease", "both")
+
+
+class ResidualStats:
+    """Exact running mean/variance (Welford) of one residual stream."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.max_abs = 0.0
+
+    def update(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise CalibrationError(f"residuals must be finite, got {value!r}")
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.max_abs = max(self.max_abs, abs(value))
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 with fewer than two observations)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "max_abs": self.max_abs,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.count} residuals, mean {self.mean:+.4f}, "
+            f"std {self.std:.4f}, max|r| {self.max_abs:.4f}"
+        )
+
+
+class ResidualTracker:
+    """Residual statistics overall and per ``(kind, Mi)`` model family."""
+
+    def __init__(self) -> None:
+        self.overall = ResidualStats()
+        self.by_family: Dict[Tuple[str, int], ResidualStats] = {}
+
+    def update_total(self, residual: float) -> None:
+        self.overall.update(residual)
+
+    def update_family(self, kind_name: str, mi: int, residual: float) -> None:
+        key = (kind_name, int(mi))
+        if key not in self.by_family:
+            self.by_family[key] = ResidualStats()
+        self.by_family[key].update(residual)
+
+    def reset(self) -> None:
+        """Forget everything — called when a new model generation is
+        promoted (old residuals describe the old model)."""
+        self.overall = ResidualStats()
+        self.by_family = {}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "overall": self.overall.to_dict(),
+            "by_family": {
+                f"{kind}/mi={mi}": stats.to_dict()
+                for (kind, mi), stats in sorted(self.by_family.items())
+            },
+        }
+
+    def describe(self) -> str:
+        lines = [f"overall: {self.overall.describe()}"]
+        for (kind, mi), stats in sorted(self.by_family.items()):
+            lines.append(f"{kind}/Mi={mi}: {stats.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Page–Hinkley knobs.
+
+    ``delta`` is the per-observation slack (mean shifts smaller than this
+    are noise by definition); ``threshold`` is the alarm level on the
+    accumulated deviation; ``min_observations`` suppresses alarms until
+    the running mean has something to stand on.
+    """
+
+    delta: float = 0.02
+    threshold: float = 0.5
+    min_observations: int = 8
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise CalibrationError(f"delta must be >= 0, got {self.delta}")
+        if self.threshold <= 0:
+            raise CalibrationError(
+                f"threshold must be positive, got {self.threshold}"
+            )
+        if self.min_observations < 1:
+            raise CalibrationError(
+                f"min_observations must be >= 1, got {self.min_observations}"
+            )
+        if self.direction not in DIRECTIONS:
+            raise CalibrationError(
+                f"direction must be one of {DIRECTIONS}, got {self.direction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DriftState:
+    """One snapshot of the detector (what ``observe`` replies carry)."""
+
+    observations: int
+    mean: float
+    ph_increase: float
+    ph_decrease: float
+    threshold: float
+    drifted: bool
+    alarmed_at: Optional[int]
+    alarm_direction: Optional[str]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "observations": self.observations,
+            "mean": self.mean,
+            "ph_increase": self.ph_increase,
+            "ph_decrease": self.ph_decrease,
+            "threshold": self.threshold,
+            "drifted": self.drifted,
+            "alarmed_at": self.alarmed_at,
+            "alarm_direction": self.alarm_direction,
+        }
+
+
+class DriftDetector:
+    """Two-sided Page–Hinkley over the residual stream.
+
+    The alarm is *sticky*: once fired it stays up (and records the
+    observation index that fired it) until :meth:`reset` — promotion of a
+    recalibrated model is the designed reset point.
+    """
+
+    def __init__(self, config: Optional[DriftConfig] = None):
+        self.config = config if config is not None else DriftConfig()
+        self.reset()
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m_inc = 0.0
+        self._min_inc = 0.0
+        self._m_dec = 0.0
+        self._max_dec = 0.0
+        self._alarmed_at: Optional[int] = None
+        self._alarm_direction: Optional[str] = None
+
+    # -- update -------------------------------------------------------------
+
+    def update(self, residual: float) -> DriftState:
+        """Fold one residual in; returns the post-update state."""
+        if not math.isfinite(residual):
+            raise CalibrationError(f"residuals must be finite, got {residual!r}")
+        cfg = self.config
+        self._count += 1
+        self._mean += (residual - self._mean) / self._count
+        self._m_inc += residual - self._mean - cfg.delta
+        self._min_inc = min(self._min_inc, self._m_inc)
+        self._m_dec += residual - self._mean + cfg.delta
+        self._max_dec = max(self._max_dec, self._m_dec)
+        if self._alarmed_at is None and self._count >= cfg.min_observations:
+            if (
+                cfg.direction in ("increase", "both")
+                and self.ph_increase > cfg.threshold
+            ):
+                self._alarmed_at = self._count
+                self._alarm_direction = "increase"
+            elif (
+                cfg.direction in ("decrease", "both")
+                and self.ph_decrease > cfg.threshold
+            ):
+                self._alarmed_at = self._count
+                self._alarm_direction = "decrease"
+        return self.state
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def ph_increase(self) -> float:
+        """Accumulated upward deviation above its running minimum."""
+        return self._m_inc - self._min_inc
+
+    @property
+    def ph_decrease(self) -> float:
+        """Accumulated downward deviation below its running maximum."""
+        return self._max_dec - self._m_dec
+
+    @property
+    def drifted(self) -> bool:
+        return self._alarmed_at is not None
+
+    @property
+    def state(self) -> DriftState:
+        return DriftState(
+            observations=self._count,
+            mean=self._mean,
+            ph_increase=self.ph_increase,
+            ph_decrease=self.ph_decrease,
+            threshold=self.config.threshold,
+            drifted=self.drifted,
+            alarmed_at=self._alarmed_at,
+            alarm_direction=self._alarm_direction,
+        )
+
+    def describe(self) -> str:
+        state = self.state
+        status = (
+            f"DRIFTED ({state.alarm_direction} at observation {state.alarmed_at})"
+            if state.drifted
+            else "healthy"
+        )
+        return (
+            f"{status}: {state.observations} residuals, "
+            f"mean {state.mean:+.4f}, "
+            f"PH+ {state.ph_increase:.4f} / PH- {state.ph_decrease:.4f} "
+            f"(threshold {state.threshold:.4f})"
+        )

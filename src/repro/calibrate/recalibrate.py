@@ -1,0 +1,273 @@
+"""Refitting against live evidence: candidate models and shadow scoring.
+
+The paper's coefficients come from one construction campaign; when the
+platform drifts the campaign is stale.  :func:`merge_with_observations`
+builds the refit dataset — seed construction records plus the observed
+stream, **newest wins**: an observation at a ``(config, N)`` coordinate
+supersedes every seed record at that coordinate, because the observation
+is what the platform does *now*.  :class:`Recalibrator` re-runs the
+existing least-squares fit over that union through a fresh
+:class:`~repro.core.stages.StageGraph` (no new math — the whole point is
+that the fit layer is reused verbatim) and scores the candidate against
+the incumbent on a held-out tail of the log (:func:`shadow evaluation
+<Recalibrator.shadow_evaluate>`), the Oskooi-style guard against
+promoting a model that merely memorized its own fit window.
+
+Everything here is deterministic given the log contents: the holdout
+split is positional (newest tail), the fit is least squares, and the
+candidate's fingerprint is derived from the fitted models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from math import isfinite
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import EstimationPipeline
+from repro.errors import CalibrationError, ReproError
+from repro.measure.campaign import CampaignResult
+from repro.measure.dataset import Dataset
+from repro.calibrate.observations import (
+    OBSERVATION_TRIAL_BASE,
+    Observation,
+)
+
+
+def merge_with_observations(
+    seed: Dataset, observations: Sequence[Observation]
+) -> Tuple[Dataset, int]:
+    """Union of seed construction data and the observed stream.
+
+    Precedence is *newest wins* twice over: the last observation at a
+    ``(config, N)`` coordinate stands for that coordinate, and any seed
+    records at an observed coordinate are dropped entirely.  Returns the
+    merged dataset and how many seed records were superseded.
+    """
+    winners: Dict[Tuple[Tuple[int, ...], int], Observation] = {}
+    order: List[Tuple[Tuple[int, ...], int]] = []
+    for observation in observations:
+        coordinate = (observation.record.config_tuple, observation.record.n)
+        if coordinate not in winners:
+            order.append(coordinate)
+        winners[coordinate] = observation
+    kept = seed.filter(
+        lambda record: (record.config_tuple, record.n) not in winners
+    )
+    superseded = len(seed) - len(kept)
+    merged = Dataset(kept)
+    for coordinate in order:
+        observation = winners[coordinate]
+        merged.add(
+            replace(
+                observation.record,
+                trial=OBSERVATION_TRIAL_BASE + observation.seq,
+            )
+        )
+    return merged, superseded
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A refitted pipeline waiting for shadow evaluation / promotion."""
+
+    pipeline: EstimationPipeline
+    fingerprint: str
+    parent_fingerprint: str
+    fit_start_seq: int
+    fit_end_seq: int
+    fit_observations: int
+    superseded_seed_records: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "parent_fingerprint": self.parent_fingerprint,
+            "fit_start_seq": self.fit_start_seq,
+            "fit_end_seq": self.fit_end_seq,
+            "fit_observations": self.fit_observations,
+            "superseded_seed_records": self.superseded_seed_records,
+        }
+
+
+@dataclass(frozen=True)
+class ShadowScore:
+    """One model's accuracy on the holdout tail."""
+
+    mean_abs_relative_error: float
+    scored: int
+    skipped: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mean_abs_relative_error": self.mean_abs_relative_error,
+            "scored": self.scored,
+            "skipped": self.skipped,
+        }
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Candidate vs incumbent on the held-out tail of the log."""
+
+    candidate: ShadowScore
+    incumbent: ShadowScore
+    holdout_size: int
+
+    @property
+    def improvement(self) -> float:
+        """Absolute error reduction (positive = candidate is better)."""
+        return (
+            self.incumbent.mean_abs_relative_error
+            - self.candidate.mean_abs_relative_error
+        )
+
+    @property
+    def candidate_wins(self) -> bool:
+        return (
+            self.candidate.mean_abs_relative_error
+            < self.incumbent.mean_abs_relative_error
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "candidate": self.candidate.to_dict(),
+            "incumbent": self.incumbent.to_dict(),
+            "holdout_size": self.holdout_size,
+            "improvement": self.improvement,
+            "candidate_wins": self.candidate_wins,
+        }
+
+    def describe(self) -> str:
+        verdict = "candidate wins" if self.candidate_wins else "incumbent holds"
+        return (
+            f"shadow eval over {self.holdout_size} held-out observations: "
+            f"candidate {self.candidate.mean_abs_relative_error:.4f} vs "
+            f"incumbent {self.incumbent.mean_abs_relative_error:.4f} "
+            f"mean |rel err| — {verdict}"
+        )
+
+
+def _predict(pipeline: EstimationPipeline, observation: Observation) -> Optional[float]:
+    """The model's wall-time prediction for one observed run, or ``None``
+    when the observation is outside the model's trustworthy domain."""
+    record = observation.record
+    try:
+        total = float(
+            pipeline.estimate_totals(record.config(), [record.n])[0]
+        )
+    except ReproError:
+        return None
+    if not isfinite(total) or total <= 0:
+        return None
+    return total
+
+
+class Recalibrator:
+    """Builds and shadow-scores candidate models from the observation log."""
+
+    def __init__(self, holdout_fraction: float = 0.25):
+        if not 0 < holdout_fraction < 1:
+            raise CalibrationError(
+                f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+            )
+        self.holdout_fraction = holdout_fraction
+
+    def split(
+        self, observations: Sequence[Observation]
+    ) -> Tuple[List[Observation], List[Observation]]:
+        """Positional split: the newest tail is held out for shadow
+        evaluation, everything before it feeds the refit."""
+        if len(observations) < 2:
+            raise CalibrationError(
+                f"need at least 2 observations to refit with a holdout, "
+                f"have {len(observations)}"
+            )
+        holdout_size = max(1, int(len(observations) * self.holdout_fraction))
+        fit = list(observations[:-holdout_size])
+        holdout = list(observations[-holdout_size:])
+        return fit, holdout
+
+    def build_candidate(
+        self,
+        source: EstimationPipeline,
+        fit_observations: Sequence[Observation],
+    ) -> Candidate:
+        """Refit the source pipeline's models on seed ∪ observations.
+
+        The candidate is a fresh pipeline over the same spec/plan/config
+        whose campaign artifact is the merged dataset; the existing fit
+        and compose stages then rebuild the models through the normal
+        stage graph.  The source's adjustment is carried over unchanged
+        (it captures Mi-dependent systematic error of the *method*, and
+        recalibrating it would need fresh ground truth for the whole
+        calibration family).
+        """
+        if not fit_observations:
+            raise CalibrationError("refit requires at least one observation")
+        parent_fingerprint = source.estimate_cache.fingerprint
+        merged, superseded = merge_with_observations(
+            source.campaign.dataset, fit_observations
+        )
+        candidate = EstimationPipeline(source.spec, source.config, plan=source.plan)
+        candidate.graph.set(
+            "campaign",
+            CampaignResult(
+                plan_name=source.campaign.plan_name,
+                dataset=merged,
+                cost_by_kind_and_n=dict(source.campaign.cost_by_kind_and_n),
+            ),
+        )
+        if source.graph.has("evaluation"):
+            candidate.graph.set("evaluation", source.evaluation)
+        candidate.graph.set("adjust", source.adjustment)
+        return Candidate(
+            pipeline=candidate,
+            fingerprint=candidate.estimate_cache.fingerprint,
+            parent_fingerprint=parent_fingerprint,
+            fit_start_seq=min(o.seq for o in fit_observations),
+            fit_end_seq=max(o.seq for o in fit_observations),
+            fit_observations=len(fit_observations),
+            superseded_seed_records=superseded,
+        )
+
+    def score(
+        self,
+        pipeline: EstimationPipeline,
+        holdout: Sequence[Observation],
+    ) -> ShadowScore:
+        """Mean absolute relative wall-time error over the holdout."""
+        errors: List[float] = []
+        skipped = 0
+        for observation in holdout:
+            predicted = _predict(pipeline, observation)
+            if predicted is None:
+                skipped += 1
+                continue
+            observed = observation.record.wall_time_s
+            errors.append(abs(predicted - observed) / observed)
+        if not errors:
+            raise CalibrationError(
+                "shadow evaluation scored no observations "
+                "(every holdout point is outside the model domain)"
+            )
+        return ShadowScore(
+            mean_abs_relative_error=sum(errors) / len(errors),
+            scored=len(errors),
+            skipped=skipped,
+        )
+
+    def shadow_evaluate(
+        self,
+        candidate: EstimationPipeline,
+        incumbent: EstimationPipeline,
+        holdout: Sequence[Observation],
+    ) -> ShadowReport:
+        """Candidate vs incumbent on the same held-out observations."""
+        if not holdout:
+            raise CalibrationError("shadow evaluation requires a holdout")
+        return ShadowReport(
+            candidate=self.score(candidate, holdout),
+            incumbent=self.score(incumbent, holdout),
+            holdout_size=len(holdout),
+        )

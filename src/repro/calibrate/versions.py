@@ -1,0 +1,254 @@
+"""Versioned model ledger: every generation on disk, one promoted.
+
+A calibration loop that overwrites its model in place cannot answer
+"what were we serving last Tuesday?" or undo a bad promotion.
+:class:`ModelVersions` keeps each generation as a full saved-pipeline
+directory (``v0001``, ``v0002``, …, written by
+:func:`~repro.core.persistence.save_pipeline`, so any version can be
+loaded and served on its own) under one root, with a ``MANIFEST.json``
+recording each version's fingerprint, parent fingerprint, fit window,
+residual statistics and shadow-evaluation report, plus which version is
+*active* (promoted) and which was active before it (the rollback
+target).  The manifest is rewritten atomically (temp file +
+``os.replace``) so a crash mid-promotion leaves either the old or the
+new state, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.persistence import load_pipeline, save_pipeline
+from repro.core.pipeline import EstimationPipeline
+from repro.errors import CalibrationError
+
+_MANIFEST = "MANIFEST.json"
+_FORMAT_VERSION = 1
+
+#: Lifecycle of one version.
+STATUSES = ("candidate", "promoted", "retired")
+
+
+@dataclass(frozen=True)
+class VersionInfo:
+    """One ledger row: the metadata of one model generation."""
+
+    version_id: str
+    fingerprint: str
+    parent_fingerprint: Optional[str]
+    status: str
+    protocol: str
+    fit_window: Optional[Dict[str, object]] = None
+    residuals: Optional[Dict[str, object]] = None
+    shadow: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version_id": self.version_id,
+            "fingerprint": self.fingerprint,
+            "parent_fingerprint": self.parent_fingerprint,
+            "status": self.status,
+            "protocol": self.protocol,
+            "fit_window": self.fit_window,
+            "residuals": self.residuals,
+            "shadow": self.shadow,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "VersionInfo":
+        try:
+            return cls(
+                version_id=str(data["version_id"]),
+                fingerprint=str(data["fingerprint"]),
+                parent_fingerprint=(
+                    str(data["parent_fingerprint"])
+                    if data.get("parent_fingerprint") is not None
+                    else None
+                ),
+                status=str(data["status"]),
+                protocol=str(data["protocol"]),
+                fit_window=data.get("fit_window"),  # type: ignore[arg-type]
+                residuals=data.get("residuals"),  # type: ignore[arg-type]
+                shadow=data.get("shadow"),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CalibrationError(f"malformed version entry: {exc!r}") from exc
+
+
+class ModelVersions:
+    """The ledger over one root directory."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._versions: List[VersionInfo] = []
+        self._active: Optional[str] = None
+        self._previous: Optional[str] = None
+        if (self.root / _MANIFEST).exists():
+            self._read_manifest()
+
+    # -- manifest I/O -------------------------------------------------------
+
+    def _read_manifest(self) -> None:
+        path = self.root / _MANIFEST
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise CalibrationError(f"corrupt ledger manifest {path} ({exc})") from exc
+        if payload.get("format") != _FORMAT_VERSION:
+            raise CalibrationError(
+                f"unknown ledger format {payload.get('format')!r} in {path}"
+            )
+        self._versions = [VersionInfo.from_dict(v) for v in payload["versions"]]
+        self._active = payload.get("active")
+        self._previous = payload.get("previous")
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "format": _FORMAT_VERSION,
+            "active": self._active,
+            "previous": self._previous,
+            "versions": [v.to_dict() for v in self._versions],
+        }
+        path = self.root / _MANIFEST
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def history(self) -> List[VersionInfo]:
+        return list(self._versions)
+
+    def get(self, version_id: str) -> VersionInfo:
+        for version in self._versions:
+            if version.version_id == version_id:
+                return version
+        raise CalibrationError(
+            f"unknown model version {version_id!r} "
+            f"(ledger has: {', '.join(v.version_id for v in self._versions) or 'none'})"
+        )
+
+    @property
+    def active_id(self) -> Optional[str]:
+        return self._active
+
+    @property
+    def previous_id(self) -> Optional[str]:
+        return self._previous
+
+    def active(self) -> VersionInfo:
+        if self._active is None:
+            raise CalibrationError("no model version has been promoted yet")
+        return self.get(self._active)
+
+    def directory(self, version_id: str) -> Path:
+        self.get(version_id)  # validate
+        return self.root / version_id
+
+    def load_pipeline(self, version_id: str) -> EstimationPipeline:
+        return load_pipeline(self.directory(version_id))
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(
+        self,
+        pipeline: EstimationPipeline,
+        parent_fingerprint: Optional[str] = None,
+        fit_window: Optional[Dict[str, object]] = None,
+        residuals: Optional[Dict[str, object]] = None,
+        shadow: Optional[Dict[str, object]] = None,
+        status: str = "candidate",
+    ) -> VersionInfo:
+        """Persist a pipeline as the next version (``v0001``, ``v0002``…).
+
+        ``status="promoted"`` registers-and-activates in one step — how a
+        ledger is bootstrapped from the already-serving seed model.
+        """
+        if status not in STATUSES:
+            raise CalibrationError(
+                f"status must be one of {STATUSES}, got {status!r}"
+            )
+        version_id = f"v{len(self._versions) + 1:04d}"
+        # Only persist an evaluation dataset the pipeline already holds:
+        # asking for one it lacks would trigger a full evaluation-grid
+        # simulation just to write a file nobody requested.
+        save_pipeline(
+            pipeline,
+            self.root / version_id,
+            include_evaluation=pipeline.graph.has("evaluation"),
+        )
+        info = VersionInfo(
+            version_id=version_id,
+            fingerprint=pipeline.estimate_cache.fingerprint,
+            parent_fingerprint=parent_fingerprint,
+            status=status,
+            protocol=pipeline.plan.name,
+            fit_window=fit_window,
+            residuals=residuals,
+            shadow=shadow,
+        )
+        self._versions.append(info)
+        if status == "promoted":
+            self._previous = self._active
+            self._active = version_id
+            self._retire_others(version_id)
+        self._write_manifest()
+        return info
+
+    def _retire_others(self, active_id: str) -> None:
+        self._versions = [
+            v
+            if v.version_id == active_id or v.status != "promoted"
+            else VersionInfo(**{**v.to_dict(), "status": "retired"})
+            for v in self._versions
+        ]
+
+    def _set_status(self, version_id: str, status: str) -> None:
+        self._versions = [
+            VersionInfo(**{**v.to_dict(), "status": status})
+            if v.version_id == version_id
+            else v
+            for v in self._versions
+        ]
+
+    def promote(self, version_id: str) -> VersionInfo:
+        """Make ``version_id`` the active generation (the old active
+        becomes the rollback target)."""
+        self.get(version_id)  # raises on unknown id
+        if version_id == self._active:
+            return self.get(version_id)
+        self._previous = self._active
+        self._active = version_id
+        self._retire_others(version_id)
+        self._set_status(version_id, "promoted")
+        self._write_manifest()
+        return self.get(version_id)
+
+    def rollback(self) -> VersionInfo:
+        """Re-promote the previously active version."""
+        if self._previous is None:
+            raise CalibrationError(
+                "cannot roll back: no previously promoted version recorded"
+            )
+        return self.promote(self._previous)
+
+    def describe(self) -> str:
+        if not self._versions:
+            return "ModelVersions(empty)"
+        lines = [f"ModelVersions({self.root}, active={self._active})"]
+        for version in self._versions:
+            marker = "*" if version.version_id == self._active else " "
+            lines.append(
+                f" {marker} {version.version_id} [{version.status}] "
+                f"fingerprint={version.fingerprint} "
+                f"parent={version.parent_fingerprint or '-'}"
+            )
+        return "\n".join(lines)

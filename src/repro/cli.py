@@ -13,6 +13,10 @@ Examples::
     repro optimize --protocol nl --n 8000       # ranked configurations
     repro report --protocol basic       # everything for one protocol
     repro models --dir saved/           # model inventory of a saved pipeline
+    repro models --dir ledger/ --fingerprints   # ledger <-> artifact fingerprints
+    repro calibrate status --dir saved/ --log obs.jsonl   # drift state
+    repro calibrate refit --dir saved/ --log obs.jsonl --versions ledger/
+    repro calibrate promote --versions ledger/ --dir saved/
 
 Every command is deterministic in ``--seed``.
 """
@@ -157,6 +161,60 @@ def _build_parser() -> argparse.ArgumentParser:
         required=True,
         help="directory written by save_pipeline (see repro.core.persistence)",
     )
+    models.add_argument(
+        "--fingerprints",
+        action="store_true",
+        help=(
+            "terse fingerprint listing (accepts a version-ledger root too), "
+            "for correlating ledger versions with on-disk artifacts"
+        ),
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="online-calibration loop: drift status, refit, promote, rollback",
+    )
+    calibrate_sub = calibrate.add_subparsers(dest="calibrate_command", required=True)
+    cal_status = calibrate_sub.add_parser(
+        "status", help="replay an observation log and report drift state"
+    )
+    cal_refit = calibrate_sub.add_parser(
+        "refit", help="build + shadow-score a refit candidate from the log"
+    )
+    for cmd in (cal_status, cal_refit):
+        cmd.add_argument(
+            "--dir", required=True, help="served pipeline directory (the incumbent)"
+        )
+        cmd.add_argument(
+            "--log", required=True, help="observation log (JSONL, see ObservationLog)"
+        )
+        cmd.add_argument(
+            "--versions", default=None, help="model-version ledger root"
+        )
+    cal_refit.add_argument(
+        "--holdout", type=float, default=0.25,
+        help="fraction of the log tail held out for shadow evaluation",
+    )
+    cal_promote = calibrate_sub.add_parser(
+        "promote", help="activate a ledger version (default: newest candidate)"
+    )
+    cal_promote.add_argument(
+        "--version", default=None, help="version id (e.g. v0002)"
+    )
+    cal_rollback = calibrate_sub.add_parser(
+        "rollback", help="re-promote the previously active version"
+    )
+    for cmd in (cal_promote, cal_rollback):
+        cmd.add_argument(
+            "--versions", required=True, help="model-version ledger root"
+        )
+        cmd.add_argument(
+            "--dir", default=None,
+            help=(
+                "served pipeline directory to re-save the activated version "
+                "into (a running `repro serve` hot-reloads it)"
+            ),
+        )
 
     estimate = sub.add_parser(
         "estimate", help="estimate one configuration from a saved pipeline"
@@ -221,7 +279,10 @@ def _build_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--op",
         required=True,
-        choices=["estimate", "optimize", "whatif", "models", "stats", "reload", "ping"],
+        choices=[
+            "estimate", "optimize", "whatif", "models", "stats", "reload",
+            "ping", "calibration",
+        ],
     )
     client.add_argument("--pipeline", default=None, help="pipeline name on the server")
     client.add_argument("--config", default=None, help="flat tuple, e.g. 1,2,8,1")
@@ -304,6 +365,104 @@ def _model_inventory(pipeline: EstimationPipeline, source: str) -> str:
             f"{model.fingerprint()}  {coefficients}"
         )
     return "\n".join(lines)
+
+
+def _fingerprint_listing(directory: str) -> str:
+    """``repro models --fingerprints``: terse fingerprint-per-line output.
+
+    Accepts either a version-ledger root (rows straight from the ledger
+    MANIFEST) or a single saved-pipeline directory (its estimate-cache,
+    store and per-model fingerprints).
+    """
+    from pathlib import Path
+
+    from repro.calibrate import ModelVersions
+    from repro.core.persistence import load_pipeline
+
+    if (Path(directory) / "MANIFEST.json").exists():
+        versions = ModelVersions(directory)
+        lines = [f"ledger {directory} (active: {versions.active_id or '-'})"]
+        for info in versions.history():
+            marker = "*" if info.version_id == versions.active_id else " "
+            lines.append(
+                f" {marker} {info.version_id}  {info.fingerprint}  "
+                f"[{info.status}]  parent={info.parent_fingerprint or '-'}  "
+                f"protocol={info.protocol}"
+            )
+        return "\n".join(lines)
+    pipeline = load_pipeline(directory)
+    lines = [
+        f"pipeline {directory}",
+        f"  estimate-cache fingerprint: {pipeline.estimate_cache.fingerprint}",
+        f"  store fingerprint:          {pipeline.store.fingerprint()}",
+    ]
+    for model in pipeline.models.models():
+        p = model.to_dict().get("p")
+        identity = f"{model.kind_name} Mi={model.mi}" + (
+            f" P={p}" if p is not None else ""
+        )
+        lines.append(f"  {model.fingerprint()}  {model.model_type:<8s} {identity}")
+    return "\n".join(lines)
+
+
+def _run_calibrate(args: argparse.Namespace) -> None:
+    """``repro calibrate status|refit|promote|rollback``."""
+    import json
+
+    from repro.calibrate import Calibrator, ModelVersions, ObservationLog, Recalibrator
+    from repro.core.persistence import load_pipeline, save_pipeline
+
+    command = args.calibrate_command
+    if command in ("status", "refit"):
+        pipeline = load_pipeline(args.dir)
+        versions = ModelVersions(args.versions) if args.versions else None
+        with ObservationLog(args.log) as log:
+            calibrator = Calibrator(
+                name="cli",
+                pipeline_provider=lambda: pipeline,
+                log=log,
+                versions=versions,
+                recalibrator=Recalibrator(
+                    holdout_fraction=getattr(args, "holdout", 0.25)
+                ),
+            )
+            calibrator.replay_log()
+            if command == "status":
+                print(json.dumps(calibrator.status(), indent=1))
+                print()
+                print(calibrator.detector.describe())
+                return
+            info, shadow = calibrator.refit()
+            print(shadow.describe())
+            print(
+                f"candidate {info.version_id} recorded "
+                f"(fingerprint {info.fingerprint}, "
+                f"parent {info.parent_fingerprint}) in {versions.root}"
+            )
+        return
+
+    versions = ModelVersions(args.versions)
+    if command == "promote":
+        version_id = args.version
+        if version_id is None:
+            candidates = [v for v in versions.history() if v.status == "candidate"]
+            if not candidates:
+                raise ReproError("no candidate version to promote")
+            version_id = candidates[-1].version_id
+        info = versions.promote(version_id)
+        verb = "promoted"
+    else:
+        info = versions.rollback()
+        verb = "rolled back to"
+    print(f"{verb} {info.version_id} (fingerprint {info.fingerprint})")
+    if args.dir:
+        pipeline = versions.load_pipeline(info.version_id)
+        save_pipeline(
+            pipeline,
+            args.dir,
+            include_evaluation=pipeline.graph.has("evaluation"),
+        )
+        print(f"re-saved active version into {args.dir} (hot-reload target)")
 
 
 def _run_server(args: argparse.Namespace) -> None:
@@ -488,7 +647,10 @@ def _dispatch(args: argparse.Namespace) -> None:
     elif args.command == "models":
         from repro.core.persistence import load_pipeline
 
-        print(_model_inventory(load_pipeline(args.dir), args.dir))
+        if args.fingerprints:
+            print(_fingerprint_listing(args.dir))
+        else:
+            print(_model_inventory(load_pipeline(args.dir), args.dir))
     elif args.command == "estimate":
         from repro.cluster.config import ClusterConfig
         from repro.core.persistence import load_pipeline
@@ -501,6 +663,8 @@ def _dispatch(args: argparse.Namespace) -> None:
         for n, total in zip(args.n, totals):
             rendered = f"{total:.6g} s" if total < float("inf") else "unestimable"
             print(f"{config.label(pipeline.plan.kinds):>12s}  N={n:<6d} {rendered}")
+    elif args.command == "calibrate":
+        _run_calibrate(args)
     elif args.command == "serve":
         _run_server(args)
     elif args.command == "client":

@@ -47,3 +47,9 @@ class ModelError(ReproError):
 class SearchError(ReproError):
     """Configuration optimization failed (empty candidate set, estimator
     returning non-finite values)."""
+
+
+class CalibrationError(ReproError):
+    """The online-calibration loop was driven inconsistently (corrupt
+    observation log, refit without observations, promoting an unknown
+    model version, rollback with no prior promotion)."""

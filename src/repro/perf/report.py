@@ -22,6 +22,10 @@ from repro.perf.cache import EstimateCache
 #: Canonical stage order for rendering (unknown stages append after).
 PIPELINE_STAGES = ("campaign", "evaluation", "fit", "compose", "adjust", "search")
 
+#: Stages of the online-calibration loop (:mod:`repro.calibrate`), timed
+#: through the same ledger and rendered after the pipeline stages.
+CALIBRATION_STAGES = ("ingest", "refit", "shadow", "promote")
+
 
 @dataclass
 class StageTiming:
@@ -82,8 +86,9 @@ class PerfReport:
 
     def stages(self) -> List[str]:
         """Recorded stage names, canonical order first."""
-        known = [s for s in PIPELINE_STAGES if s in self._stages]
-        extra = [s for s in self._stages if s not in PIPELINE_STAGES]
+        canonical = PIPELINE_STAGES + CALIBRATION_STAGES
+        known = [s for s in canonical if s in self._stages]
+        extra = [s for s in self._stages if s not in canonical]
         return known + extra
 
     def to_dict(self) -> Dict[str, object]:

@@ -129,7 +129,16 @@ class ServeMetrics:
         self.batches = 0
         self.coalesced_requests = 0
         self.reloads = 0
+        #: Reload attempts that failed to load (half-written directory,
+        #: corrupt artifact) and were skipped — previously invisible.
+        self.reload_failures = 0
         self.connections = 0
+        # Calibration-loop counters (fed by repro.calibrate when a
+        # Calibrator is attached to the service).
+        self.observations = 0
+        self.drift_alarms = 0
+        self.promotions = 0
+        self.rollbacks = 0
 
     def endpoint(self, op: str) -> EndpointMetrics:
         if op not in self.by_op:
@@ -171,7 +180,14 @@ class ServeMetrics:
             },
             "shed": self.total_shed,
             "reloads": self.reloads,
+            "reload_failures": self.reload_failures,
             "connections": self.connections,
+            "calibration": {
+                "observations": self.observations,
+                "drift_alarms": self.drift_alarms,
+                "promotions": self.promotions,
+                "rollbacks": self.rollbacks,
+            },
         }
         if cache is not None:
             payload["cache"] = cache
@@ -190,4 +206,13 @@ class ServeMetrics:
             f"  batches: {self.batches} dispatched, "
             f"mean size {self.batch_sizes.mean:.2f}, max {self.batch_sizes.max}"
         )
+        lines.append(
+            f"  reloads: {self.reloads} swapped, {self.reload_failures} failed"
+        )
+        if self.observations:
+            lines.append(
+                f"  calibration: {self.observations} observations, "
+                f"{self.drift_alarms} drift alarms, "
+                f"{self.promotions} promotions, {self.rollbacks} rollbacks"
+            )
         return "\n".join(lines)

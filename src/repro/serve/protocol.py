@@ -12,6 +12,8 @@ op-specific parameters::
     {"id": 5, "op": "stats"}
     {"id": 6, "op": "reload"}
     {"id": 7, "op": "ping"}
+    {"id": 8, "op": "observe",  "pipeline": "ns7", "record": {...measurement...}}
+    {"id": 9, "op": "calibration", "pipeline": "ns7"}
 
 Replies are ``{"id": ..., "ok": true, "result": {...}}`` or
 ``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}``.
@@ -38,7 +40,7 @@ from repro.errors import ReproError
 #: Ops the service understands.  estimate/optimize/whatif flow through the
 #: micro-batcher; the rest are control-plane ops answered immediately.
 BATCHED_OPS = ("estimate", "optimize", "whatif")
-CONTROL_OPS = ("models", "stats", "reload", "ping")
+CONTROL_OPS = ("models", "stats", "reload", "ping", "observe", "calibration")
 ALL_OPS = BATCHED_OPS + CONTROL_OPS
 
 ERROR_BAD_REQUEST = "BadRequest"
@@ -161,6 +163,13 @@ def parse_request(line: str) -> Request:
             raise ProtocolError("'top' must be a positive integer")
     if op == "models" and pipeline is None:
         raise ProtocolError("'models' needs a 'pipeline' name")
+    if op == "observe":
+        if pipeline is None:
+            raise ProtocolError("'observe' needs a 'pipeline' name")
+        if not isinstance(payload.get("record"), dict):
+            raise ProtocolError(
+                "'observe' needs a 'record' object (a serialized measurement)"
+            )
 
     known = {"id", "op", "pipeline", "config", "ns", "n", "top"}
     extra = {key: value for key, value in payload.items() if key not in known}

@@ -171,6 +171,12 @@ class ModelRegistry:
         self.retired_cache_stats = CacheStats()
         #: (name, error text) of reload attempts that failed and were skipped.
         self.last_reload_errors: List[Tuple[str, str]] = []
+        #: Total failed reload attempts over the registry's lifetime (the
+        #: per-refresh list above only shows the latest pass).
+        self.reload_failures = 0
+        #: Optional :class:`~repro.serve.metrics.ServeMetrics` to mirror
+        #: failure counts into (the server attaches its own on startup).
+        self.metrics = None
 
     # -- loading ------------------------------------------------------------
 
@@ -224,9 +230,13 @@ class ModelRegistry:
 
     # -- hot reload ---------------------------------------------------------
 
-    def _swap(self, old: RegistryEntry) -> Optional[RegistryEntry]:
+    def _swap(
+        self, old: RegistryEntry, directory: Optional[Path] = None
+    ) -> Optional[RegistryEntry]:
         fresh = self._load_entry(
-            old.name, old.directory, generation=old.generation + 1
+            old.name,
+            old.directory if directory is None else directory,
+            generation=old.generation + 1,
         )
         if fresh.fingerprint == old.fingerprint:
             # Same models, same answers: keep the warm cache (its entries
@@ -236,6 +246,19 @@ class ModelRegistry:
             self.retired_cache_stats.merge(old.cache.stats)
         self._entries[old.name] = fresh
         return fresh
+
+    def promote(self, name: str, directory: Path | str) -> RegistryEntry:
+        """Swap ``name`` to serve a (possibly different) pipeline directory
+        — the calibration loop's promotion/rollback hook.
+
+        The swap is one dict assignment after the new entry is fully
+        loaded, so in-flight batches holding the old entry finish against
+        it; cache-retirement semantics are exactly those of a hot reload
+        (same fingerprint keeps the warm cache, a new one retires it into
+        the session totals).  Raises the loader's errors unchanged and
+        leaves the old entry serving if loading fails.
+        """
+        return self._swap(self.get(name), directory=Path(directory))
 
     def refresh(self, force: bool = False) -> List[str]:
         """Re-load every entry whose directory changed on disk.
@@ -256,6 +279,10 @@ class ModelRegistry:
             except ReproError as exc:
                 errors.append((entry.name, str(exc)))
         self.last_reload_errors = errors
+        if errors:
+            self.reload_failures += len(errors)
+            if self.metrics is not None:
+                self.metrics.reload_failures += len(errors)
         return swapped
 
     def snapshot(self) -> Dict[str, object]:
@@ -283,4 +310,5 @@ class ModelRegistry:
                 {"pipeline": name, "error": text}
                 for name, text in self.last_reload_errors
             ],
+            "reload_failures": self.reload_failures,
         }

@@ -33,8 +33,10 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
+from repro.errors import ReproError
+from repro.measure.record import MeasurementRecord
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (
@@ -70,11 +72,23 @@ class EstimationServer:
         max_batch: int = 64,
         batch_window_s: float = 0.002,
         refresh_interval_s: Optional[float] = 0.5,
+        calibrators: Optional[Dict[str, object]] = None,
     ):
         self.registry = registry
         self.host = host
         self.port = port
         self.metrics = ServeMetrics()
+        # The registry mirrors reload failures into the service metrics
+        # (satellite of the calibration loop: failed swaps are counted,
+        # not silently skipped).
+        if registry.metrics is None:
+            registry.metrics = self.metrics
+        #: pipeline name -> :class:`repro.calibrate.Calibrator` (duck-typed
+        #: here so the serve layer never imports the calibrate package).
+        self.calibrators: Dict[str, object] = dict(calibrators or {})
+        for calibrator in self.calibrators.values():
+            if getattr(calibrator, "metrics", None) is None:
+                calibrator.metrics = self.metrics
         self.batcher = MicroBatcher(
             registry,
             metrics=self.metrics,
@@ -245,4 +259,44 @@ class EstimationServer:
             return encode_ok(
                 request.id, {"pong": True, "pipelines": self.registry.names()}
             )
+        if request.op == "observe":
+            return encode_ok(request.id, self._observe(request))
+        if request.op == "calibration":
+            return encode_ok(request.id, self._calibration_status(request))
         return encode_error(request.id, "BadRequest", f"unhandled op {request.op!r}")
+
+    # -- calibration ops ----------------------------------------------------
+
+    def _calibrator_for(self, name: str):
+        self.registry.get(name)  # UnknownPipeline for unserved names
+        calibrator = self.calibrators.get(name)
+        if calibrator is None:
+            enabled = ", ".join(sorted(self.calibrators)) or "(none)"
+            raise ProtocolError(
+                f"pipeline {name!r} has no calibration loop attached "
+                f"(calibrating: {enabled})"
+            )
+        return calibrator
+
+    def _observe(self, request: Request) -> dict:
+        """Ingest one observed run into the pipeline's calibration loop."""
+        calibrator = self._calibrator_for(request.pipeline)
+        try:
+            record = MeasurementRecord.from_dict(request.params["record"])
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed 'record': {exc}") from exc
+        source = request.params.get("source", "serve")
+        if not isinstance(source, str):
+            raise ProtocolError("'source' must be a string")
+        return calibrator.ingest(record, source=source).to_dict()
+
+    def _calibration_status(self, request: Request) -> dict:
+        """Status of one calibration loop, or of all of them."""
+        if request.pipeline is not None:
+            return self._calibrator_for(request.pipeline).status()
+        return {
+            "pipelines": {
+                name: calibrator.status()
+                for name, calibrator in sorted(self.calibrators.items())
+            }
+        }

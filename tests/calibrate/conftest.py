@@ -1,0 +1,67 @@
+"""Shared calibration fixtures: an incumbent pipeline and a drifted twin
+of its platform.
+
+The drift scenario is a degraded inter-node network (a switch
+renegotiating down: 20x the latency, a quarter of the bandwidth), which
+moves multi-node wall times by ~100% while leaving single-node runs
+untouched — visible, asymmetric, and entirely deterministic because the
+simulator is."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.presets import kishimoto_cluster
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.hpl.driver import run_hpl
+from repro.measure.record import MeasurementRecord
+
+
+@pytest.fixture(scope="session")
+def base_spec():
+    return kishimoto_cluster()
+
+
+@pytest.fixture(scope="session")
+def drifted_spec(base_spec):
+    """The same cluster after its network degraded."""
+    network = dataclasses.replace(
+        base_spec.network,
+        latency_s=base_spec.network.latency_s * 20,
+        bandwidth_bps=base_spec.network.bandwidth_bps / 4,
+    )
+    return dataclasses.replace(base_spec, network=network)
+
+
+@pytest.fixture(scope="session")
+def incumbent(base_spec):
+    """The promoted model: an NS pipeline fitted on the healthy platform."""
+    return EstimationPipeline(
+        base_spec, PipelineConfig(protocol="ns", seed=7, noise=None)
+    )
+
+
+@pytest.fixture(scope="session")
+def drifted_campaign(drifted_spec, incumbent):
+    """The incumbent's construction plan re-measured on the drifted
+    platform — the refit evidence a real operator would collect."""
+    from repro.measure.campaign import run_campaign
+
+    return run_campaign(drifted_spec, incumbent.plan, noise=None, seed=7)
+
+
+@pytest.fixture(scope="session")
+def make_record(incumbent):
+    """(spec, config, n, trial) -> MeasurementRecord of one noiseless run."""
+
+    def _make(spec, config, n, trial=0):
+        result = run_hpl(
+            spec, config, n, params=None, noise=None, seed=7, trial=trial
+        )
+        return MeasurementRecord.from_result(
+            result, incumbent.plan.kinds, seed=7, trial=trial
+        )
+
+    return _make

@@ -1,0 +1,179 @@
+"""Residual statistics and the Page-Hinkley drift detector.
+
+Everything here is pure arithmetic on hand-built residual streams —
+no simulator, no RNG — because determinism is the detector's contract."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.calibrate import (
+    DriftConfig,
+    DriftDetector,
+    ResidualStats,
+    ResidualTracker,
+)
+from repro.errors import CalibrationError
+
+
+class TestResidualStats:
+    def test_matches_statistics_module(self):
+        values = [0.01, -0.03, 0.2, 0.07, -0.11, 0.0]
+        stats = ResidualStats()
+        for value in values:
+            stats.update(value)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(statistics.fmean(values))
+        assert stats.std == pytest.approx(statistics.stdev(values))
+        assert stats.max_abs == 0.2
+
+    def test_degenerate_cases(self):
+        stats = ResidualStats()
+        assert stats.variance == 0.0
+        stats.update(0.5)
+        assert stats.variance == 0.0  # single sample
+        with pytest.raises(CalibrationError):
+            stats.update(math.nan)
+
+    def test_to_dict_keys(self):
+        stats = ResidualStats()
+        stats.update(0.1)
+        assert set(stats.to_dict()) == {"count", "mean", "std", "max_abs"}
+
+
+class TestResidualTracker:
+    def test_family_breakdown(self):
+        tracker = ResidualTracker()
+        tracker.update_total(0.1)
+        tracker.update_family("pentium2", 3, 0.1)
+        tracker.update_family("pentium2", 3, 0.3)
+        tracker.update_family("pentium3", 1, -0.2)
+        payload = tracker.to_dict()
+        assert payload["overall"]["count"] == 1
+        assert payload["by_family"]["pentium2/mi=3"]["count"] == 2
+        assert payload["by_family"]["pentium3/mi=1"]["mean"] == pytest.approx(-0.2)
+
+    def test_reset(self):
+        tracker = ResidualTracker()
+        tracker.update_total(0.4)
+        tracker.update_family("k", 2, 0.4)
+        tracker.reset()
+        assert tracker.overall.count == 0
+        assert tracker.by_family == {}
+
+
+class TestDriftConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"delta": -0.1},
+            {"threshold": 0.0},
+            {"min_observations": 0},
+            {"direction": "sideways"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(CalibrationError):
+            DriftConfig(**kwargs)
+
+
+class TestDriftDetector:
+    def test_healthy_stream_never_alarms(self):
+        detector = DriftDetector(DriftConfig(delta=0.02, threshold=0.5))
+        # Zero-mean alternation: the accumulation cannot build.
+        for i in range(200):
+            state = detector.update(0.05 if i % 2 else -0.05)
+        assert not state.drifted
+        assert state.alarmed_at is None
+
+    def test_sustained_shift_alarms_increase(self):
+        detector = DriftDetector(
+            DriftConfig(delta=0.02, threshold=0.5, min_observations=8)
+        )
+        for _ in range(20):
+            detector.update(0.0)
+        alarmed_at = None
+        for _ in range(40):
+            state = detector.update(0.3)
+            if state.drifted:
+                alarmed_at = state.alarmed_at
+                break
+        assert alarmed_at is not None
+        assert state.alarm_direction == "increase"
+        # The alarm is sticky and keeps its original index.
+        later = detector.update(0.0)
+        assert later.drifted and later.alarmed_at == alarmed_at
+
+    def test_sustained_shift_alarms_decrease(self):
+        detector = DriftDetector(DriftConfig(threshold=0.5))
+        for _ in range(20):
+            detector.update(0.0)
+        for _ in range(40):
+            state = detector.update(-0.3)
+            if state.drifted:
+                break
+        assert state.drifted
+        assert state.alarm_direction == "decrease"
+
+    def test_direction_filter(self):
+        def run(direction):
+            detector = DriftDetector(
+                DriftConfig(direction=direction, threshold=0.5)
+            )
+            for _ in range(20):
+                detector.update(0.0)
+            for _ in range(40):
+                state = detector.update(-0.4)
+            return state.drifted
+
+        assert run("decrease")  # the shift is real...
+        assert not run("increase")  # ...but filtered out by direction
+
+    def test_min_observations_suppresses_early_alarm(self):
+        config = DriftConfig(delta=0.0, threshold=0.1, min_observations=50)
+        detector = DriftDetector(config)
+        for i in range(49):
+            assert not detector.update(1.0 if i else 0.0).drifted
+        assert detector.update(1.0).drifted
+
+    def test_isolated_outlier_does_not_alarm(self):
+        detector = DriftDetector(DriftConfig(delta=0.02, threshold=2.0))
+        for _ in range(30):
+            detector.update(0.0)
+        detector.update(1.5)  # one spike
+        for _ in range(30):
+            state = detector.update(0.0)
+        assert not state.drifted
+
+    def test_deterministic_replay(self):
+        stream = [0.01 * ((i * 7) % 13 - 6) for i in range(100)] + [0.4] * 20
+        states_a = [DriftDetector().update(x) for x in stream]
+        states_b = [DriftDetector().update(x) for x in stream]
+        assert states_a == states_b  # DriftState is a frozen dataclass
+
+    def test_reset_clears_alarm(self):
+        detector = DriftDetector(DriftConfig(threshold=0.2))
+        for _ in range(10):
+            detector.update(0.0)
+        for _ in range(30):
+            detector.update(0.5)
+        assert detector.drifted
+        detector.reset()
+        assert not detector.drifted
+        assert detector.state.observations == 0
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(CalibrationError):
+            DriftDetector().update(math.inf)
+
+    def test_describe_mentions_status(self):
+        detector = DriftDetector(DriftConfig(threshold=0.2))
+        assert "healthy" in detector.describe()
+        for _ in range(10):
+            detector.update(0.0)
+        for _ in range(30):
+            detector.update(0.5)
+        assert "DRIFTED" in detector.describe()

@@ -1,0 +1,190 @@
+"""Acceptance test: the full calibration loop against a live service.
+
+One scenario, end to end: healthy traffic scores clean → the platform's
+network degrades → drifted observations (arriving over the socket as
+``observe`` requests) fire the Page-Hinkley alarm → a refit on the
+re-measured construction campaign produces a candidate that beats the
+stale incumbent on the held-out live tail → promotion hot-swaps the
+serving registry while concurrent requests are in flight → the promoted
+model's served estimates are bitwise those of the candidate pipeline →
+rollback restores the prior generation.  Everything is deterministic:
+noiseless simulator, seed-free detector, positional holdout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.calibrate import (
+    Calibrator,
+    DriftConfig,
+    DriftDetector,
+    ModelVersions,
+    ObservationLog,
+    Recalibrator,
+)
+from repro.core.persistence import save_pipeline
+from repro.serve import EstimationServer, ModelRegistry, fire_concurrent
+
+TRAFFIC_SOURCE = "live"
+
+
+async def roundtrip(host, port, payload):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write((json.dumps(payload) + "\n").encode())
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    return json.loads(line)
+
+
+async def observe(host, port, record, source=TRAFFIC_SOURCE):
+    reply = await roundtrip(
+        host,
+        port,
+        {
+            "op": "observe",
+            "pipeline": "cluster",
+            "record": record.to_dict(),
+            "source": source,
+        },
+    )
+    assert reply["ok"], reply
+    return reply["result"]
+
+
+def test_drift_to_promotion_to_rollback(
+    tmp_path, incumbent, base_spec, drifted_spec, drifted_campaign, make_record
+):
+    serving_dir = tmp_path / "serving"
+    save_pipeline(
+        incumbent,
+        serving_dir,
+        include_evaluation=incumbent.graph.has("evaluation"),
+    )
+    registry = ModelRegistry()
+    registry.add("cluster", serving_dir)
+    seed_fingerprint = registry.get("cluster").fingerprint
+
+    calibrator = Calibrator(
+        "cluster",
+        pipeline_provider=lambda: registry.get("cluster").pipeline,
+        log=ObservationLog(),
+        detector=DriftDetector(DriftConfig(delta=0.02, threshold=0.5)),
+        versions=ModelVersions(tmp_path / "versions"),
+    )
+
+    # Traffic: the calibration-family configs at the calibration size,
+    # where the adjusted incumbent reproduces the healthy platform exactly.
+    traffic_configs = incumbent.calibration_configs()
+    n_traffic = incumbent.calibration_size()
+    estimate_sizes = [1600 + 160 * i for i in range(32)]
+    estimate_payloads = [
+        {"op": "estimate", "pipeline": "cluster", "config": [1, 3, 8, 1], "n": n}
+        for n in estimate_sizes
+    ]
+
+    async def scenario():
+        server = EstimationServer(
+            registry,
+            port=0,
+            refresh_interval_s=None,
+            calibrators={"cluster": calibrator},
+        )
+        host, port = await server.start()
+        try:
+            # 1. Healthy traffic: residuals at rounding error, no alarm.
+            for config in traffic_configs:
+                result = await observe(
+                    host, port, make_record(base_spec, config, n_traffic)
+                )
+                assert abs(result["residual"]) < 1e-9
+                assert not result["drift"]["drifted"]
+
+            # 2. The network degrades: the same traffic now runs ~2x slow
+            #    and the detector alarms within one pass over the family.
+            last = None
+            for config in traffic_configs:
+                last = await observe(
+                    host,
+                    port,
+                    make_record(drifted_spec, config, n_traffic, trial=1),
+                )
+                assert last["residual"] > 1.0
+            assert last["drift"]["drifted"]
+            assert last["drift"]["alarm_direction"] == "increase"
+            assert server.metrics.drift_alarms == 1
+            assert calibrator.drifted
+
+            # 3. Refit evidence: the construction campaign re-measured on
+            #    the drifted platform (a batch replay, not socket traffic).
+            calibrator.replay_dataset(drifted_campaign.dataset, source="replay")
+
+            # 4. More drifted live traffic - this tail is the holdout.
+            for config in traffic_configs:
+                await observe(
+                    host,
+                    port,
+                    make_record(drifted_spec, config, n_traffic, trial=2),
+                )
+
+            # 5. Refit + shadow evaluation: hold out exactly the live tail.
+            calibrator.recalibrator = Recalibrator(
+                holdout_fraction=(len(traffic_configs) + 0.5) / len(calibrator.log)
+            )
+            info, shadow = calibrator.refit()
+            assert shadow.holdout_size == len(traffic_configs)
+            assert shadow.candidate_wins, shadow.describe()
+            assert shadow.improvement > 0.05
+            assert info.status == "candidate"
+            assert info.parent_fingerprint == seed_fingerprint
+            assert info.fingerprint != seed_fingerprint
+            # The ledger bootstrapped the serving seed as v0001.
+            assert calibrator.versions.get("v0001").fingerprint == seed_fingerprint
+
+            # 6. Promote while estimate traffic is in flight: nothing drops.
+            in_flight = asyncio.get_running_loop().create_task(
+                fire_concurrent(host, port, estimate_payloads, concurrency=16)
+            )
+            await asyncio.sleep(0.005)
+            promoted = calibrator.promote(registry=registry)
+            replies, _ = await in_flight
+            assert len(replies) == len(estimate_payloads)
+            assert all(reply["ok"] for reply in replies)
+            assert promoted.version_id == info.version_id
+            assert registry.get("cluster").fingerprint == info.fingerprint
+            assert server.metrics.promotions == 1
+            # Promotion resets the drift loop for the new generation.
+            assert not calibrator.drifted
+
+            # 7. Served estimates are bitwise the candidate pipeline's own.
+            replies, _ = await fire_concurrent(
+                host, port, estimate_payloads, concurrency=16
+            )
+            direct = calibrator.versions.load_pipeline(info.version_id)
+            parsed = registry.get("cluster").parse_config([1, 3, 8, 1])
+            want = direct.estimate_totals(parsed, estimate_sizes)
+            for reply, expected in zip(replies, want):
+                assert reply["ok"], reply
+                assert reply["result"]["totals"] == [float(expected)]  # bitwise
+
+            # 8. Rollback: the prior generation serves again.
+            rolled = calibrator.rollback(registry=registry)
+            assert rolled.version_id == "v0001"
+            assert registry.get("cluster").fingerprint == seed_fingerprint
+            assert server.metrics.rollbacks == 1
+            assert calibrator.versions.active_id == "v0001"
+
+            # The calibration op reflects the loop over the socket.
+            status = await roundtrip(
+                host, port, {"op": "calibration", "pipeline": "cluster"}
+            )
+            assert status["ok"]
+            assert status["result"]["fingerprint"] == seed_fingerprint
+            assert status["result"]["versions"]["active"] == "v0001"
+            assert status["result"]["observations"] == len(calibrator.log)
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())

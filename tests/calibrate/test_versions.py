@@ -1,0 +1,135 @@
+"""The version ledger: persistence, promotion, rollback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.calibrate import ModelVersions
+from repro.core.persistence import load_pipeline
+from repro.errors import CalibrationError
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return ModelVersions(tmp_path / "versions")
+
+
+class TestAdd:
+    def test_candidate_is_saved_and_loadable(self, ledger, incumbent):
+        info = ledger.add(incumbent, parent_fingerprint=None)
+        assert info.version_id == "v0001"
+        assert info.status == "candidate"
+        assert info.fingerprint == incumbent.estimate_cache.fingerprint
+        assert info.protocol == incumbent.plan.name
+        assert ledger.active_id is None  # candidates don't activate
+        reloaded = ledger.load_pipeline("v0001")
+        assert reloaded.estimate_cache.fingerprint == info.fingerprint
+        # The version directory is a normal saved pipeline.
+        direct = load_pipeline(ledger.directory("v0001"))
+        assert direct.estimate_cache.fingerprint == info.fingerprint
+
+    def test_promoted_status_bootstraps_active(self, ledger, incumbent):
+        info = ledger.add(incumbent, status="promoted")
+        assert ledger.active_id == info.version_id
+        assert ledger.active().fingerprint == info.fingerprint
+
+    def test_metadata_round_trips(self, ledger, incumbent, tmp_path):
+        window = {"start_seq": 0, "end_seq": 9, "observations": 10}
+        ledger.add(
+            incumbent,
+            parent_fingerprint="abc123",
+            fit_window=window,
+            residuals={"overall": {"count": 10}},
+            shadow={"candidate_wins": True},
+        )
+        reread = ModelVersions(tmp_path / "versions")
+        info = reread.get("v0001")
+        assert info.parent_fingerprint == "abc123"
+        assert info.fit_window == window
+        assert info.shadow == {"candidate_wins": True}
+
+    def test_bad_status_rejected(self, ledger, incumbent):
+        with pytest.raises(CalibrationError, match="status"):
+            ledger.add(incumbent, status="shipped")
+
+
+class TestPromotion:
+    def test_promote_retires_old_active(self, ledger, incumbent):
+        ledger.add(incumbent, status="promoted")
+        ledger.add(incumbent, parent_fingerprint=None)
+        ledger.promote("v0002")
+        assert ledger.active_id == "v0002"
+        assert ledger.previous_id == "v0001"
+        assert ledger.get("v0001").status == "retired"
+        assert ledger.get("v0002").status == "promoted"
+
+    def test_promote_is_idempotent_on_active(self, ledger, incumbent):
+        ledger.add(incumbent, status="promoted")
+        ledger.promote("v0001")
+        assert ledger.previous_id is None  # no self-rollback loop
+
+    def test_rollback_restores_previous(self, ledger, incumbent):
+        ledger.add(incumbent, status="promoted")
+        ledger.add(incumbent)
+        ledger.promote("v0002")
+        restored = ledger.rollback()
+        assert restored.version_id == "v0001"
+        assert ledger.active_id == "v0001"
+        assert ledger.get("v0002").status == "retired"
+
+    def test_rollback_without_history_rejected(self, ledger, incumbent):
+        ledger.add(incumbent, status="promoted")
+        with pytest.raises(CalibrationError, match="roll back"):
+            ledger.rollback()
+
+    def test_unknown_version_rejected(self, ledger):
+        with pytest.raises(CalibrationError, match="unknown model version"):
+            ledger.promote("v9999")
+        with pytest.raises(CalibrationError, match="unknown model version"):
+            ledger.get("v0042")
+
+    def test_active_before_any_promotion_rejected(self, ledger):
+        with pytest.raises(CalibrationError, match="promoted"):
+            ledger.active()
+
+
+class TestManifest:
+    def test_state_survives_reopen(self, tmp_path, incumbent):
+        root = tmp_path / "versions"
+        ledger = ModelVersions(root)
+        ledger.add(incumbent, status="promoted")
+        ledger.add(incumbent)
+        ledger.promote("v0002")
+        reread = ModelVersions(root)
+        assert reread.active_id == "v0002"
+        assert reread.previous_id == "v0001"
+        assert [v.version_id for v in reread.history()] == ["v0001", "v0002"]
+        assert len(reread) == 2
+
+    def test_no_tmp_file_left_behind(self, tmp_path, incumbent):
+        root = tmp_path / "versions"
+        ModelVersions(root).add(incumbent)
+        assert not list(root.glob("*.tmp"))
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        root = tmp_path / "versions"
+        root.mkdir()
+        (root / "MANIFEST.json").write_text("{broken")
+        with pytest.raises(CalibrationError, match="corrupt"):
+            ModelVersions(root)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        root = tmp_path / "versions"
+        root.mkdir()
+        (root / "MANIFEST.json").write_text(
+            json.dumps({"format": 99, "versions": []})
+        )
+        with pytest.raises(CalibrationError, match="format"):
+            ModelVersions(root)
+
+    def test_describe_marks_active(self, ledger, incumbent):
+        assert ledger.describe() == "ModelVersions(empty)"
+        ledger.add(incumbent, status="promoted")
+        assert "* v0001 [promoted]" in ledger.describe()

@@ -17,6 +17,8 @@ from repro.measure.grids import (
     plan_by_name,
 )
 
+from tests.conftest import config_of
+
 
 class TestGrids:
     def test_basic_plan_has_486_construction_runs(self):
@@ -78,6 +80,31 @@ class TestGrids:
             (index, n) for _, indexed in groups for index, n in indexed
         )
         assert flattened == [(i, n) for i, (n, _) in enumerate(entries)]
+
+    def test_group_runs_by_config_interleaved_configs(self):
+        """An observation-replay stream interleaves configs arbitrarily;
+        grouping must still be first-seen ordered and index-faithful."""
+        a = config_of(1, 3, 8, 1)
+        b = config_of(0, 0, 8, 2)
+        entries = [(3200, a), (1600, b), (4800, a), (800, b), (3200, a)]
+        groups = group_runs_by_config(entries)
+        assert [config.key() for config, _ in groups] == [a.key(), b.key()]
+        grouped = {config.key(): indexed for config, indexed in groups}
+        # Within a group, plan order is preserved — including the
+        # duplicate (config, n) coordinate at indices 0 and 4.
+        assert grouped[a.key()] == [(0, 3200), (2, 4800), (4, 3200)]
+        assert grouped[b.key()] == [(1, 1600), (3, 800)]
+
+    def test_group_runs_by_config_equal_configs_coalesce(self):
+        """Two distinct ClusterConfig objects with the same allocation are
+        one group: grouping is by value, not identity."""
+        entries = [
+            (1600, config_of(1, 4, 0, 0)),
+            (3200, config_of(1, 4, 0, 0)),
+        ]
+        groups = group_runs_by_config(entries)
+        assert len(groups) == 1
+        assert groups[0][1] == [(0, 1600), (1, 3200)]
 
 
 class TestCampaign:

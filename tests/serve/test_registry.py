@@ -169,6 +169,122 @@ class TestHotReload:
         assert snapshot["session_cache"]["misses"] == 1
 
 
+class TestPromote:
+    """The calibration loop's hot-swap hook: serve a different directory."""
+
+    def test_promote_swaps_to_new_directory(self, served_dir, tmp_path):
+        registry = ModelRegistry()
+        entry = registry.add("golden", served_dir)
+        config = entry.parse_config([1, 3, 8, 1])
+        before = float(entry.cached_totals(config, [3200])[0])
+        old_fingerprint = entry.fingerprint
+        old_cache = entry.cache
+
+        candidate_dir = tmp_path / "candidate"
+        shutil.copytree(served_dir, candidate_dir)
+        _rewrite_adjustment(candidate_dir, factor=2.0)
+
+        fresh = registry.promote("golden", candidate_dir)
+        assert registry.get("golden") is fresh
+        assert fresh.directory == candidate_dir
+        assert fresh.generation == 2
+        assert fresh.fingerprint != old_fingerprint
+        # New fingerprint: the old cache retires into session totals.
+        assert fresh.cache is not old_cache
+        assert registry.retired_cache_stats.misses == old_cache.stats.misses
+        after = float(fresh.cached_totals(config, [3200])[0])
+        assert after == pytest.approx(2.0 * before)
+
+    def test_promote_same_fingerprint_keeps_warm_cache(self, served_dir, tmp_path):
+        registry = ModelRegistry()
+        entry = registry.add("golden", served_dir)
+        entry.cached_totals(entry.parse_config([1, 3, 8, 1]), [3200])
+        old_cache = entry.cache
+
+        # A byte-identical copy (a rollback target re-serving the same
+        # generation) keeps the warm cache: same fingerprint, same answers.
+        twin_dir = tmp_path / "twin"
+        shutil.copytree(served_dir, twin_dir)
+        fresh = registry.promote("golden", twin_dir)
+        assert fresh.directory == twin_dir
+        assert fresh.cache is old_cache
+
+    def test_promotion_retires_eviction_counters(self, served_dir, tmp_path):
+        """LRU eviction counts survive the invalidation-on-promotion path:
+        the retired generation's evictions fold into the session totals and
+        the new generation's cache starts from zero."""
+        registry = ModelRegistry(cache_capacity=2)
+        entry = registry.add("golden", served_dir)
+        config = entry.parse_config([1, 2, 8, 1])
+        entry.cached_totals(config, [1600, 3200, 4800, 6400])  # 2 evictions
+        assert entry.cache.stats.evictions == 2
+
+        candidate_dir = tmp_path / "candidate"
+        shutil.copytree(served_dir, candidate_dir)
+        _rewrite_adjustment(candidate_dir, factor=2.0)
+        fresh = registry.promote("golden", candidate_dir)
+
+        assert registry.retired_cache_stats.evictions == 2
+        assert fresh.cache.stats.evictions == 0
+        assert len(fresh.cache) == 0
+        # ...and the session aggregate in the stats snapshot keeps them.
+        fresh.cached_totals(config, [1600, 3200, 4800])  # 1 more eviction
+        snapshot = registry.snapshot()
+        assert snapshot["session_cache"]["evictions"] == 3
+        assert snapshot["pipelines"]["golden"]["cache"]["evictions"] == 1
+
+    def test_promote_unknown_name_rejected(self, served_dir):
+        registry = ModelRegistry()
+        with pytest.raises(UnknownPipeline):
+            registry.promote("nope", served_dir)
+
+    def test_failed_promote_keeps_old_entry(self, served_dir, tmp_path):
+        registry = ModelRegistry()
+        entry = registry.add("golden", served_dir)
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        with pytest.raises(ReproError):
+            registry.promote("golden", broken)
+        assert registry.get("golden") is entry  # still serving
+
+
+class TestReloadFailureCounters:
+    """Failed reload attempts are counted, not silently skipped."""
+
+    def test_failures_accumulate_over_refreshes(self, served_dir):
+        registry = ModelRegistry()
+        registry.add("golden", served_dir)
+        (served_dir / "models.json").write_text('{"mid-write')
+        assert registry.refresh() == []
+        assert registry.reload_failures == 1
+        # The live entry's signature never advanced (the swap failed), so
+        # the next pass retries — and fails — again.
+        assert registry.refresh() == []
+        # last_reload_errors shows only the latest pass; the lifetime
+        # counter keeps growing.
+        assert len(registry.last_reload_errors) == 1
+        assert registry.reload_failures == 2
+        assert registry.snapshot()["reload_failures"] == 2
+
+    def test_failures_mirror_into_attached_metrics(self, served_dir):
+        from repro.serve.metrics import ServeMetrics
+
+        registry = ModelRegistry()
+        registry.metrics = ServeMetrics()
+        registry.add("golden", served_dir)
+        (served_dir / "models.json").write_text('{"mid-write')
+        registry.refresh()
+        assert registry.metrics.reload_failures == 1
+        assert registry.metrics.to_dict()["reload_failures"] == 1
+
+    def test_successful_refresh_counts_no_failures(self, served_dir):
+        registry = ModelRegistry()
+        registry.add("golden", served_dir)
+        _rewrite_adjustment(served_dir, factor=2.0)
+        assert registry.refresh() == ["golden"]
+        assert registry.reload_failures == 0
+
+
 class TestModelInventory:
     def test_inventory_lists_every_model(self):
         registry = ModelRegistry()

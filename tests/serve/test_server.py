@@ -249,3 +249,110 @@ class TestHotReload:
         # old generation's cache was retired; new one started cold
         assert pipeline_stats["cache"]["misses"] == 1
         assert stats["result"]["cache"]["session_cache"]["misses"] == 2
+
+
+class TestCalibrationOps:
+    """The observe/calibration ops: the serve side of the feedback loop."""
+
+    @staticmethod
+    def _observed_record(pipeline, config_values, n):
+        from repro.hpl.driver import run_hpl
+        from repro.measure.record import MeasurementRecord
+
+        config = ClusterConfig.from_tuple(pipeline.plan.kinds, config_values)
+        result = run_hpl(pipeline.spec, config, n, noise=None, seed=7)
+        return MeasurementRecord.from_result(result, pipeline.plan.kinds, seed=7)
+
+    def _serving(self):
+        """(registry, calibrator) pair over the golden fixture."""
+        from repro.calibrate import Calibrator
+
+        registry = ModelRegistry()
+        registry.add("golden", FIXTURE)
+        calibrator = Calibrator(
+            "golden", pipeline_provider=lambda: registry.get("golden").pipeline
+        )
+        return registry, calibrator
+
+    def test_observe_ingests_and_reports_drift_state(self):
+        registry, calibrator = self._serving()
+        record = self._observed_record(
+            registry.get("golden").pipeline, [1, 3, 8, 1], 3200
+        )
+
+        async def scenario(server, host, port):
+            observe = await roundtrip(
+                host, port,
+                {"id": 1, "op": "observe", "pipeline": "golden",
+                 "record": record.to_dict(), "source": "bench"},
+            )
+            status = await roundtrip(
+                host, port, {"id": 2, "op": "calibration", "pipeline": "golden"}
+            )
+            everyone = await roundtrip(host, port, {"id": 3, "op": "calibration"})
+            return observe, status, everyone, server.metrics
+
+        observe, status, everyone, metrics = serve(
+            scenario, registry=registry, calibrators={"golden": calibrator}
+        )
+        assert observe["ok"], observe
+        result = observe["result"]
+        assert result["seq"] == 0
+        assert result["source"] == "bench"
+        assert result["predicted"] is not None
+        assert result["drift"]["drifted"] is False
+        assert status["ok"]
+        assert status["result"]["observations"] == 1
+        assert status["result"]["sources"] == {"bench": 1}
+        assert status["result"]["fingerprint"] == registry.get("golden").fingerprint
+        assert list(everyone["result"]["pipelines"]) == ["golden"]
+        # The server wired its metrics into the loop: ingests are counted.
+        assert metrics.observations == 1
+        assert metrics.to_dict()["calibration"]["observations"] == 1
+        assert len(calibrator.log) == 1
+
+    def test_malformed_record_is_bad_request(self):
+        registry, calibrator = self._serving()
+
+        async def scenario(server, host, port):
+            missing = await roundtrip(
+                host, port, {"id": 1, "op": "observe", "pipeline": "golden"}
+            )
+            wrong_shape = await roundtrip(
+                host, port,
+                {"id": 2, "op": "observe", "pipeline": "golden",
+                 "record": {"n": "not-a-record"}},
+            )
+            bad_source = await roundtrip(
+                host, port,
+                {"id": 3, "op": "observe", "pipeline": "golden",
+                 "record": {"n": 1}, "source": 7},
+            )
+            return missing, wrong_shape, bad_source
+
+        missing, wrong_shape, bad_source = serve(
+            scenario, registry=registry, calibrators={"golden": calibrator}
+        )
+        for reply in (missing, wrong_shape, bad_source):
+            assert reply["ok"] is False
+            assert reply["error"]["type"] == "BadRequest"
+        assert len(calibrator.log) == 0  # nothing malformed was logged
+
+    def test_observe_without_calibrator_is_bad_request(self):
+        async def scenario(server, host, port):
+            no_loop = await roundtrip(
+                host, port,
+                {"id": 1, "op": "observe", "pipeline": "golden", "record": {}},
+            )
+            unknown = await roundtrip(
+                host, port,
+                {"id": 2, "op": "observe", "pipeline": "nope", "record": {}},
+            )
+            status = await roundtrip(host, port, {"id": 3, "op": "calibration"})
+            return no_loop, unknown, status
+
+        no_loop, unknown, status = serve(scenario)  # no calibrators wired
+        assert no_loop["error"]["type"] == "BadRequest"
+        assert "no calibration loop" in no_loop["error"]["message"]
+        assert unknown["error"]["type"] == "UnknownPipeline"
+        assert status["ok"] and status["result"]["pipelines"] == {}
