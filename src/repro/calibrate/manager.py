@@ -90,6 +90,11 @@ class Calibrator:
         #: Observations that could not be scored (prediction outside the
         #: model domain) — logged but not folded into drift state.
         self.skipped = 0
+        #: What the last registry promotion/rollback hook reported.  A
+        #: plain ``ModelRegistry`` returns an entry (recorded as its
+        #: fingerprint); a ``FleetSupervisor`` returns its fan-out dict
+        #: (replicas reached, transaction id), kept verbatim.
+        self.last_promotion = None
 
     @property
     def pipeline(self) -> EstimationPipeline:
@@ -198,6 +203,8 @@ class Calibrator:
                 "previous": self.versions.previous_id,
                 "count": len(self.versions),
             }
+        if self.last_promotion is not None:
+            info["last_promotion"] = self.last_promotion
         return info
 
     # -- refit / promote / rollback ----------------------------------------
@@ -254,7 +261,19 @@ class Calibrator:
         now describes a dead generation)."""
         versions = self._require_versions()
         if registry is not None:
-            registry.promote(self.name, versions.directory(info.version_id))
+            outcome = registry.promote(
+                self.name, versions.directory(info.version_id)
+            )
+            # Duck-typed hook: a fleet supervisor reports its fan-out as a
+            # dict, a plain registry returns the swapped entry.
+            if isinstance(outcome, dict):
+                self.last_promotion = outcome
+            elif outcome is not None:
+                self.last_promotion = {
+                    "pipeline": self.name,
+                    "fingerprint": getattr(outcome, "fingerprint", None),
+                    "replicas": 1,
+                }
         self.detector.reset()
         self.tracker.reset()
         self.skipped = 0

@@ -270,6 +270,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--refresh-interval", type=float, default=0.5,
         help="seconds between hot-reload directory checks (0 disables)",
     )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "replica processes; 1 = classic single process, 0 = one per "
+            "available CPU, N = a fleet of N sharing the port with "
+            "zero-copy shared model artifacts"
+        ),
+    )
+    serve.add_argument(
+        "--listener", choices=("auto", "reuseport", "router"), default="auto",
+        help=(
+            "fleet accept sharding: SO_REUSEPORT kernel balancing or a "
+            "round-robin front router (auto picks by platform support)"
+        ),
+    )
 
     client = sub.add_parser(
         "client", help="query a running `repro serve` (smoke testing)"
@@ -281,7 +296,7 @@ def _build_parser() -> argparse.ArgumentParser:
         required=True,
         choices=[
             "estimate", "optimize", "whatif", "models", "stats", "reload",
-            "ping", "calibration",
+            "ping", "calibration", "fleet_status",
         ],
     )
     client.add_argument("--pipeline", default=None, help="pipeline name on the server")
@@ -465,12 +480,73 @@ def _run_calibrate(args: argparse.Namespace) -> None:
         print(f"re-saved active version into {args.dir} (hot-reload target)")
 
 
+def _parse_dir_specs(specs) -> dict:
+    """``NAME=PATH`` (NAME defaulting to the basename) -> ordered dict."""
+    from pathlib import Path
+
+    out = {}
+    for spec_text in specs:
+        name, _, path = spec_text.rpartition("=")
+        if not name:
+            name = Path(path).name or "pipeline"
+        out[name] = path
+    return out
+
+
+def _run_fleet(args: argparse.Namespace) -> None:
+    """``repro serve --workers N``: a sharded multi-process fleet."""
+    import signal
+    import threading
+
+    from repro.serve import FleetConfig, FleetSupervisor
+
+    config = FleetConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        listener=args.listener,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1e3,
+        cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None,
+    )
+    supervisor = FleetSupervisor(_parse_dir_specs(args.dir), config)
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    with supervisor:
+        print(
+            f"fleet of {supervisor.workers} replicas serving "
+            f"{len(supervisor.pipelines)} pipeline(s) on "
+            f"{supervisor.host}:{supervisor.port} "
+            f"(listener={supervisor.listener}); Ctrl-C to stop"
+        )
+        for name, segment in sorted(supervisor._segments.items()):
+            print(
+                f"  shared {name!r}: {segment.size} bytes, "
+                f"fingerprint {segment.meta.get('fingerprint')}"
+            )
+        stop.wait()
+        status = supervisor.status()
+        totals = status["totals"]
+        print(
+            f"\nfleet served {totals['requests']} requests "
+            f"({totals['shed']} shed, {totals['errors']} errors) "
+            f"across {len(status['workers'])} replicas; "
+            f"restarts {status['restarts']}"
+        )
+
+
 def _run_server(args: argparse.Namespace) -> None:
     """``repro serve``: load every --dir, serve until interrupted."""
     import asyncio
     from pathlib import Path
 
     from repro.serve import EstimationServer, ModelRegistry
+
+    if args.workers != 1:
+        _run_fleet(args)
+        return
 
     registry = ModelRegistry(
         cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None

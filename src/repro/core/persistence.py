@@ -34,8 +34,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Mapping, Optional
 
-from repro.cluster.serialize import load_cluster, save_cluster
+from repro.cluster.serialize import cluster_from_dict, save_cluster
 from repro.core.adjustment import LinearAdjustment
 from repro.core.model_store import ModelStore
 from repro.core.pipeline import EstimationPipeline, PipelineConfig
@@ -52,30 +53,148 @@ CURRENT_FORMAT = 2
 #: Manifest formats this module can read.
 SUPPORTED_FORMATS = (1, 2)
 
-
-def _required(path: Path, what: str) -> Path:
-    """Existence gate for one artifact of a saved pipeline directory."""
-    if not path.exists():
-        raise ModelError(f"saved pipeline is missing its {what}: {path}")
-    return path
+#: Artifacts a loadable pipeline must provide, in injection order.
+REQUIRED_ARTIFACTS = (_MANIFEST, "cluster.json", "construction.json", "models.json")
+#: Artifacts that may be absent (the stage graph rebuilds them on demand).
+OPTIONAL_ARTIFACTS = ("evaluation.json",)
 
 
-def _load_artifact(path: Path, what: str, loader):
-    """Run one artifact loader, converting file corruption into a
-    :class:`~repro.errors.ModelError` that names the offending path.
+def _load_blob(
+    blobs: Mapping[str, bytes],
+    origins: Mapping[str, str],
+    name: str,
+    what: str,
+    loader,
+):
+    """Decode and parse one artifact blob, converting corruption into a
+    :class:`~repro.errors.ModelError` that names the offending origin.
 
-    A truncated/garbled JSON file raises ``json.JSONDecodeError``; a file
-    that parses but lacks required structure raises ``KeyError`` /
-    ``TypeError`` / ``ValueError`` from the loader.  All of those mean
-    the same thing to a caller — this directory cannot be served — so
-    they surface uniformly, with the path, instead of as tracebacks.
+    Truncated/garbled JSON raises ``json.JSONDecodeError``; bytes that
+    parse but lack required structure raise ``KeyError`` / ``TypeError``
+    / ``ValueError`` from the loader.  All of those mean the same thing
+    to a caller — this pipeline cannot be served — so they surface
+    uniformly, with the origin (a file path or shared-segment slot),
+    instead of as tracebacks.
     """
+    origin = origins.get(name, name)
+    blob = blobs.get(name)
+    if blob is None:
+        raise ModelError(f"saved pipeline is missing its {what}: {origin}")
     try:
-        return loader(_required(path, what))
+        return loader(blob.decode("utf-8"))
     except ModelError:
         raise
-    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-        raise ModelError(f"corrupt {what} in saved pipeline: {path} ({exc})") from exc
+    except (
+        json.JSONDecodeError,
+        KeyError,
+        TypeError,
+        ValueError,
+        UnicodeDecodeError,
+    ) as exc:
+        raise ModelError(f"corrupt {what} in saved pipeline: {origin} ({exc})") from exc
+
+
+def pipeline_from_blobs(
+    blobs: Mapping[str, bytes],
+    origins: Optional[Mapping[str, str]] = None,
+) -> EstimationPipeline:
+    """Reconstitute a pipeline from in-memory artifact bytes.
+
+    ``blobs`` maps artifact filenames (``manifest.json`` …) to the raw
+    bytes a saved pipeline directory would contain; ``origins`` maps the
+    same names to human-readable locations for error messages (file
+    paths when loading from disk, segment slots when loading from shared
+    memory).  This is the common core behind :func:`load_pipeline` and
+    the zero-copy shared-memory loader in :mod:`repro.serve.shared` —
+    both produce identical pipelines because both land here.
+    """
+    if origins is None:
+        origins = {}
+    manifest_origin = origins.get(_MANIFEST, _MANIFEST)
+    manifest = _load_blob(blobs, origins, _MANIFEST, "manifest", json.loads)
+    if not isinstance(manifest, dict):
+        raise ModelError(f"corrupt manifest in saved pipeline: {manifest_origin}")
+    version = manifest.get("format")
+    if version not in SUPPORTED_FORMATS:
+        known = ", ".join(str(v) for v in SUPPORTED_FORMATS)
+        raise ModelError(
+            f"unknown pipeline format {version!r} in {manifest_origin} "
+            f"(this build reads formats {known}); refusing to guess"
+        )
+
+    spec = _load_blob(
+        blobs, origins, "cluster.json", "cluster description",
+        lambda text: cluster_from_dict(json.loads(text)),
+    )
+    try:
+        plan = plan_by_name(str(manifest["protocol"]))
+        seed = int(manifest["seed"])
+        cost = {
+            (str(kind), int(n)): float(value)
+            for kind, n, value in manifest["cost_by_kind_and_n"]
+        }
+        adjustment = LinearAdjustment.from_dict(manifest["adjustment"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelError(
+            f"corrupt manifest in saved pipeline: {manifest_origin} ({exc!r})"
+        ) from exc
+    pipeline = EstimationPipeline(
+        spec, PipelineConfig(protocol=plan.name, seed=seed), plan=plan
+    )
+
+    dataset = _load_blob(
+        blobs, origins, "construction.json", "construction dataset", Dataset.from_json
+    )
+    store = _load_blob(
+        blobs, origins, "models.json", "model store", ModelStore.from_json
+    )
+
+    # Inject in dependency order: StageGraph.set drops everything
+    # downstream of the stage it replaces, so upstream artifacts must land
+    # before the artifacts that derive from them.
+    graph = pipeline.graph
+    graph.set(
+        "campaign",
+        CampaignResult(plan_name=plan.name, dataset=dataset, cost_by_kind_and_n=cost),
+    )
+    if "evaluation.json" in blobs:
+        graph.set(
+            "evaluation",
+            _load_blob(
+                blobs, origins, "evaluation.json", "evaluation dataset",
+                Dataset.from_json,
+            ),
+        )
+    # The saved store already contains the composed models; inject it as
+    # both the fit and compose artifacts so neither stage re-runs.
+    graph.set("fit", FitArtifact(store=store, excluded_paging=Dataset()))
+    graph.set("compose", ComposeArtifact(store=store, composed={}))
+    graph.set("adjust", adjustment)
+    return pipeline
+
+
+def read_pipeline_blobs(directory: Path | str) -> tuple[dict, dict]:
+    """Read a saved pipeline directory's artifact bytes without parsing.
+
+    Returns ``(blobs, origins)`` suitable for :func:`pipeline_from_blobs`
+    — the single disk pass shared by :func:`load_pipeline` and the
+    shared-memory packer (which must ship the *same* bytes it validated).
+
+    Raises :class:`~repro.errors.MeasurementError` when ``directory`` is
+    not a saved pipeline at all.
+    """
+    src = Path(directory)
+    manifest_path = src / _MANIFEST
+    if not manifest_path.exists():
+        raise MeasurementError(f"{src} is not a saved pipeline (no {_MANIFEST})")
+    blobs: dict = {}
+    origins: dict = {}
+    for name in REQUIRED_ARTIFACTS + OPTIONAL_ARTIFACTS:
+        path = src / name
+        origins[name] = str(path)
+        if path.exists():
+            blobs[name] = path.read_bytes()
+    return blobs, origins
 
 
 def save_pipeline(
@@ -118,62 +237,5 @@ def load_pipeline(directory: Path | str) -> EstimationPipeline:
     not a saved pipeline at all, and :class:`~repro.errors.ModelError`
     when it was written by an unknown (newer) manifest format.
     """
-    src = Path(directory)
-    manifest_path = src / _MANIFEST
-    if not manifest_path.exists():
-        raise MeasurementError(f"{src} is not a saved pipeline (no {_MANIFEST})")
-    manifest = _load_artifact(
-        manifest_path, "manifest", lambda p: json.loads(p.read_text())
-    )
-    if not isinstance(manifest, dict):
-        raise ModelError(f"corrupt manifest in saved pipeline: {manifest_path}")
-    version = manifest.get("format")
-    if version not in SUPPORTED_FORMATS:
-        known = ", ".join(str(v) for v in SUPPORTED_FORMATS)
-        raise ModelError(
-            f"unknown pipeline format {version!r} in {manifest_path} "
-            f"(this build reads formats {known}); refusing to guess"
-        )
-
-    spec = _load_artifact(src / "cluster.json", "cluster description", load_cluster)
-    try:
-        plan = plan_by_name(str(manifest["protocol"]))
-        seed = int(manifest["seed"])
-        cost = {
-            (str(kind), int(n)): float(value)
-            for kind, n, value in manifest["cost_by_kind_and_n"]
-        }
-        adjustment = LinearAdjustment.from_dict(manifest["adjustment"])
-    except (KeyError, TypeError, ValueError) as exc:
-        raise ModelError(
-            f"corrupt manifest in saved pipeline: {manifest_path} ({exc!r})"
-        ) from exc
-    pipeline = EstimationPipeline(
-        spec, PipelineConfig(protocol=plan.name, seed=seed), plan=plan
-    )
-
-    dataset = _load_artifact(
-        src / "construction.json", "construction dataset", Dataset.load
-    )
-    store = _load_artifact(src / "models.json", "model store", ModelStore.load)
-
-    # Inject in dependency order: StageGraph.set drops everything
-    # downstream of the stage it replaces, so upstream artifacts must land
-    # before the artifacts that derive from them.
-    graph = pipeline.graph
-    graph.set(
-        "campaign",
-        CampaignResult(plan_name=plan.name, dataset=dataset, cost_by_kind_and_n=cost),
-    )
-    evaluation_path = src / "evaluation.json"
-    if evaluation_path.exists():
-        graph.set(
-            "evaluation",
-            _load_artifact(evaluation_path, "evaluation dataset", Dataset.load),
-        )
-    # The saved store already contains the composed models; inject it as
-    # both the fit and compose artifacts so neither stage re-runs.
-    graph.set("fit", FitArtifact(store=store, excluded_paging=Dataset()))
-    graph.set("compose", ComposeArtifact(store=store, composed={}))
-    graph.set("adjust", adjustment)
-    return pipeline
+    blobs, origins = read_pipeline_blobs(directory)
+    return pipeline_from_blobs(blobs, origins)

@@ -51,7 +51,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, fields, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -344,6 +344,24 @@ def panel_table(n: int, nb: int, p: int) -> PanelTable:
 def clear_panel_tables() -> None:
     """Drop every memoized panel table (tests)."""
     _panel_tables.clear()
+
+
+def seed_panel_tables(tables: Iterable[PanelTable]) -> int:
+    """Pre-populate the memo with already-built tables; returns the count.
+
+    Fleet workers seed the memo with shared-memory-backed tables
+    (:mod:`repro.serve.shared`) so N replicas hold one copy of the panel
+    geometry instead of N.  Seeded tables participate in the same LRU as
+    locally built ones; a seeded key that is later evicted is simply
+    rebuilt locally — correctness never depends on the seed.
+    """
+    count = 0
+    for table in tables:
+        _panel_tables[(table.n, table.nb, table.p)] = table
+        count += 1
+    while len(_panel_tables) > _PANEL_TABLE_CAP:
+        _panel_tables.popitem(last=False)
+    return count
 
 
 # -- shared rate/ring models ---------------------------------------------------

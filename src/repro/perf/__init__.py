@@ -17,6 +17,7 @@ from repro.perf.cache import CacheStats, EstimateCache, model_fingerprint
 from repro.perf.parallel import (
     ParallelRunner,
     available_cpu_count,
+    default_worker_count,
     reset_oversubscription_warning,
     resolve_workers,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "model_fingerprint",
     "ParallelRunner",
     "available_cpu_count",
+    "default_worker_count",
     "reset_oversubscription_warning",
     "resolve_workers",
     "PIPELINE_STAGES",

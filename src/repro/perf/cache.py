@@ -71,6 +71,21 @@ class CacheStats:
         self.misses += other.misses
         self.evictions += other.evictions
 
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """``(hits, misses, evictions)`` — the wire/shared-memory form.
+
+        Fleet replicas publish exactly these three integers per stats
+        row; :meth:`from_tuple` rebuilds the counters on the supervisor
+        side for the fleet-wide rollup.
+        """
+        return (self.hits, self.misses, self.evictions)
+
+    @classmethod
+    def from_tuple(cls, values: Tuple[int, int, int]) -> "CacheStats":
+        """Inverse of :meth:`as_tuple`."""
+        hits, misses, evictions = values
+        return cls(hits=int(hits), misses=int(misses), evictions=int(evictions))
+
     def describe(self) -> str:
         text = (
             f"{self.hits} hits / {self.misses} misses "

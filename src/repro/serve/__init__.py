@@ -16,20 +16,37 @@ many schedulers/clients can share:
 * :mod:`repro.serve.metrics` — per-endpoint latency histograms, batch
   size distribution, cache hit rates;
 * :mod:`repro.serve.client` — a blocking client (``repro client``) and
-  an asyncio load generator for benches and smoke tests.
+  an asyncio load generator for benches and smoke tests;
+* :mod:`repro.serve.shared` — zero-copy shared model artifacts and the
+  fleet-wide stats block (``multiprocessing.shared_memory``);
+* :mod:`repro.serve.fleet` — the multi-process serving fleet: N
+  replicas sharding one port (``SO_REUSEPORT`` or a front-router),
+  shared artifacts, two-phase promotion fan-out, crash respawn.
 
-Run it: ``repro serve --dir name=path/to/saved-pipeline``.
+Run it: ``repro serve --dir name=path/to/saved-pipeline`` (add
+``--workers N`` for a fleet).
 """
 
 from repro.serve.batcher import MicroBatcher
-from repro.serve.client import ServeClient, ServeReplyError, fire_concurrent
+from repro.serve.client import ServeClient, ServeReplyError, fire_concurrent, fire_timed
+from repro.serve.fleet import FleetConfig, FleetSupervisor, reuse_port_supported
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import Overloaded, ProtocolError, Request, parse_request
 from repro.serve.registry import ModelRegistry, RegistryEntry, UnknownPipeline
 from repro.serve.server import EstimationServer
+from repro.serve.shared import (
+    ArtifactSegment,
+    FleetStatsBlock,
+    load_pipeline_from_segment,
+    pack_pipeline_segment,
+)
 
 __all__ = [
+    "ArtifactSegment",
     "EstimationServer",
+    "FleetConfig",
+    "FleetStatsBlock",
+    "FleetSupervisor",
     "MicroBatcher",
     "ModelRegistry",
     "Overloaded",
@@ -41,5 +58,9 @@ __all__ = [
     "ServeReplyError",
     "UnknownPipeline",
     "fire_concurrent",
+    "fire_timed",
+    "load_pipeline_from_segment",
+    "pack_pipeline_segment",
     "parse_request",
+    "reuse_port_supported",
 ]

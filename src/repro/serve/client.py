@@ -109,6 +109,9 @@ class ServeClient:
     def ping(self) -> dict:
         return _raise_or_result(self.request("ping"))
 
+    def fleet_status(self) -> dict:
+        return _raise_or_result(self.request("fleet_status"))
+
 
 async def fire_concurrent(
     host: str,
@@ -147,3 +150,55 @@ async def fire_concurrent(
     await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
     elapsed = loop.time() - started
     return [reply for reply in replies if reply is not None], elapsed
+
+
+async def fire_timed(
+    host: str,
+    port: int,
+    payloads: Sequence[dict],
+    concurrency: int,
+) -> Tuple[List[dict], List[float], float]:
+    """Like :func:`fire_concurrent`, additionally recording each
+    request's wall latency (send -> reply) in seconds.
+
+    Returns ``(replies, latencies, wall seconds)`` with replies and
+    latencies aligned with ``payloads``.  The fleet scaling bench uses
+    the latency list for p50/p99 reporting; the plain throughput paths
+    keep :func:`fire_concurrent` so existing callers pay nothing new.
+    """
+    loop = asyncio.get_running_loop()
+    replies: List[Optional[dict]] = [None] * len(payloads)
+    latencies: List[float] = [0.0] * len(payloads)
+    next_index = 0
+
+    async def worker() -> None:
+        nonlocal next_index
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            while True:
+                if next_index >= len(payloads):
+                    return
+                index = next_index
+                next_index += 1
+                payload = dict(payloads[index])
+                payload.setdefault("id", index)
+                sent = loop.time()
+                writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+                await writer.drain()
+                line = await reader.readline()
+                if not line:
+                    raise ReproError("server closed the connection mid-run")
+                latencies[index] = loop.time() - sent
+                replies[index] = decode_reply(line.decode("utf-8"))
+        finally:
+            writer.close()
+
+    started = loop.time()
+    await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+    elapsed = loop.time() - started
+    kept = [i for i, reply in enumerate(replies) if reply is not None]
+    return (
+        [replies[i] for i in kept],
+        [latencies[i] for i in kept],
+        elapsed,
+    )

@@ -16,6 +16,25 @@ LATENCY_BUCKETS_MS: Tuple[float, ...] = (
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
 )
 
+#: Scalar counters every fleet replica publishes into the shared-memory
+#: stats block, in slot order.  The supervisor sums these across live
+#: rows to produce fleet-wide totals, so every field must be additive
+#: (a count, never a rate or a gauge).
+FLEET_COUNTER_FIELDS: Tuple[str, ...] = (
+    "requests",
+    "errors",
+    "shed",
+    "batches",
+    "coalesced_requests",
+    "reloads",
+    "reload_failures",
+    "connections",
+    "observations",
+    "drift_alarms",
+    "promotions",
+    "rollbacks",
+)
+
 
 class LatencyHistogram:
     """Fixed-bucket latency histogram with exact count/sum/max."""
@@ -57,6 +76,41 @@ class LatencyHistogram:
                     return self.buckets_ms[i]
                 return self.max_ms
         return self.max_ms
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Requires identical bucket bounds — fleet aggregation merges
+        per-replica histograms that all use :data:`LATENCY_BUCKETS_MS`.
+        """
+        if other.buckets_ms != self.buckets_ms:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum_ms += other.sum_ms
+        self.max_ms = max(self.max_ms, other.max_ms)
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: List[int],
+        sum_ms: float,
+        max_ms: float,
+        buckets_ms: Tuple[float, ...] = LATENCY_BUCKETS_MS,
+    ) -> "LatencyHistogram":
+        """Rebuild a histogram from raw bucket counts (the shared-memory
+        stats block stores exactly these three pieces per replica)."""
+        if len(counts) != len(buckets_ms) + 1:
+            raise ValueError(
+                f"expected {len(buckets_ms) + 1} bucket counts, got {len(counts)}"
+            )
+        hist = cls(buckets_ms)
+        hist.counts = [int(c) for c in counts]
+        hist.total = sum(hist.counts)
+        hist.sum_ms = float(sum_ms)
+        hist.max_ms = float(max_ms)
+        return hist
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -166,6 +220,43 @@ class ServeMetrics:
     @property
     def total_shed(self) -> int:
         return sum(e.shed for e in self.by_op.values())
+
+    @property
+    def total_requests(self) -> int:
+        return sum(e.requests for e in self.by_op.values())
+
+    @property
+    def total_errors(self) -> int:
+        return sum(e.errors for e in self.by_op.values())
+
+    def fleet_counter_values(self) -> Tuple[int, ...]:
+        """Integer values for :data:`FLEET_COUNTER_FIELDS`, in order.
+
+        This is what a replica writes into its shared-memory stats row;
+        each value is monotonically non-decreasing so a torn read (the
+        supervisor sampling mid-update) only ever lags, never lies.
+        """
+        return (
+            self.total_requests,
+            self.total_errors,
+            self.total_shed,
+            self.batches,
+            self.coalesced_requests,
+            self.reloads,
+            self.reload_failures,
+            self.connections,
+            self.observations,
+            self.drift_alarms,
+            self.promotions,
+            self.rollbacks,
+        )
+
+    def aggregate_latency(self) -> LatencyHistogram:
+        """One histogram folding every endpoint's latency together."""
+        merged = LatencyHistogram()
+        for endpoint in self.by_op.values():
+            merged.merge(endpoint.latency)
+        return merged
 
     def to_dict(
         self, cache: Optional[Dict[str, object]] = None

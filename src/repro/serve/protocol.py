@@ -14,6 +14,7 @@ op-specific parameters::
     {"id": 7, "op": "ping"}
     {"id": 8, "op": "observe",  "pipeline": "ns7", "record": {...measurement...}}
     {"id": 9, "op": "calibration", "pipeline": "ns7"}
+    {"id": 10, "op": "fleet_status"}
 
 Replies are ``{"id": ..., "ok": true, "result": {...}}`` or
 ``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}``.
@@ -40,7 +41,9 @@ from repro.errors import ReproError
 #: Ops the service understands.  estimate/optimize/whatif flow through the
 #: micro-batcher; the rest are control-plane ops answered immediately.
 BATCHED_OPS = ("estimate", "optimize", "whatif")
-CONTROL_OPS = ("models", "stats", "reload", "ping", "observe", "calibration")
+CONTROL_OPS = (
+    "models", "stats", "reload", "ping", "observe", "calibration", "fleet_status",
+)
 ALL_OPS = BATCHED_OPS + CONTROL_OPS
 
 ERROR_BAD_REQUEST = "BadRequest"

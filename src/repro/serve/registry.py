@@ -88,6 +88,10 @@ class RegistryEntry:
     signature: Tuple[Tuple[str, int, int], ...]
     generation: int
     loaded_monotonic: float
+    #: Where the artifacts came from: ``"disk"`` (watched + reloadable)
+    #: or ``"shm:<segment>"`` (fleet-shared; swapped only by the
+    #: promotion protocol, never by the disk watcher).
+    source: str = "disk"
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -211,6 +215,63 @@ class ModelRegistry:
         self._entries[name] = entry
         return entry
 
+    def entry_from_segment(self, name: str, segment, generation: int = 1) -> RegistryEntry:
+        """Build (but do not register) an entry from a packed
+        :class:`~repro.serve.shared.ArtifactSegment` — zero disk I/O.
+
+        This is the fleet replica's load path: the supervisor packed and
+        validated the artifacts once; here they are reconstituted from
+        the shared buffer, bitwise-verified against the packed
+        coefficient array, and wrapped in a fresh (process-local) cache.
+        """
+        from repro.serve.shared import load_pipeline_from_segment
+
+        pipeline = load_pipeline_from_segment(segment)
+        fingerprint = pipeline.estimate_cache.fingerprint
+        return RegistryEntry(
+            name=name,
+            directory=Path(str(segment.meta.get("directory", segment.name))),
+            pipeline=pipeline,
+            fingerprint=fingerprint,
+            cache=EstimateCache(fingerprint, capacity=self.cache_capacity),
+            signature=(),
+            generation=generation,
+            loaded_monotonic=time.monotonic(),
+            source=f"shm:{segment.name}",
+        )
+
+    def add_shared(self, name: str, segment) -> RegistryEntry:
+        """Register a pipeline served from a shared artifact segment.
+
+        Shared entries are exempt from the disk watcher
+        (:meth:`refresh`); they change only through
+        :meth:`install_entry`, driven by the fleet's promotion protocol.
+        """
+        if name in self._entries:
+            raise ReproError(f"pipeline name {name!r} already registered")
+        entry = self.entry_from_segment(name, segment, generation=1)
+        self._entries[name] = entry
+        return entry
+
+    def install_entry(self, entry: RegistryEntry) -> RegistryEntry:
+        """Atomically swap a fully-built entry in under its name.
+
+        The fleet's two-phase promotion *commit*: the entry was staged
+        (loaded and verified) during the prepare phase, so the commit is
+        one dict assignment — in-flight batches keep the old entry,
+        every later request sees the new one, and no request can observe
+        a mix.  Cache-retirement semantics match :meth:`_swap`.
+        """
+        old = self._entries.get(entry.name)
+        if old is not None:
+            if entry.fingerprint == old.fingerprint:
+                entry.cache = old.cache
+            else:
+                self.retired_cache_stats.merge(old.cache.stats)
+            entry.generation = old.generation + 1
+        self._entries[entry.name] = entry
+        return entry
+
     # -- queries ------------------------------------------------------------
 
     def get(self, name: str) -> RegistryEntry:
@@ -271,6 +332,8 @@ class ModelRegistry:
         swapped: List[str] = []
         errors: List[Tuple[str, str]] = []
         for entry in list(self._entries.values()):
+            if entry.source != "disk":
+                continue  # shared entries swap via the promotion protocol
             if not force and _directory_signature(entry.directory) == entry.signature:
                 continue
             try:
@@ -285,15 +348,23 @@ class ModelRegistry:
                 self.metrics.reload_failures += len(errors)
         return swapped
 
-    def snapshot(self) -> Dict[str, object]:
-        """Registry state for the ``stats`` op."""
+    def aggregate_cache_stats(self) -> CacheStats:
+        """Session-total cache counters: every live entry plus every
+        retired generation (what a fleet replica publishes per row)."""
         aggregate = CacheStats()
         aggregate.merge(self.retired_cache_stats)
-        entries = {}
         for entry in self.entries():
             aggregate.merge(entry.cache.stats)
+        return aggregate
+
+    def snapshot(self) -> Dict[str, object]:
+        """Registry state for the ``stats`` op."""
+        aggregate = self.aggregate_cache_stats()
+        entries = {}
+        for entry in self.entries():
             entries[entry.name] = {
                 "directory": str(entry.directory),
+                "source": entry.source,
                 "generation": entry.generation,
                 "protocol": entry.pipeline.plan.name,
                 "cache": entry.cache_snapshot(),

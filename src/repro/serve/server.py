@@ -73,10 +73,18 @@ class EstimationServer:
         batch_window_s: float = 0.002,
         refresh_interval_s: Optional[float] = 0.5,
         calibrators: Optional[Dict[str, object]] = None,
+        reuse_port: bool = False,
+        fleet: Optional[object] = None,
     ):
         self.registry = registry
         self.host = host
         self.port = port
+        #: Bind with ``SO_REUSEPORT`` so sibling replicas can share the
+        #: port (the kernel load-balances accepted connections).
+        self.reuse_port = reuse_port
+        #: Duck-typed fleet view (``status() -> dict``) answering the
+        #: ``fleet_status`` op; ``None`` outside a fleet.
+        self.fleet = fleet
         self.metrics = ServeMetrics()
         # The registry mirrors reload failures into the service metrics
         # (satellite of the calibration loop: failed swaps are counted,
@@ -109,8 +117,9 @@ class EstimationServer:
         """Bind and start serving; returns the bound ``(host, port)``
         (useful with ``port=0``)."""
         self.batcher.start()
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, **kwargs
         )
         sockname = self._server.sockets[0].getsockname()
         self.port = sockname[1]
@@ -263,6 +272,13 @@ class EstimationServer:
             return encode_ok(request.id, self._observe(request))
         if request.op == "calibration":
             return encode_ok(request.id, self._calibration_status(request))
+        if request.op == "fleet_status":
+            if self.fleet is None:
+                raise ProtocolError(
+                    "this server is not part of a fleet "
+                    "(start with 'repro serve --workers N')"
+                )
+            return encode_ok(request.id, self.fleet.status())
         return encode_error(request.id, "BadRequest", f"unhandled op {request.op!r}")
 
     # -- calibration ops ----------------------------------------------------

@@ -1,0 +1,252 @@
+"""Multi-process fleet tests: sharded serving, two-phase promotion
+under live traffic, and crash respawn.
+
+These spawn real worker processes (fork) over real sockets, so they are
+the serving layer's heaviest tests — kept to 2 replicas and small
+request counts.
+"""
+
+import asyncio
+import json
+import shutil
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.core.persistence import load_pipeline
+from repro.errors import ReproError
+from repro.serve.client import ServeClient, fire_concurrent
+from repro.serve.fleet import (
+    MAX_AUTO_WORKERS,
+    FleetConfig,
+    FleetSupervisor,
+    reuse_port_supported,
+)
+
+FIXTURE = Path(__file__).parent.parent / "golden" / "format1_pipeline"
+
+
+def make_candidate(tmp_path, factor=1.25):
+    """A re-calibrated copy of the golden pipeline (new fingerprint):
+    the adjustment scales change, so estimates and the estimate-cache
+    fingerprint both differ from the incumbent."""
+    target = tmp_path / "candidate"
+    shutil.copytree(FIXTURE, target)
+    manifest_path = target / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["adjustment"]["scales"] = [
+        [mi, scale * factor] for mi, scale in manifest["adjustment"]["scales"]
+    ]
+    manifest_path.write_text(json.dumps(manifest, indent=1))
+    return target
+
+
+@pytest.fixture
+def fleet():
+    """A running 2-replica fleet serving the golden pipeline."""
+    supervisor = FleetSupervisor(
+        {"golden": FIXTURE}, FleetConfig(workers=2, stats_interval_s=0.05)
+    )
+    with supervisor:
+        yield supervisor
+
+
+class TestFleetConfig:
+    def test_resolve_workers(self):
+        assert FleetConfig(workers=3).resolve_workers() == 3
+        auto = FleetConfig(workers=0).resolve_workers()
+        assert 1 <= auto <= MAX_AUTO_WORKERS
+        with pytest.raises(ReproError, match="workers must be >= 0"):
+            FleetConfig(workers=-1).resolve_workers()
+
+    def test_resolve_listener(self, monkeypatch):
+        import repro.serve.fleet as fleet_mod
+
+        assert FleetConfig(listener="router").resolve_listener() == "router"
+        with pytest.raises(ReproError, match="unknown listener"):
+            FleetConfig(listener="bogus").resolve_listener()
+        monkeypatch.setattr(fleet_mod, "reuse_port_supported", lambda: True)
+        assert FleetConfig(listener="auto").resolve_listener() == "reuseport"
+        monkeypatch.setattr(fleet_mod, "reuse_port_supported", lambda: False)
+        assert FleetConfig(listener="auto").resolve_listener() == "router"
+        with pytest.raises(ReproError, match="no SO_REUSEPORT"):
+            FleetConfig(listener="reuseport").resolve_listener()
+
+    def test_fleet_needs_a_pipeline(self):
+        with pytest.raises(ReproError, match="at least one pipeline"):
+            FleetSupervisor({})
+
+
+class TestFleetServing:
+    def test_bitwise_identity_and_status(self, fleet):
+        host, port = fleet.host, fleet.port
+        direct = load_pipeline(FIXTURE)
+        config = ClusterConfig.from_tuple(direct.plan.kinds, (1, 2, 8, 1))
+        sizes = [1600, 2400, 3200]
+        expected = [direct.estimate(config, n).total for n in sizes]
+
+        with ServeClient(host, port) as client:
+            result = client.estimate("golden", [1, 2, 8, 1], sizes)
+            assert result["totals"] == expected  # bitwise, not approx
+            assert result["fingerprint"] == direct.estimate_cache.fingerprint
+
+            status = client.fleet_status()
+        assert status["fleet"] is True
+        assert len(status["workers"]) == 2
+        assert status["totals"]["requests"] >= 1
+        # the answering replica freshens its own row before aggregating
+        assert status["answered_by"] in (0, 1)
+
+    def test_supervisor_status_names_fingerprints(self, fleet):
+        status = fleet.status()
+        direct = load_pipeline(FIXTURE)
+        assert status["pipelines"] == {
+            "golden": direct.estimate_cache.fingerprint
+        }
+        assert status["restarts"] == [0, 0]
+
+    def test_both_replicas_share_the_port(self, fleet):
+        if fleet.listener != "reuseport":
+            pytest.skip("kernel accept sharding needs SO_REUSEPORT")
+        # Many short-lived connections: the kernel spreads them across
+        # replicas; all of them answer on the fleet's single port.
+        for _ in range(8):
+            with ServeClient(fleet.host, fleet.port) as client:
+                assert client.ping()["pong"] is True
+
+    def test_router_listener_serves(self):
+        supervisor = FleetSupervisor(
+            {"golden": FIXTURE},
+            FleetConfig(workers=2, listener="router", stats_interval_s=0.05),
+        )
+        with supervisor:
+            direct = load_pipeline(FIXTURE)
+            config = ClusterConfig.from_tuple(direct.plan.kinds, (1, 2, 8, 1))
+            with ServeClient(supervisor.host, supervisor.port) as client:
+                result = client.estimate("golden", [1, 2, 8, 1], [1600])
+                assert result["totals"] == [direct.estimate(config, 1600).total]
+
+
+class TestPromotion:
+    def test_promote_under_traffic_never_tears(self, fleet, tmp_path):
+        """The two-phase swap: every reply during a promotion carries
+        either the old fingerprint or the new one — never anything
+        else — and replies after the promotion all carry the new one."""
+        old = load_pipeline(FIXTURE).estimate_cache.fingerprint
+        candidate_dir = make_candidate(tmp_path)
+        new = load_pipeline(candidate_dir).estimate_cache.fingerprint
+        assert new != old
+
+        payloads = [
+            {"op": "estimate", "pipeline": "golden", "config": [1, 2, 8, 1],
+             "ns": [1600 + 80 * (i % 16)]}
+            for i in range(200)
+        ]
+        outcome = {}
+
+        def promote():
+            time.sleep(0.05)  # let some old-generation replies through
+            outcome.update(fleet.promote("golden", candidate_dir))
+
+        promoter = threading.Thread(target=promote)
+        promoter.start()
+        replies, _ = asyncio.run(
+            fire_concurrent(fleet.host, fleet.port, payloads, concurrency=8)
+        )
+        promoter.join(timeout=60)
+        assert not promoter.is_alive()
+
+        assert outcome["fingerprint"] == new
+        assert outcome["replicas"] == 2
+        seen = {reply["result"]["fingerprint"] for reply in replies}
+        assert seen <= {old, new}
+        for reply in replies:
+            assert reply["ok"], reply
+
+        # post-promotion: every replica answers with the candidate
+        with ServeClient(fleet.host, fleet.port) as client:
+            for _ in range(4):
+                result = client.estimate("golden", [1, 2, 8, 1], [1600])
+                assert result["fingerprint"] == new
+        assert fleet.status()["pipelines"]["golden"] == new
+
+    def test_promoted_numbers_are_the_candidates(self, fleet, tmp_path):
+        candidate_dir = make_candidate(tmp_path)
+        direct = load_pipeline(candidate_dir)
+        config = ClusterConfig.from_tuple(direct.plan.kinds, (1, 2, 8, 1))
+        fleet.promote("golden", candidate_dir)
+        with ServeClient(fleet.host, fleet.port) as client:
+            result = client.estimate("golden", [1, 2, 8, 1], [3200])
+        assert result["totals"] == [direct.estimate(config, 3200).total]
+
+    def test_promote_unknown_pipeline_is_typed(self, fleet, tmp_path):
+        with pytest.raises(ReproError, match="no pipeline named"):
+            fleet.promote("nope", make_candidate(tmp_path))
+
+    def test_promote_bad_directory_aborts_cleanly(self, fleet, tmp_path):
+        with pytest.raises(ReproError):
+            fleet.promote("golden", tmp_path / "not-a-pipeline")
+        # the fleet still serves the incumbent after the failed pack
+        old = load_pipeline(FIXTURE).estimate_cache.fingerprint
+        with ServeClient(fleet.host, fleet.port) as client:
+            assert client.estimate("golden", [1, 2, 8, 1], [1600])[
+                "fingerprint"
+            ] == old
+
+
+class TestCrashResilience:
+    def test_killed_replica_respawns_and_fleet_keeps_serving(self, fleet):
+        pid = fleet.kill_worker(0)
+        assert pid not in fleet.worker_pids()
+
+        # survivors keep answering while the monitor respawns
+        with ServeClient(fleet.host, fleet.port) as client:
+            assert client.ping()["pong"] is True
+
+        # wait for the respawn to *publish* (a live process may not have
+        # written its stats row yet)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            workers = fleet.status()["workers"]
+            if len(fleet.worker_pids()) == 2 and workers[0]["epoch"] == 2:
+                break
+            time.sleep(0.1)
+        assert len(fleet.worker_pids()) == 2, "replica was not respawned"
+        assert fleet.status()["restarts"] == [1, 0]
+
+        # the respawned replica serves too, and fleet_status (answered
+        # by whichever replica takes the connection) reports the restart
+        with ServeClient(fleet.host, fleet.port) as client:
+            status = client.fleet_status()
+        assert status["restarts"] == [1, 0]
+        epochs = {w["index"]: w["epoch"] for w in status["workers"]}
+        assert epochs[0] == 2 and epochs[1] == 1
+
+    def test_respawned_replica_serves_the_promoted_generation(
+        self, fleet, tmp_path
+    ):
+        candidate_dir = make_candidate(tmp_path)
+        new = load_pipeline(candidate_dir).estimate_cache.fingerprint
+        fleet.promote("golden", candidate_dir)
+        fleet.kill_worker(1)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if len(fleet.worker_pids()) == 2:
+                break
+            time.sleep(0.1)
+        assert len(fleet.worker_pids()) == 2
+        # every reply (old replica or respawned one) is the candidate's
+        with ServeClient(fleet.host, fleet.port) as client:
+            for _ in range(6):
+                assert (
+                    client.estimate("golden", [1, 2, 8, 1], [1600])["fingerprint"]
+                    == new
+                )
+
+
+class TestListenerSupport:
+    def test_reuse_port_supported_is_bool(self):
+        assert isinstance(reuse_port_supported(), bool)
