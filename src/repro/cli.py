@@ -122,6 +122,20 @@ def _build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
     opt.add_argument("--n", type=int, required=True)
     opt.add_argument("--top", type=int, default=10)
+    opt.add_argument(
+        "--backend",
+        default=None,
+        help=(
+            "search backend tag (exhaustive, branch-bound, beam, greedy, "
+            "hill-climb, anneal; default: the pipeline's configured backend)"
+        ),
+    )
+    opt.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="evaluation budget for budget-capable backends (default: unbounded)",
+    )
 
     advise = sub.add_parser(
         "advise", help="sanity-check a measurement plan before running it"
@@ -305,6 +319,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--n", type=int, action="append", default=None, help="problem order (repeatable)"
     )
     client.add_argument("--top", type=int, default=10, help="ranking depth (optimize)")
+    client.add_argument(
+        "--backend", default=None, help="search backend tag (optimize/whatif)"
+    )
+    client.add_argument(
+        "--budget", type=int, default=None, help="evaluation budget (optimize/whatif)"
+    )
 
     export = sub.add_parser(
         "export", help="write every experiment's data as CSV for plotting"
@@ -605,6 +625,11 @@ def _run_client(args: argparse.Namespace) -> None:
         params["ns"] = list(args.n)
     if args.op == "optimize":
         params["top"] = args.top
+    if args.op in ("optimize", "whatif"):
+        if args.backend is not None:
+            params["backend"] = args.backend
+        if args.budget is not None:
+            params["budget"] = args.budget
     try:
         client = ServeClient(args.host, args.port)
     except OSError as exc:
@@ -687,7 +712,7 @@ def _dispatch(args: argparse.Namespace) -> None:
         print(ascii_scatter(data, adjusted=adjusted))
     elif args.command == "optimize":
         pipeline = _pipeline(args)
-        outcome = pipeline.optimize(args.n)
+        outcome = pipeline.optimize(args.n, backend=args.backend, budget=args.budget)
         kinds = pipeline.plan.kinds
         print(
             f"Top {args.top} of {len(outcome.ranking)} configurations at "
@@ -695,6 +720,20 @@ def _dispatch(args: argparse.Namespace) -> None:
         )
         for i, entry in enumerate(outcome.top(args.top), 1):
             print(f"{i:3d}. {entry.config.label(kinds):>12s}  {entry.estimate_s:10.1f} s")
+        stats = outcome.stats
+        if stats is not None:
+            detail = f"search: {stats.backend}, {stats.evaluations} evaluations"
+            if stats.pruned_candidates:
+                detail += (
+                    f", pruned {stats.pruned_candidates} candidates "
+                    f"in {stats.pruned_subtrees} subtrees"
+                )
+            if stats.budget is not None:
+                detail += f", budget {stats.budget}"
+                detail += " (exhausted)" if stats.exhausted else " (not exhausted)"
+            if not outcome.complete:
+                detail += " [partial ranking]"
+            print(detail)
     elif args.command == "advise":
         from repro.measure.advisor import advise as run_advisor
         from repro.measure.grids import plan_by_name

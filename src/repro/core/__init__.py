@@ -39,10 +39,20 @@ from repro.core.model_api import (
 )
 from repro.core.model_store import ModelStore
 from repro.core.nt_model import NTModel
-from repro.core.optimizer import ExhaustiveOptimizer, RankedEstimate
 from repro.core.persistence import load_pipeline, save_pipeline
 from repro.core.pipeline import EstimationPipeline, PipelineConfig
 from repro.core.pt_model import PTModel
+from repro.core.search import (
+    ExhaustiveOptimizer,
+    RankedEstimate,
+    SearchBackend,
+    SearchOutcome,
+    SearchProblem,
+    SearchSpace,
+    SearchStats,
+    create_search,
+    registered_search_backends,
+)
 from repro.core.stages import SearchEngine, StageGraph
 from repro.core.unified_model import UnifiedEstimator, UnifiedModel
 
@@ -63,16 +73,23 @@ __all__ = [
     "PipelineConfig",
     "PTModel",
     "RankedEstimate",
+    "SearchBackend",
     "SearchEngine",
+    "SearchOutcome",
+    "SearchProblem",
+    "SearchSpace",
+    "SearchStats",
     "StageGraph",
     "TimeModel",
     "UnifiedEstimator",
     "UnifiedModel",
+    "create_search",
     "load_pipeline",
     "model_from_dict",
     "model_to_dict",
     "multifit_linear",
     "registered_model_types",
+    "registered_search_backends",
     "require_clean",
     "save_pipeline",
     "split_dataset",

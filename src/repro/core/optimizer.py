@@ -1,220 +1,25 @@
-"""Configuration optimization: find the estimated-optimal PE subset and
-process allocation.
+"""Back-compat home of the exhaustive optimizer.
 
-The paper enumerates every candidate configuration, estimates its total
-execution time with the fitted models, and selects the argmin (Section 3.1
-frames this as combinatorial optimization with the model as the objective
-function; Section 4 reports the enumeration takes ~35 ms for 62 candidates
-x 5 sizes).  :class:`ExhaustiveOptimizer` is that search, over any callable
-estimator — the pipeline's model-based estimator in production, plain
-functions in tests, and the heuristic searchers of :mod:`repro.exts`
-compare themselves against it.
+The search layer now lives in :mod:`repro.core.search` — a pluggable
+protocol with exhaustive, branch-and-bound and local-search backends.
+This module keeps the original import path working; everything here is a
+re-export.
 """
 
-from __future__ import annotations
+from repro.core.search.base import (
+    BatchEstimator,
+    Estimator,
+    RankedEstimate,
+    SearchOutcome,
+    actual_best,
+)
+from repro.core.search.exhaustive import ExhaustiveOptimizer
 
-import math
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from repro.cluster.config import ClusterConfig
-from repro.errors import SearchError
-
-#: An estimator maps (configuration, problem order) -> estimated seconds.
-Estimator = Callable[[ClusterConfig, int], float]
-
-#: A batch estimator maps (configuration, [n1, n2, ...]) -> array of
-#: estimated seconds, one per size — the vectorized fast path that
-#: :meth:`ExhaustiveOptimizer.optimize_many` uses when available (see
-#: :meth:`repro.core.pipeline.EstimationPipeline.batch_estimator`).
-BatchEstimator = Callable[[ClusterConfig, Sequence[int]], "np.ndarray"]
-
-
-@dataclass(frozen=True)
-class RankedEstimate:
-    """One candidate with its estimated execution time."""
-
-    config: ClusterConfig
-    n: int
-    estimate_s: float
-
-    def label(self, kinds: Optional[Sequence[str]] = None) -> str:
-        return self.config.label(kinds)
-
-
-@dataclass
-class SearchOutcome:
-    """Full result of one optimization: the winner, the ranking and the
-    search cost (the paper reports its enumeration wall time)."""
-
-    n: int
-    ranking: List[RankedEstimate]
-    search_seconds: float
-    _estimate_by_key: Optional[Dict[Tuple, float]] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-
-    @property
-    def best(self) -> RankedEstimate:
-        return self.ranking[0]
-
-    def top(self, count: int) -> List[RankedEstimate]:
-        return self.ranking[: max(count, 0)]
-
-    def estimate_for(self, config: ClusterConfig) -> float:
-        """Estimate of one candidate (O(1) after the first lookup builds
-        the key index — repeated lookups used to re-scan the ranking)."""
-        if self._estimate_by_key is None:
-            self._estimate_by_key = {
-                entry.config.key(): entry.estimate_s for entry in self.ranking
-            }
-        try:
-            return self._estimate_by_key[config.key()]
-        except KeyError:
-            raise SearchError(
-                f"configuration {config.label()} was not a candidate"
-            ) from None
-
-
-class ExhaustiveOptimizer:
-    """Estimate every candidate and rank them.
-
-    Parameters
-    ----------
-    estimator:
-        Objective function.
-    candidates:
-        The configuration space (the paper's 62 evaluation configurations,
-        or anything else).
-    batch_estimator:
-        Optional vectorized objective ``(config, sizes) -> array``;
-        when present, :meth:`optimize_many` evaluates the whole
-        candidates x sizes grid through it instead of
-        ``len(candidates) * len(sizes)`` scalar calls.  Must agree
-        numerically with ``estimator`` (the pipeline's implementations
-        are element-for-element identical).
-    allow_unestimable:
-        ``+inf`` is the pipeline estimator's sanctioned "model outside its
-        domain" signal, and by default such candidates simply rank last
-        (raising only when *no* candidate is finite).  An estimator that
-        is supposed to cover every candidate — a plain function in a
-        heuristic-search comparison, say — can pass ``False`` to turn any
-        ``+inf`` into an immediate :class:`SearchError` instead of a
-        silently deprioritized candidate.  NaN and negative values
-        (including ``-inf``) always raise.
-    """
-
-    def __init__(
-        self,
-        estimator: Estimator,
-        candidates: Sequence[ClusterConfig],
-        batch_estimator: Optional[BatchEstimator] = None,
-        allow_unestimable: bool = True,
-    ):
-        if not candidates:
-            raise SearchError("empty candidate set")
-        self.estimator = estimator
-        self.candidates = list(candidates)
-        self.batch_estimator = batch_estimator
-        self.allow_unestimable = allow_unestimable
-        # Sort keys are recomputed on every optimize(); cache them once.
-        self._candidate_keys = [config.key() for config in self.candidates]
-
-    def _validated(self, value: float, config: ClusterConfig, n: int) -> float:
-        invalid = math.isnan(value) or value < 0
-        if invalid or (value == math.inf and not self.allow_unestimable):
-            raise SearchError(
-                f"estimator returned invalid time {value!r} for "
-                f"{config.label()} at N={n}"
-            )
-        return value
-
-    def _rank(
-        self, n: int, values: Sequence[float], started: float
-    ) -> SearchOutcome:
-        """Assemble a :class:`SearchOutcome` from per-candidate estimates
-        (same ordering and error semantics as the scalar loop)."""
-        ranking = [
-            RankedEstimate(config=config, n=n, estimate_s=value)
-            for config, value in zip(self.candidates, values)
-        ]
-        order = sorted(
-            range(len(ranking)),
-            key=lambda i: (ranking[i].estimate_s, self._candidate_keys[i]),
-        )
-        ranking = [ranking[i] for i in order]
-        if not math.isfinite(ranking[0].estimate_s):
-            raise SearchError(
-                f"no candidate could be estimated at N={n} "
-                "(all models out of domain)"
-            )
-        return SearchOutcome(
-            n=n,
-            ranking=ranking,
-            search_seconds=time.perf_counter() - started,
-        )
-
-    def optimize(self, n: int) -> SearchOutcome:
-        """Rank all candidates for problem order ``n`` (ascending time)."""
-        started = time.perf_counter()
-        values: List[float] = []
-        for config in self.candidates:
-            # +inf is the estimator's "I cannot estimate this configuration"
-            # signal (model outside its domain); such candidates rank last.
-            values.append(self._validated(float(self.estimator(config, n)), config, n))
-        return self._rank(n, values, started)
-
-    def optimize_many(self, ns: Sequence[int]) -> List[SearchOutcome]:
-        """Rank all candidates for every size in ``ns`` — the sweep path.
-
-        With a ``batch_estimator`` the candidates x sizes grid is
-        evaluated in vectorized batches (one call per candidate covering
-        all sizes); without one this degrades to ``optimize`` per size.
-        Outcomes are numerically identical either way; in batched mode
-        each outcome's ``search_seconds`` is its share of the grid
-        evaluation plus its own ranking cost.
-        """
-        sizes = [int(n) for n in ns]
-        if not sizes:
-            raise SearchError("optimize_many needs at least one size")
-        if self.batch_estimator is None:
-            return [self.optimize(n) for n in sizes]
-        started = time.perf_counter()
-        grid = np.empty((len(self.candidates), len(sizes)), dtype=float)
-        for i, config in enumerate(self.candidates):
-            row = np.asarray(self.batch_estimator(config, sizes), dtype=float)
-            if row.shape != (len(sizes),):
-                raise SearchError(
-                    f"batch estimator returned shape {row.shape} for "
-                    f"{config.label()}, expected ({len(sizes)},)"
-                )
-            grid[i] = row
-        eval_share = (time.perf_counter() - started) / len(sizes)
-        outcomes = []
-        for j, n in enumerate(sizes):
-            column_started = time.perf_counter()
-            values = [
-                self._validated(float(grid[i, j]), config, n)
-                for i, config in enumerate(self.candidates)
-            ]
-            outcome = self._rank(n, values, column_started)
-            outcome.search_seconds += eval_share
-            outcomes.append(outcome)
-        return outcomes
-
-    def best(self, n: int) -> RankedEstimate:
-        return self.optimize(n).best
-
-
-def actual_best(
-    measured: Sequence[Tuple[ClusterConfig, float]],
-) -> Tuple[ClusterConfig, float]:
-    """The measured-optimal configuration among (config, seconds) pairs —
-    the ground truth the paper's Tables 4/7/9 compare against."""
-    if not measured:
-        raise SearchError("no measurements to choose from")
-    best_config, best_time = min(measured, key=lambda item: (item[1], item[0].key()))
-    return best_config, best_time
+__all__ = [
+    "BatchEstimator",
+    "Estimator",
+    "ExhaustiveOptimizer",
+    "RankedEstimate",
+    "SearchOutcome",
+    "actual_best",
+]

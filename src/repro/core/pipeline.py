@@ -36,7 +36,7 @@ from repro.core.adjustment import LinearAdjustment
 from repro.core.binning import KindEstimate, MemoryBin, ModelSelector
 from repro.core.composition import CompositionPolicy
 from repro.core.model_store import ModelStore
-from repro.core.optimizer import ExhaustiveOptimizer, SearchOutcome
+from repro.core.search import SearchOutcome
 from repro.core.stages import (
     ComposeArtifact,
     PipelineContext,
@@ -93,6 +93,12 @@ class PipelineConfig:
     #: seeded).  Requests beyond the machine's CPUs are clamped with a
     #: one-time warning.
     workers: int = 1
+    #: Default search backend for :meth:`EstimationPipeline.optimize` —
+    #: any tag in :func:`repro.core.search.registered_search_backends`
+    #: ("exhaustive", the paper's enumeration; "branch-bound", exact with
+    #: pruning; "beam"/"greedy"/"hill-climb"/"anneal", heuristic).
+    #: Per-call ``backend=`` arguments override it.
+    search_backend: str = "exhaustive"
 
 
 @dataclass(frozen=True)
@@ -292,19 +298,34 @@ class EstimationPipeline:
         return self._engine.batch_estimator()
 
     def optimizer(
-        self, candidates: Optional[Sequence[ClusterConfig]] = None
-    ) -> ExhaustiveOptimizer:
-        return self._engine.optimizer(candidates)
+        self,
+        candidates: Optional[Sequence[ClusterConfig]] = None,
+        backend: Optional[str] = None,
+        budget: Optional[int] = None,
+    ):
+        """A ready-to-run search backend over the candidate grid
+        (``backend=None`` uses the config's ``search_backend``)."""
+        return self._engine.optimizer(candidates, backend=backend, budget=budget)
 
-    def optimize(self, n: int) -> SearchOutcome:
+    def optimize(
+        self,
+        n: int,
+        backend: Optional[str] = None,
+        budget: Optional[int] = None,
+    ) -> SearchOutcome:
         # Resolving the engine forces campaign/fit/adjust through their
         # own timed stages, so the search timing is pure search.
-        return self._engine.optimize(n)
+        return self._engine.optimize(n, backend=backend, budget=budget)
 
-    def optimize_many(self, ns: Sequence[int]) -> List[SearchOutcome]:
+    def optimize_many(
+        self,
+        ns: Sequence[int],
+        backend: Optional[str] = None,
+        budget: Optional[int] = None,
+    ) -> List[SearchOutcome]:
         """Rank the candidate grid at every size in one batched search —
         the fast path for sweeps and what-if studies."""
-        return self._engine.optimize_many(ns)
+        return self._engine.optimize_many(ns, backend=backend, budget=budget)
 
     # -- stage 6: verification --------------------------------------------------------------
 

@@ -1,0 +1,198 @@
+"""The paper's flat enumeration as a registered search backend.
+
+Section 3.1 frames configuration selection as combinatorial optimization
+with the model as the objective function; Section 4 reports the
+enumeration takes ~35 ms for 62 candidates x 5 sizes.
+:class:`ExhaustiveOptimizer` is that search, over any callable estimator
+— the pipeline's model-based estimator in production, plain functions in
+tests, and the heuristic searchers compare themselves against it.  It
+remains the reference every other backend must match (exact backends
+bitwise, heuristics within tolerance).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.core.search.base import (
+    BatchEstimator,
+    Estimator,
+    RankedEstimate,
+    SearchBackend,
+    SearchOutcome,
+    SearchProblem,
+    SearchStats,
+    rank_evaluations,
+    validated_estimate,
+)
+from repro.core.search.registry import register_search
+from repro.errors import SearchError
+
+
+@register_search("exhaustive")
+class ExhaustiveOptimizer(SearchBackend):
+    """Estimate every candidate and rank them.
+
+    Parameters
+    ----------
+    estimator:
+        Objective function.
+    candidates:
+        The configuration space (the paper's 62 evaluation configurations,
+        or anything else).
+    batch_estimator:
+        Optional vectorized objective ``(config, sizes) -> array``;
+        when present, :meth:`optimize_many` evaluates the whole
+        candidates x sizes grid through it instead of
+        ``len(candidates) * len(sizes)`` scalar calls.  Must agree
+        numerically with ``estimator`` (the pipeline's implementations
+        are element-for-element identical).
+    allow_unestimable:
+        ``+inf`` is the pipeline estimator's sanctioned "model outside its
+        domain" signal, and by default such candidates simply rank last
+        (raising only when *no* candidate is finite).  An estimator that
+        is supposed to cover every candidate — a plain function in a
+        heuristic-search comparison, say — can pass ``False`` to turn any
+        ``+inf`` into an immediate :class:`SearchError` instead of a
+        silently deprioritized candidate.  NaN and negative values
+        (including ``-inf``) always raise.
+    """
+
+    def __init__(
+        self,
+        estimator: Estimator,
+        candidates: Sequence[ClusterConfig],
+        batch_estimator: Optional[BatchEstimator] = None,
+        allow_unestimable: bool = True,
+    ):
+        if not candidates:
+            raise SearchError("empty candidate set")
+        self.estimator = estimator
+        self.candidates = list(candidates)
+        self.batch_estimator = batch_estimator
+        self.allow_unestimable = allow_unestimable
+        # Sort keys are recomputed on every optimize(); cache them once.
+        self._candidate_keys = [config.key() for config in self.candidates]
+        self.stats = None
+
+    @classmethod
+    def from_problem(
+        cls, problem: SearchProblem, budget: Optional[int] = None
+    ) -> "ExhaustiveOptimizer":
+        if budget is not None:
+            raise SearchError(
+                "the exhaustive backend enumerates the full space and does "
+                "not support an evaluation budget (pick 'branch-bound' or "
+                "'beam' for budgeted search)"
+            )
+        return cls(
+            problem.estimator,
+            problem.resolved_candidates(),
+            batch_estimator=problem.batch_estimator,
+            allow_unestimable=problem.allow_unestimable,
+        )
+
+    def _validated(self, value: float, config: ClusterConfig, n: int) -> float:
+        return validated_estimate(value, config, n, self.allow_unestimable)
+
+    def _new_stats(self) -> SearchStats:
+        stats = SearchStats(
+            backend=self.backend_type, evaluations=len(self.candidates)
+        )
+        self.stats = stats
+        return stats
+
+    def _rank(
+        self,
+        n: int,
+        values: Sequence[float],
+        started: float,
+        stats: Optional[SearchStats] = None,
+    ) -> SearchOutcome:
+        """Assemble a :class:`SearchOutcome` from per-candidate estimates
+        (same ordering and error semantics as the scalar loop)."""
+        ranking = [
+            RankedEstimate(config=config, n=n, estimate_s=value)
+            for config, value in zip(self.candidates, values)
+        ]
+        order = sorted(
+            range(len(ranking)),
+            key=lambda i: (ranking[i].estimate_s, self._candidate_keys[i]),
+        )
+        ranking = [ranking[i] for i in order]
+        if not np.isfinite(ranking[0].estimate_s):
+            raise SearchError(
+                f"no candidate could be estimated at N={n} "
+                "(all models out of domain)"
+            )
+        stats = stats if stats is not None else self._new_stats()
+        stats.best_config = ranking[0].config
+        stats.best_estimate = ranking[0].estimate_s
+        return SearchOutcome(
+            n=n,
+            ranking=ranking,
+            search_seconds=time.perf_counter() - started,
+            stats=stats,
+            complete=True,
+        )
+
+    def optimize(self, n: int) -> SearchOutcome:
+        """Rank all candidates for problem order ``n`` (ascending time)."""
+        started = time.perf_counter()
+        values: List[float] = []
+        for config in self.candidates:
+            # +inf is the estimator's "I cannot estimate this configuration"
+            # signal (model outside its domain); such candidates rank last.
+            values.append(self._validated(float(self.estimator(config, n)), config, n))
+        return self._rank(n, values, started)
+
+    def optimize_many(self, ns: Sequence[int]) -> List[SearchOutcome]:
+        """Rank all candidates for every size in ``ns`` — the sweep path.
+
+        With a ``batch_estimator`` the candidates x sizes grid is
+        evaluated in vectorized batches (one call per candidate covering
+        all sizes); without one this degrades to ``optimize`` per size.
+        Outcomes are numerically identical either way; in batched mode
+        each outcome's ``search_seconds`` is its share of the grid
+        evaluation plus its own ranking cost.
+        """
+        sizes = [int(n) for n in ns]
+        if not sizes:
+            raise SearchError("optimize_many needs at least one size")
+        if self.batch_estimator is None:
+            return [self.optimize(n) for n in sizes]
+        started = time.perf_counter()
+        grid = np.empty((len(self.candidates), len(sizes)), dtype=float)
+        for i, config in enumerate(self.candidates):
+            row = np.asarray(self.batch_estimator(config, sizes), dtype=float)
+            if row.shape != (len(sizes),):
+                raise SearchError(
+                    f"batch estimator returned shape {row.shape} for "
+                    f"{config.label()}, expected ({len(sizes)},)"
+                )
+            grid[i] = row
+        eval_share = (time.perf_counter() - started) / len(sizes)
+        outcomes = []
+        for j, n in enumerate(sizes):
+            column_started = time.perf_counter()
+            values = [
+                self._validated(float(grid[i, j]), config, n)
+                for i, config in enumerate(self.candidates)
+            ]
+            outcome = self._rank(n, values, column_started)
+            outcome.search_seconds += eval_share
+            outcomes.append(outcome)
+        return outcomes
+
+    def best(self, n: int) -> RankedEstimate:
+        return self.optimize(n).best
+
+
+# rank_evaluations is the order-independent form of ``_rank`` the other
+# backends use; re-exported here so the two ranking paths are findable
+# side by side.
+__all__ = ["ExhaustiveOptimizer", "rank_evaluations"]

@@ -1,0 +1,85 @@
+"""Type-tagged registry of search backends (mirrors the model registry).
+
+The PR-2 model API registers every :class:`TimeModel` subclass under a
+type tag and dispatches serialization through it; search backends use
+the same shape so the pipeline, the serve layer and the CLI can select
+a backend by name without importing its module:
+
+    @register_search("branch-bound")
+    class BranchBoundSearch(SearchBackend): ...
+
+    backend = create_search("branch-bound", problem, budget=500)
+
+Importing :mod:`repro.core.search` registers the shipped backends
+(exhaustive, branch-bound, beam, greedy, hill-climb, anneal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Type
+
+from repro.core.search.base import SearchBackend, SearchProblem
+from repro.errors import SearchError
+
+#: The backend used when nothing selects one explicitly — the paper's
+#: flat enumeration, which stays the default for grid-sized spaces.
+DEFAULT_BACKEND = "exhaustive"
+
+_REGISTRY: Dict[str, Type[SearchBackend]] = {}
+
+
+def register_search(tag: str):
+    """Class decorator registering a :class:`SearchBackend` under ``tag``."""
+
+    def decorate(cls: Type[SearchBackend]) -> Type[SearchBackend]:
+        if not tag:
+            raise SearchError("search backend tag must be non-empty")
+        existing = _REGISTRY.get(tag)
+        if existing is not None and existing is not cls:
+            raise SearchError(
+                f"search backend tag {tag!r} already registered "
+                f"by {existing.__name__}"
+            )
+        cls.backend_type = tag
+        _REGISTRY[tag] = cls
+        return cls
+
+    return decorate
+
+
+def registered_search_backends() -> Tuple[str, ...]:
+    """Every registered backend tag, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def search_backend_class(tag: str) -> Type[SearchBackend]:
+    """The backend class registered under ``tag`` (SearchError if none)."""
+    try:
+        return _REGISTRY[tag]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise SearchError(
+            f"unknown search backend {tag!r} (registered: {known})"
+        ) from None
+
+
+def create_search(tag: str, problem: SearchProblem, **options) -> SearchBackend:
+    """Instantiate backend ``tag`` for ``problem``.
+
+    Options the backend does not understand are a :class:`SearchError`
+    (not a ``TypeError``), so callers driven by request fields get a
+    typed, reportable failure.
+    """
+    cls = search_backend_class(tag)
+    try:
+        return cls.from_problem(problem, **options)
+    except TypeError as exc:
+        raise SearchError(
+            f"backend {tag!r} rejected its options: {exc}"
+        ) from exc
+
+
+def iter_search_registry() -> Iterator[Tuple[str, Type[SearchBackend]]]:
+    """(tag, class) pairs in sorted tag order (for docs and smoke tests)."""
+    for tag in sorted(_REGISTRY):
+        yield tag, _REGISTRY[tag]

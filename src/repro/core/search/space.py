@@ -1,0 +1,202 @@
+"""Product-structured configuration spaces for the search backends.
+
+The paper's candidate set — and every candidate grid
+:func:`repro.cluster.config.enumerate_configs` produces — is a **cross
+product** of per-kind ``(pe_count, procs_per_pe)`` choices (minus the
+all-idle combination).  :class:`SearchSpace` makes that structure
+explicit, because the scalable backends need it:
+
+* branch-and-bound assigns kinds one at a time and prunes whole
+  sub-products, which only makes sense over a product space;
+* the local searchers move one kind's choice at a time, i.e. they walk
+  the product lattice.
+
+A space can be built from a cluster spec (every configuration up to
+``max_procs`` processes per PE) or recovered from an explicit candidate
+list (the paper's 62-configuration grid).  Recovery is exact when the
+candidates *are* a product; :meth:`is_exact_cover_of` lets callers check
+before relying on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig, KindAllocation
+from repro.cluster.spec import ClusterSpec
+from repro.errors import SearchError
+
+#: One per-kind choice: ``(pe_count, procs_per_pe)``; ``(0, 0)`` = idle.
+Choice = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Cross product of per-kind ``(pe_count, procs_per_pe)`` choices."""
+
+    kinds: Tuple[str, ...]
+    choices: Tuple[Tuple[Choice, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.kinds:
+            raise SearchError("search space needs at least one kind")
+        if len(self.kinds) != len(self.choices):
+            raise SearchError(
+                f"{len(self.kinds)} kinds but {len(self.choices)} choice lists"
+            )
+        if len(set(self.kinds)) != len(self.kinds):
+            raise SearchError(f"duplicate kind in search space: {self.kinds}")
+        for kind, options in zip(self.kinds, self.choices):
+            if not options:
+                raise SearchError(f"kind {kind!r} has no choices")
+            if list(options) != sorted(set(options)):
+                raise SearchError(
+                    f"kind {kind!r} choices must be sorted and unique"
+                )
+            for pe, m in options:
+                if pe < 0 or (pe == 0) != (m == 0) or (pe > 0 and m < 1):
+                    raise SearchError(
+                        f"kind {kind!r} has invalid choice ({pe}, {m})"
+                    )
+        if self.size < 1:
+            raise SearchError("search space contains no runnable configuration")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: ClusterSpec, max_procs: int = 6) -> "SearchSpace":
+        """Every configuration of ``spec`` with 1..``max_procs`` processes
+        per participating PE (the heuristics' full space)."""
+        if max_procs < 1:
+            raise SearchError("max_procs must be >= 1")
+        kinds = tuple(spec.kind_names)
+        choices: List[Tuple[Choice, ...]] = []
+        for kind in kinds:
+            options: List[Choice] = [(0, 0)]
+            for pe in range(1, spec.pe_count(kind) + 1):
+                for m in range(1, max_procs + 1):
+                    options.append((pe, m))
+            choices.append(tuple(sorted(options)))
+        return cls(kinds=kinds, choices=tuple(choices))
+
+    @classmethod
+    def from_candidates(
+        cls,
+        candidates: Sequence[ClusterConfig],
+        kinds: Optional[Sequence[str]] = None,
+    ) -> "SearchSpace":
+        """The smallest product space containing every candidate.
+
+        When the candidates are themselves a product grid (the paper's
+        62 configurations are ``7 x 9 - 1``), the recovered space is that
+        grid exactly — verify with :meth:`is_exact_cover_of` before
+        treating product enumeration as equivalent to the list.
+        """
+        if not candidates:
+            raise SearchError("empty candidate set")
+        if kinds is None:
+            names: List[str] = []
+            for config in candidates:
+                for alloc in config.allocations:
+                    if alloc.kind_name not in names:
+                        names.append(alloc.kind_name)
+            kinds = names
+        kinds = tuple(kinds)
+        per_kind: List[set] = [set() for _ in kinds]
+        for config in candidates:
+            for alloc in config.active:
+                if alloc.kind_name not in kinds:
+                    raise SearchError(
+                        f"candidate {config.label()} uses kind "
+                        f"{alloc.kind_name!r} outside {kinds}"
+                    )
+            for i, kind in enumerate(kinds):
+                alloc = config.allocation(kind)
+                per_kind[i].add((alloc.pe_count, alloc.procs_per_pe))
+        return cls(
+            kinds=kinds,
+            choices=tuple(tuple(sorted(options)) for options in per_kind),
+        )
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of runnable configurations (the all-idle combination,
+        when expressible, is not one)."""
+        total = math.prod(len(options) for options in self.choices)
+        idle = math.prod(
+            sum(1 for pe, _ in options if pe == 0) for options in self.choices
+        )
+        return total - idle
+
+    @property
+    def max_total_processes(self) -> int:
+        return sum(
+            max(pe * m for pe, m in options) for options in self.choices
+        )
+
+    @property
+    def max_procs_per_pe(self) -> int:
+        """Largest ``procs_per_pe`` any choice uses (0 for an all-idle
+        space, which the constructor rejects anyway)."""
+        return max(
+            (m for options in self.choices for _, m in options), default=0
+        )
+
+    def kind_index(self, kind: str) -> int:
+        try:
+            return self.kinds.index(kind)
+        except ValueError:
+            raise SearchError(
+                f"kind {kind!r} not in search space {self.kinds}"
+            ) from None
+
+    def pe_values(self, kind: str) -> List[int]:
+        """Sorted distinct PE counts available for one kind (may include 0)."""
+        return sorted({pe for pe, _ in self.choices[self.kind_index(kind)]})
+
+    def m_values(self, kind: str) -> List[int]:
+        """Sorted distinct active process counts for one kind."""
+        return sorted(
+            {m for pe, m in self.choices[self.kind_index(kind)] if pe > 0}
+        )
+
+    # -- enumeration --------------------------------------------------------
+
+    def config_of(self, assignment: Sequence[Choice]) -> ClusterConfig:
+        """Materialize one per-kind assignment as a :class:`ClusterConfig`
+        (zero allocations kept, so labels align with the kind order)."""
+        return ClusterConfig(
+            tuple(
+                KindAllocation(kind, pe, m)
+                for kind, (pe, m) in zip(self.kinds, assignment)
+            )
+        )
+
+    def configs(self) -> Iterator[ClusterConfig]:
+        """Every runnable configuration, in lexicographic choice order
+        (the order :func:`repro.cluster.config.enumerate_configs` uses)."""
+        assignment: List[Choice] = []
+
+        def rec(depth: int) -> Iterator[ClusterConfig]:
+            if depth == len(self.kinds):
+                if sum(pe * m for pe, m in assignment) >= 1:
+                    yield self.config_of(assignment)
+                return
+            for choice in self.choices[depth]:
+                assignment.append(choice)
+                yield from rec(depth + 1)
+                assignment.pop()
+
+        return rec(0)
+
+    def is_exact_cover_of(self, candidates: Sequence[ClusterConfig]) -> bool:
+        """True when the candidates and this product space contain exactly
+        the same configurations (by canonical key)."""
+        keys = {config.key() for config in candidates}
+        return len(keys) == self.size and all(
+            config.key() in keys for config in self.configs()
+        )

@@ -50,8 +50,17 @@ from repro.core.binning import ModelSelector
 from repro.core.estimator import Estimator
 from repro.core.memory_guard import MemoryGuard, split_dataset
 from repro.core.model_store import ModelStore
-from repro.core.optimizer import ExhaustiveOptimizer, SearchOutcome
-from repro.core.optimizer import actual_best as _actual_best
+from repro.core.search import (
+    DEFAULT_BACKEND,
+    ExhaustiveOptimizer,
+    SearchBackend,
+    SearchOutcome,
+    SearchProblem,
+    SearchSpace,
+    create_search,
+    estimator_bounds,
+)
+from repro.core.search import actual_best as _actual_best
 from repro.hpl.schedule import walker_stats
 from repro.measure.campaign import CampaignResult, run_campaign, run_evaluation
 from repro.measure.dataset import Dataset
@@ -425,6 +434,8 @@ class SearchStage(Stage):
             batch_estimate=ctx.batch_estimate,
             candidates=ctx.candidates,
             perf=ctx.perf,
+            default_backend=getattr(ctx.config, "search_backend", DEFAULT_BACKEND),
+            seed=getattr(ctx.config, "seed", 0),
         )
 
 
@@ -512,6 +523,8 @@ class SearchEngine:
         batch_estimate: Callable[[ClusterConfig, Sequence[int]], np.ndarray],
         candidates: Callable[[], List[ClusterConfig]],
         perf: PerfReport,
+        default_backend: str = DEFAULT_BACKEND,
+        seed: int = 0,
     ):
         self.facade = facade
         self.adjustment = adjustment
@@ -520,6 +533,8 @@ class SearchEngine:
         self._batch = batch_estimate
         self._candidates = candidates
         self.perf = perf
+        self.default_backend = default_backend
+        self.seed = seed
         self._cache: Optional[EstimateCache] = None
 
     @property
@@ -593,21 +608,68 @@ class SearchEngine:
         return batch_objective
 
     def optimizer(
-        self, candidates: Optional[Sequence[ClusterConfig]] = None
-    ) -> ExhaustiveOptimizer:
-        return ExhaustiveOptimizer(
-            self.estimator(),
-            list(candidates) if candidates is not None else self._candidates(),
-            batch_estimator=self.batch_estimator(),
+        self,
+        candidates: Optional[Sequence[ClusterConfig]] = None,
+        backend: Optional[str] = None,
+        budget: Optional[int] = None,
+    ) -> SearchBackend:
+        """A ready-to-run search backend over the candidate grid.
+
+        ``backend=None`` uses the engine's default (the pipeline config's
+        ``search_backend``); the plain exhaustive default keeps its
+        vectorized grid fast path.  Any other tag goes through the search
+        registry with a :class:`SearchProblem` carrying the model-derived
+        bound oracle (so ``branch-bound`` can prune) and the pipeline
+        seed (so stochastic backends are reproducible).
+        """
+        tag = backend if backend is not None else self.default_backend
+        pool = (
+            list(candidates) if candidates is not None else self._candidates()
         )
+        if tag == "exhaustive" and budget is None:
+            return ExhaustiveOptimizer(
+                self.estimator(), pool, batch_estimator=self.batch_estimator()
+            )
+        space = SearchSpace.from_candidates(pool)
+        problem = SearchProblem(
+            estimator=self.estimator(),
+            candidates=pool,
+            space=space,
+            kinds=list(space.kinds),
+            batch_estimator=self.batch_estimator(),
+            bounds=estimator_bounds(
+                self.facade, self.adjustment, p_max=space.max_total_processes
+            ),
+            seed=self.seed,
+        )
+        return create_search(tag, problem, budget=budget)
 
-    def optimize(self, n: int) -> SearchOutcome:
-        with self.perf.stage("search"):
-            return self.optimizer().optimize(n)
+    def _record(self, outcome: SearchOutcome) -> SearchOutcome:
+        self.perf.record_search(outcome.stats)
+        return outcome
 
-    def optimize_many(self, ns: Sequence[int]) -> List[SearchOutcome]:
+    def optimize(
+        self,
+        n: int,
+        backend: Optional[str] = None,
+        budget: Optional[int] = None,
+    ) -> SearchOutcome:
         with self.perf.stage("search"):
-            return self.optimizer().optimize_many(ns)
+            return self._record(
+                self.optimizer(backend=backend, budget=budget).optimize(n)
+            )
+
+    def optimize_many(
+        self,
+        ns: Sequence[int],
+        backend: Optional[str] = None,
+        budget: Optional[int] = None,
+    ) -> List[SearchOutcome]:
+        with self.perf.stage("search"):
+            outcomes = self.optimizer(
+                backend=backend, budget=budget
+            ).optimize_many(ns)
+            return [self._record(outcome) for outcome in outcomes]
 
 
 # -- verification -------------------------------------------------------------

@@ -1,234 +1,28 @@
-"""Heuristic configuration search (the paper's future-work Section 5).
+"""Back-compat home of the heuristic searchers.
 
-Exhaustive enumeration is fine for 62 candidates but the space grows as
-``prod_i (1 + PE_i * M_max)``-ish with the number of kinds — a ten-kind
-cluster has millions of configurations.  This module provides three
-classic heuristics over the same estimator interface the exhaustive
-optimizer uses, plus bookkeeping (:class:`SearchStats`) so benches can
-report evaluations-vs-quality against the exhaustive ground truth:
-
-* :class:`GreedyGrowth` — start from the best single-PE configuration and
-  repeatedly take the best *improving move*; stops at a local optimum.
-* :class:`HillClimber` — first-improvement local search with restarts.
-* :class:`SimulatedAnnealing` — random moves with a cooling temperature;
-  escapes the local optima the greedy methods get stuck in.
-
-Moves change one coordinate: add/remove a PE of one kind, or increment/
-decrement one kind's processes-per-PE.
+The heuristics are now registered backends of the Search protocol in
+:mod:`repro.core.search.local` (tags ``greedy``, ``hill-climb``,
+``anneal``), generalized from "a spec with processes 1..max_procs" to
+any :class:`~repro.core.search.space.SearchSpace`.  This module keeps
+the original import path working; everything here is a re-export
+(``_SearchBase`` kept under its historical name).
 """
 
-from __future__ import annotations
+from repro.core.search.base import SearchStats
+from repro.core.search.local import (
+    GreedyGrowth,
+    HillClimber,
+    LocalSearchBase,
+    LocalSearchBase as _SearchBase,
+    SimulatedAnnealing,
+    full_candidate_space,
+)
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
-
-from repro.cluster.config import ClusterConfig, KindAllocation, enumerate_configs
-from repro.cluster.spec import ClusterSpec
-from repro.core.optimizer import Estimator
-from repro.errors import SearchError
-from repro.rng import stream
-
-State = Tuple[Tuple[str, int, int], ...]  # ((kind, pe_count, procs), ...)
-
-
-@dataclass
-class SearchStats:
-    """Cost/quality accounting of one heuristic run."""
-
-    evaluations: int = 0
-    best_config: Optional[ClusterConfig] = None
-    best_estimate: float = math.inf
-    trace: List[float] = field(default_factory=list)
-
-    def record(self, config: ClusterConfig, estimate: float) -> None:
-        self.evaluations += 1
-        if estimate < self.best_estimate:
-            self.best_estimate = estimate
-            self.best_config = config
-        self.trace.append(self.best_estimate)
-
-
-def full_candidate_space(
-    spec: ClusterSpec, max_procs: int = 6
-) -> List[ClusterConfig]:
-    """Every configuration of a cluster with per-PE processes up to
-    ``max_procs`` — the exhaustive ground truth (use with care: exponential
-    in the number of kinds)."""
-    kinds = list(spec.kind_names)
-    return list(
-        enumerate_configs(
-            kinds,
-            pe_ranges={k: range(0, spec.pe_count(k) + 1) for k in kinds},
-            proc_ranges={k: range(1, max_procs + 1) for k in kinds},
-        )
-    )
-
-
-class _SearchBase:
-    """Shared state/move machinery."""
-
-    def __init__(self, spec: ClusterSpec, estimator: Estimator, max_procs: int = 6):
-        if max_procs < 1:
-            raise SearchError("max_procs must be >= 1")
-        self.spec = spec
-        self.estimator = estimator
-        self.max_procs = max_procs
-        self.kinds = list(spec.kind_names)
-        self._cache: Dict[Tuple[State, int], float] = {}
-
-    # -- state <-> config -----------------------------------------------------
-
-    def _to_config(self, state: State) -> ClusterConfig:
-        return ClusterConfig(
-            tuple(KindAllocation(k, pe, m) for k, pe, m in state)
-        )
-
-    def _from_config(self, config: ClusterConfig) -> State:
-        return tuple(
-            (k, config.pe_count(k), config.procs_per_pe(k)) for k in self.kinds
-        )
-
-    def _evaluate(self, state: State, n: int, stats: SearchStats) -> float:
-        key = (state, n)
-        if key not in self._cache:
-            config = self._to_config(state)
-            value = float(self.estimator(config, n))
-            self._cache[key] = value
-            stats.record(config, value)
-        return self._cache[key]
-
-    # -- neighborhood ------------------------------------------------------------
-
-    def _neighbors(self, state: State) -> List[State]:
-        out: List[State] = []
-        for index, (kind, pe, m) in enumerate(state):
-            available = self.spec.pe_count(kind)
-            candidates = set()
-            if pe + 1 <= available:
-                candidates.add((pe + 1, max(m, 1)))
-            if pe - 1 >= 0:
-                candidates.add((pe - 1, m if pe - 1 > 0 else 0))
-            if pe > 0 and m + 1 <= self.max_procs:
-                candidates.add((pe, m + 1))
-            if pe > 0 and m - 1 >= 1:
-                candidates.add((pe, m - 1))
-            for new_pe, new_m in candidates:
-                new_state = list(state)
-                new_state[index] = (kind, new_pe, new_m if new_pe > 0 else 0)
-                candidate = tuple(new_state)
-                if sum(pe_ * m_ for _, pe_, m_ in candidate) >= 1:
-                    out.append(candidate)
-        return out
-
-    def _single_pe_starts(self) -> List[State]:
-        """Start states: for every kind, the single-PE configuration and the
-        all-PEs-one-process configuration.  Starting from both sides of the
-        'one fast PE vs many slow PEs' valley keeps greedy growth from
-        being trapped on the wrong side of it."""
-        starts = []
-        for index, kind in enumerate(self.kinds):
-            available = self.spec.pe_count(kind)
-            if available == 0:
-                continue
-            single = [(k, 0, 0) for k in self.kinds]
-            single[index] = (kind, 1, 1)
-            starts.append(tuple(single))
-            if available > 1:
-                full = [(k, 0, 0) for k in self.kinds]
-                full[index] = (kind, available, 1)
-                starts.append(tuple(full))
-        return starts
-
-
-class GreedyGrowth(_SearchBase):
-    """Best-improvement growth from the best single-PE configuration."""
-
-    def search(self, n: int, max_steps: int = 200) -> SearchStats:
-        stats = SearchStats()
-        starts = self._single_pe_starts()
-        if not starts:
-            raise SearchError("cluster has no PEs")
-        current = min(starts, key=lambda s: self._evaluate(s, n, stats))
-        for _ in range(max_steps):
-            current_value = self._evaluate(current, n, stats)
-            moves = self._neighbors(current)
-            if not moves:
-                break
-            best_move = min(moves, key=lambda s: self._evaluate(s, n, stats))
-            if self._evaluate(best_move, n, stats) >= current_value:
-                break  # local optimum
-            current = best_move
-        return stats
-
-
-class HillClimber(_SearchBase):
-    """First-improvement local search with random restarts."""
-
-    def search(
-        self, n: int, restarts: int = 4, max_steps: int = 200, seed: int = 0
-    ) -> SearchStats:
-        stats = SearchStats()
-        rng = stream(seed, "hill-climber", n)
-        for restart in range(max(restarts, 1)):
-            current = self._random_state(rng)
-            for _ in range(max_steps):
-                current_value = self._evaluate(current, n, stats)
-                moves = self._neighbors(current)
-                rng.shuffle(moves)
-                improved = False
-                for move in moves:
-                    if self._evaluate(move, n, stats) < current_value:
-                        current = move
-                        improved = True
-                        break
-                if not improved:
-                    break
-        return stats
-
-    def _random_state(self, rng: np.random.Generator) -> State:
-        while True:
-            state = []
-            for kind in self.kinds:
-                available = self.spec.pe_count(kind)
-                pe = int(rng.integers(0, available + 1))
-                m = int(rng.integers(1, self.max_procs + 1)) if pe > 0 else 0
-                state.append((kind, pe, m))
-            if sum(pe * m for _, pe, m in state) >= 1:
-                return tuple(state)
-
-
-class SimulatedAnnealing(_SearchBase):
-    """Metropolis search with geometric cooling."""
-
-    def search(
-        self,
-        n: int,
-        steps: int = 400,
-        initial_temperature: float = 0.3,
-        cooling: float = 0.99,
-        seed: int = 0,
-    ) -> SearchStats:
-        if steps < 1:
-            raise SearchError("steps must be >= 1")
-        if not (0.0 < cooling <= 1.0):
-            raise SearchError("cooling must be in (0, 1]")
-        stats = SearchStats()
-        rng = stream(seed, "annealing", n)
-        starts = self._single_pe_starts()
-        if not starts:
-            raise SearchError("cluster has no PEs")
-        current = min(starts, key=lambda s: self._evaluate(s, n, stats))
-        current_value = self._evaluate(current, n, stats)
-        temperature = initial_temperature * current_value
-        for _ in range(steps):
-            moves = self._neighbors(current)
-            move = moves[int(rng.integers(0, len(moves)))]
-            value = self._evaluate(move, n, stats)
-            delta = value - current_value
-            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
-                current, current_value = move, value
-            temperature *= cooling
-        return stats
+__all__ = [
+    "GreedyGrowth",
+    "HillClimber",
+    "LocalSearchBase",
+    "SearchStats",
+    "SimulatedAnnealing",
+    "full_candidate_space",
+]

@@ -49,6 +49,33 @@ class PerfReport:
         #: :class:`repro.hpl.schedule.WalkerStats` — kept loose so the perf
         #: layer stays below ``hpl`` in the import graph).
         self.walker: Optional[object] = None
+        #: Per-backend search counters (duck-typed
+        #: :class:`repro.core.search.SearchStats` — same layering rule as
+        #: the walker), accumulated across every optimize call.
+        self.search_backends: Dict[str, Dict[str, int]] = {}
+
+    def record_search(self, stats) -> None:
+        """Fold one search run's :class:`SearchStats` into the per-backend
+        counters; the search engine calls this per optimize outcome."""
+        if stats is None:
+            return
+        entry = self.search_backends.setdefault(
+            stats.backend or "unknown",
+            {
+                "runs": 0,
+                "evaluations": 0,
+                "pruned_subtrees": 0,
+                "pruned_candidates": 0,
+                "bound_evaluations": 0,
+                "exhausted": 0,
+            },
+        )
+        entry["runs"] += 1
+        entry["evaluations"] += stats.evaluations
+        entry["pruned_subtrees"] += stats.pruned_subtrees
+        entry["pruned_candidates"] += stats.pruned_candidates
+        entry["bound_evaluations"] += stats.bound_evaluations
+        entry["exhausted"] += int(stats.exhausted)
 
     def record_walker(self, stats) -> None:
         """Fold a walker-stats delta (``snapshot``/``delta``/``merge``
@@ -105,6 +132,11 @@ class PerfReport:
             }
         if self.walker is not None:
             out["walker"] = self.walker.to_dict()
+        if self.search_backends:
+            out["search_backends"] = {
+                name: dict(entry)
+                for name, entry in sorted(self.search_backends.items())
+            }
         return out
 
     def render(self) -> str:
@@ -118,4 +150,17 @@ class PerfReport:
             lines.append(f"cache: {self.cache.describe()}")
         if self.walker is not None:
             lines.append(f"walker: {self.walker.describe()}")
+        for name, entry in sorted(self.search_backends.items()):
+            detail = (
+                f"search[{name}]: {entry['runs']} runs, "
+                f"{entry['evaluations']} evaluations"
+            )
+            if entry["pruned_subtrees"]:
+                detail += (
+                    f", pruned {entry['pruned_candidates']} candidates "
+                    f"in {entry['pruned_subtrees']} subtrees"
+                )
+            if entry["exhausted"]:
+                detail += f", {entry['exhausted']} budget-exhausted"
+            lines.append(detail)
         return "\n".join(lines)

@@ -12,9 +12,11 @@ results back out to per-request futures:
   (one polynomial evaluation over the union instead of one call per
   request — element-wise, so each request's numbers are bitwise those of
   a direct call);
-* ``optimize`` requests grouping on ``pipeline`` merge their orders into
-  one :meth:`~repro.core.pipeline.EstimationPipeline.optimize_many`
-  batched search;
+* ``optimize`` requests grouping on ``(pipeline, backend, budget)``
+  merge their orders into one
+  :meth:`~repro.core.pipeline.EstimationPipeline.optimize_many` batched
+  search under that backend (requests asking different backends or
+  budgets never share a search run);
 * ``whatif`` requests evaluate one configuration across *every*
   registered pipeline, reusing the same per-entry cached path.
 
@@ -168,7 +170,9 @@ class MicroBatcher:
     def _group(self, batch: List[_WorkItem]):
         """Partition a batch into (items, runner) work groups."""
         estimate_groups: Dict[Tuple[str, tuple], List[_WorkItem]] = {}
-        optimize_groups: Dict[str, List[_WorkItem]] = {}
+        optimize_groups: Dict[
+            Tuple[str, Optional[str], Optional[int]], List[_WorkItem]
+        ] = {}
         out = []
         for item in batch:
             op = item.request.op
@@ -176,7 +180,12 @@ class MicroBatcher:
                 key = (item.request.pipeline, item.request.config)
                 estimate_groups.setdefault(key, []).append(item)
             elif op == "optimize":
-                optimize_groups.setdefault(item.request.pipeline, []).append(item)
+                search_key = (
+                    item.request.pipeline,
+                    item.request.backend,
+                    item.request.budget,
+                )
+                optimize_groups.setdefault(search_key, []).append(item)
             elif op == "whatif":
                 out.append(([item], lambda it=item: [self._run_whatif(it.request)]))
             else:
@@ -225,8 +234,11 @@ class MicroBatcher:
 
     def _run_optimizes(self, items: List[_WorkItem]) -> List[Dict[str, object]]:
         """One batched ``optimize_many`` for every request of one
-        pipeline group (orders merged, rankings scattered back)."""
-        entry = self.registry.get(items[0].request.pipeline)
+        ``(pipeline, backend, budget)`` group (orders merged, rankings
+        scattered back; all requests of the group asked for the same
+        search backend, so they legitimately share its run)."""
+        first = items[0].request
+        entry = self.registry.get(first.pipeline)
         union: List[int] = []
         seen = set()
         for item in items:
@@ -234,27 +246,39 @@ class MicroBatcher:
                 if n not in seen:
                     seen.add(n)
                     union.append(n)
-        outcomes = entry.pipeline.optimize_many(union)
+        outcomes = entry.pipeline.optimize_many(
+            union, backend=first.backend, budget=first.budget
+        )
         by_n = {n: outcome for n, outcome in zip(union, outcomes)}
+        for outcome in outcomes:
+            self.metrics.record_search(outcome.stats)
         kinds = entry.pipeline.plan.kinds
         results = []
         for item in items:
             sizes = []
             for n in item.request.ns:
                 outcome = by_n[n]
-                sizes.append(
-                    {
-                        "n": n,
-                        "candidates": len(outcome.ranking),
-                        "ranking": [
-                            {
-                                "config": list(e.config.as_flat_tuple(kinds)),
-                                "estimate_s": e.estimate_s,
-                            }
-                            for e in outcome.top(item.request.top)
-                        ],
+                stats = outcome.stats
+                size_result = {
+                    "n": n,
+                    "candidates": len(outcome.ranking),
+                    "ranking": [
+                        {
+                            "config": list(e.config.as_flat_tuple(kinds)),
+                            "estimate_s": e.estimate_s,
+                        }
+                        for e in outcome.top(item.request.top)
+                    ],
+                }
+                if stats is not None:
+                    size_result["search"] = {
+                        "backend": stats.backend,
+                        "evaluations": stats.evaluations,
+                        "pruned_candidates": stats.pruned_candidates,
+                        "exhausted": stats.exhausted,
+                        "complete": outcome.complete,
                     }
-                )
+                sizes.append(size_result)
             results.append(
                 {
                     "pipeline": entry.name,

@@ -33,6 +33,8 @@ FLEET_COUNTER_FIELDS: Tuple[str, ...] = (
     "drift_alarms",
     "promotions",
     "rollbacks",
+    "search_evaluations",
+    "search_pruned",
 )
 
 
@@ -193,6 +195,12 @@ class ServeMetrics:
         self.drift_alarms = 0
         self.promotions = 0
         self.rollbacks = 0
+        # Search-backend counters (fed per optimize outcome by the
+        # micro-batcher; per-backend breakdown plus two additive totals
+        # that publish into the fleet stats block).
+        self.search_evaluations = 0
+        self.search_pruned = 0
+        self.search_backends: Dict[str, Dict[str, int]] = {}
 
     def endpoint(self, op: str) -> EndpointMetrics:
         if op not in self.by_op:
@@ -209,6 +217,23 @@ class ServeMetrics:
         if shed:
             endpoint.shed += 1
         endpoint.latency.record(seconds)
+
+    def record_search(self, stats) -> None:
+        """Fold one optimize outcome's search stats (duck-typed
+        :class:`repro.core.search.SearchStats`) into the counters."""
+        if stats is None:
+            return
+        pruned = stats.pruned_candidates
+        self.search_evaluations += stats.evaluations
+        self.search_pruned += pruned
+        entry = self.search_backends.setdefault(
+            stats.backend or "unknown",
+            {"runs": 0, "evaluations": 0, "pruned_candidates": 0, "exhausted": 0},
+        )
+        entry["runs"] += 1
+        entry["evaluations"] += stats.evaluations
+        entry["pruned_candidates"] += pruned
+        entry["exhausted"] += int(stats.exhausted)
 
     def record_batch(self, size: int, groups: int) -> None:
         self.batches += 1
@@ -249,6 +274,8 @@ class ServeMetrics:
             self.drift_alarms,
             self.promotions,
             self.rollbacks,
+            self.search_evaluations,
+            self.search_pruned,
         )
 
     def aggregate_latency(self) -> LatencyHistogram:
@@ -279,6 +306,14 @@ class ServeMetrics:
                 "promotions": self.promotions,
                 "rollbacks": self.rollbacks,
             },
+            "search": {
+                "evaluations": self.search_evaluations,
+                "pruned_candidates": self.search_pruned,
+                "backends": {
+                    name: dict(entry)
+                    for name, entry in sorted(self.search_backends.items())
+                },
+            },
         }
         if cache is not None:
             payload["cache"] = cache
@@ -300,6 +335,13 @@ class ServeMetrics:
         lines.append(
             f"  reloads: {self.reloads} swapped, {self.reload_failures} failed"
         )
+        for name, entry in sorted(self.search_backends.items()):
+            lines.append(
+                f"  search[{name}]: {entry['runs']} runs, "
+                f"{entry['evaluations']} evaluations, "
+                f"{entry['pruned_candidates']} pruned, "
+                f"{entry['exhausted']} budget-exhausted"
+            )
         if self.observations:
             lines.append(
                 f"  calibration: {self.observations} observations, "

@@ -6,7 +6,8 @@ pipelined requests can be matched out of order), an ``op``, and the
 op-specific parameters::
 
     {"id": 1, "op": "estimate", "pipeline": "ns7", "config": [1,2,8,1], "ns": [3200]}
-    {"id": 2, "op": "optimize", "pipeline": "ns7", "n": 3200, "top": 5}
+    {"id": 2, "op": "optimize", "pipeline": "ns7", "n": 3200, "top": 5,
+     "backend": "branch-bound", "budget": 500}
     {"id": 3, "op": "whatif",   "config": [1,2,8,1], "ns": [1600, 3200]}
     {"id": 4, "op": "models",   "pipeline": "ns7"}
     {"id": 5, "op": "stats"}
@@ -36,6 +37,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.search import registered_search_backends
 from repro.errors import ReproError
 
 #: Ops the service understands.  estimate/optimize/whatif flow through the
@@ -96,6 +98,10 @@ class Request:
     config: Optional[Tuple[int, ...]] = None
     ns: Tuple[int, ...] = ()
     top: int = 10
+    #: Search backend for optimize/whatif (None = each pipeline's default).
+    backend: Optional[str] = None
+    #: Evaluation budget for budget-capable backends (None = unbounded).
+    budget: Optional[int] = None
     params: Dict[str, object] = field(default_factory=dict)
 
 
@@ -151,6 +157,24 @@ def parse_request(line: str) -> Request:
     config: Optional[Tuple[int, ...]] = None
     ns: Tuple[int, ...] = ()
     top = 10
+    backend: Optional[str] = None
+    budget: Optional[int] = None
+
+    if op in ("optimize", "whatif"):
+        backend = payload.get("backend")
+        if backend is not None:
+            if not isinstance(backend, str):
+                raise ProtocolError("'backend' must be a string")
+            known_backends = registered_search_backends()
+            if backend not in known_backends:
+                raise ProtocolError(
+                    f"unknown search backend {backend!r} "
+                    f"(known: {', '.join(known_backends)})"
+                )
+        budget = payload.get("budget")
+        if budget is not None:
+            if isinstance(budget, bool) or not isinstance(budget, int) or budget < 1:
+                raise ProtocolError("'budget' must be a positive integer")
 
     if op in ("estimate", "whatif"):
         config = tuple(_require_int_list(payload, "config", minimum=0))
@@ -174,11 +198,11 @@ def parse_request(line: str) -> Request:
                 "'observe' needs a 'record' object (a serialized measurement)"
             )
 
-    known = {"id", "op", "pipeline", "config", "ns", "n", "top"}
+    known = {"id", "op", "pipeline", "config", "ns", "n", "top", "backend", "budget"}
     extra = {key: value for key, value in payload.items() if key not in known}
     return Request(
         id=request_id, op=op, pipeline=pipeline, config=config, ns=ns, top=top,
-        params=extra,
+        backend=backend, budget=budget, params=extra,
     )
 
 

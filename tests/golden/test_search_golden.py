@@ -1,0 +1,64 @@
+"""Golden agreement of the exact search backends on the paper's grid.
+
+The branch-and-bound backend prunes subtrees with model-derived lower
+bounds, but it is still an *exact* search: on the paper's 62-candidate
+grid, at every evaluation size of every protocol, its winner must be
+**bitwise** identical to the exhaustive optimizer's — same configuration
+key, same estimate float, ``==`` with no tolerances.  Any drift means
+the bound is not a true lower bound (or the tie-break order changed).
+"""
+
+import pytest
+
+from repro.cluster.presets import kishimoto_cluster
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+
+PROTOCOLS = ("basic", "nl", "ns")
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    spec = kishimoto_cluster()
+    return {
+        protocol: EstimationPipeline(
+            spec, PipelineConfig(protocol=protocol, seed=7)
+        )
+        for protocol in PROTOCOLS
+    }
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestBranchBoundGolden:
+    def test_best_bitwise_identical_at_every_size(self, pipelines, protocol):
+        pipeline = pipelines[protocol]
+        for n in pipeline.plan.evaluation_sizes:
+            exhaustive = pipeline.optimize(n)
+            bb = pipeline.optimize(n, backend="branch-bound")
+            assert bb.best.config.key() == exhaustive.best.config.key(), (
+                f"{protocol} winner drifted at N={n}"
+            )
+            assert bb.best.estimate_s == exhaustive.best.estimate_s, (
+                f"{protocol} estimate drifted at N={n}"
+            )
+
+    def test_branch_bound_actually_prunes(self, pipelines, protocol):
+        pipeline = pipelines[protocol]
+        n = pipeline.plan.evaluation_sizes[0]
+        exhaustive = pipeline.optimize(n)
+        bb = pipeline.optimize(n, backend="branch-bound")
+        assert bb.stats.evaluations + bb.stats.pruned_candidates == len(
+            exhaustive.ranking
+        )
+        assert bb.stats.evaluations < len(exhaustive.ranking)
+
+    def test_evaluated_subset_estimates_match_exhaustive(
+        self, pipelines, protocol
+    ):
+        """Every candidate branch-and-bound did evaluate carries the
+        identical float the exhaustive ranking assigns it."""
+        pipeline = pipelines[protocol]
+        n = pipeline.plan.evaluation_sizes[-1]
+        exhaustive = pipeline.optimize(n)
+        bb = pipeline.optimize(n, backend="branch-bound")
+        for entry in bb.ranking:
+            assert entry.estimate_s == exhaustive.estimate_for(entry.config)

@@ -1,0 +1,159 @@
+"""Serving the search backends: request fields, grouping, counters."""
+
+import asyncio
+from pathlib import Path
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import FLEET_COUNTER_FIELDS, ServeMetrics
+from repro.serve.protocol import ProtocolError, Request, parse_request
+from repro.serve.registry import ModelRegistry
+
+FIXTURE = Path(__file__).parent.parent / "golden" / "format1_pipeline"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_batcher(**kwargs):
+    registry = ModelRegistry()
+    registry.add("golden", FIXTURE)
+    return MicroBatcher(registry, **kwargs)
+
+
+def optimize_request(i, backend=None, budget=None, ns=(3200,), top=3):
+    return Request(
+        id=i, op="optimize", pipeline="golden", ns=tuple(ns), top=top,
+        backend=backend, budget=budget,
+    )
+
+
+class TestRequestFields:
+    def test_optimize_carries_backend_and_budget(self):
+        request = parse_request(
+            '{"id": 1, "op": "optimize", "pipeline": "p", "n": 3200,'
+            ' "backend": "branch-bound", "budget": 500}'
+        )
+        assert request.backend == "branch-bound"
+        assert request.budget == 500
+
+    def test_fields_default_to_none(self):
+        request = parse_request(
+            '{"id": 1, "op": "optimize", "pipeline": "p", "n": 3200}'
+        )
+        assert request.backend is None
+        assert request.budget is None
+
+    def test_unknown_backend_rejected_with_known_tags(self):
+        with pytest.raises(ProtocolError, match="branch-bound"):
+            parse_request(
+                '{"id": 1, "op": "optimize", "pipeline": "p", "n": 3200,'
+                ' "backend": "no-such"}'
+            )
+
+    @pytest.mark.parametrize("budget", ["0", "-3", "true", "2.5", '"40"'])
+    def test_invalid_budget_rejected(self, budget):
+        with pytest.raises(ProtocolError, match="budget"):
+            parse_request(
+                '{"id": 1, "op": "optimize", "pipeline": "p", "n": 3200,'
+                f' "budget": {budget}}}'
+            )
+
+    def test_whatif_accepts_the_fields_too(self):
+        request = parse_request(
+            '{"id": 1, "op": "whatif", "config": [1,2,8,1], "n": 3200,'
+            ' "backend": "beam", "budget": 40}'
+        )
+        assert request.backend == "beam"
+        assert request.budget == 40
+
+
+class TestBackendGrouping:
+    def test_same_backend_requests_share_one_search(self):
+        async def scenario():
+            batcher = make_batcher(batch_window_s=0.01)
+            batcher.start()
+            futures = [
+                batcher.submit(
+                    optimize_request(i, backend="branch-bound", ns=(3200 + 80 * i,))
+                )
+                for i in range(4)
+            ]
+            results = await asyncio.gather(*futures)
+            await batcher.drain_and_stop()
+            return batcher, results
+
+        batcher, results = run(scenario())
+        assert batcher.metrics.batch_groups.max == 1
+        for result in results:
+            search = result["sizes"][0]["search"]
+            assert search["backend"] == "branch-bound"
+            assert search["evaluations"] >= 1
+
+    def test_distinct_backends_never_share_a_search(self):
+        async def scenario():
+            batcher = make_batcher(batch_window_s=0.01)
+            batcher.start()
+            futures = [
+                batcher.submit(optimize_request(0, backend=None)),
+                batcher.submit(optimize_request(1, backend="branch-bound")),
+                batcher.submit(optimize_request(2, backend="beam", budget=40)),
+                batcher.submit(optimize_request(3, backend="beam", budget=20)),
+            ]
+            results = await asyncio.gather(*futures)
+            await batcher.drain_and_stop()
+            return batcher, results
+
+        batcher, results = run(scenario())
+        # None / branch-bound / (beam, 40) / (beam, 20): four groups.
+        assert batcher.metrics.batch_groups.max == 4
+        assert results[1]["sizes"][0]["search"]["backend"] == "branch-bound"
+        assert results[2]["sizes"][0]["search"]["backend"] == "beam"
+
+    def test_backend_winner_matches_default_exhaustive(self):
+        async def scenario():
+            batcher = make_batcher(batch_window_s=0.0)
+            batcher.start()
+            default = await batcher.submit(optimize_request(0))
+            bb = await batcher.submit(optimize_request(1, backend="branch-bound"))
+            await batcher.drain_and_stop()
+            return default, bb
+
+        default, bb = run(scenario())
+        a = default["sizes"][0]["ranking"][0]
+        b = bb["sizes"][0]["ranking"][0]
+        assert a["config"] == b["config"]
+        assert a["estimate_s"] == b["estimate_s"]
+
+
+class TestSearchCounters:
+    def test_fleet_counter_fields_include_search(self):
+        assert "search_evaluations" in FLEET_COUNTER_FIELDS
+        assert "search_pruned" in FLEET_COUNTER_FIELDS
+
+    def test_fleet_counter_values_stay_aligned(self):
+        metrics = ServeMetrics()
+        values = metrics.fleet_counter_values()
+        assert len(values) == len(FLEET_COUNTER_FIELDS)
+        assert all(v == 0 for v in values)
+
+    def test_optimize_feeds_search_counters(self):
+        async def scenario():
+            batcher = make_batcher(batch_window_s=0.0)
+            batcher.start()
+            await batcher.submit(optimize_request(0, backend="branch-bound"))
+            await batcher.drain_and_stop()
+            return batcher.metrics
+
+        metrics = run(scenario())
+        assert metrics.search_evaluations >= 1
+        assert metrics.search_pruned >= 1
+        entry = metrics.search_backends["branch-bound"]
+        assert entry["runs"] == 1
+        by_field = dict(zip(FLEET_COUNTER_FIELDS, metrics.fleet_counter_values()))
+        assert by_field["search_evaluations"] == metrics.search_evaluations
+        assert by_field["search_pruned"] == metrics.search_pruned
+        assert "search" in metrics.to_dict()
+        assert "search[branch-bound]" in metrics.describe()
