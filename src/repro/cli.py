@@ -11,6 +11,7 @@ Examples::
     repro verify --protocol ns          # Table 9 (best-config errors)
     repro correlate --protocol basic --n 6400   # Fig. 6/7 ASCII scatter
     repro optimize --protocol nl --n 8000       # ranked configurations
+    repro pareto --protocol basic --n 5000      # time/cost Pareto frontier
     repro report --protocol basic       # everything for one protocol
     repro models --dir saved/           # model inventory of a saved pipeline
     repro models --dir ledger/ --fingerprints   # ledger <-> artifact fingerprints
@@ -135,6 +136,46 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="evaluation budget for budget-capable backends (default: unbounded)",
+    )
+    opt.add_argument(
+        "--max-cost",
+        type=float,
+        default=None,
+        help="dollar cap per run (needs a priced cluster; uses budget-frontier)",
+    )
+    opt.add_argument(
+        "--objective",
+        default=None,
+        help="'time' (default) or 'weighted:ALPHA' time/cost scalarization",
+    )
+    opt.add_argument(
+        "--profile", action="store_true", help="print the pipeline's PerfReport"
+    )
+
+    pareto = sub.add_parser(
+        "pareto", help="time/cost Pareto frontier over the candidate grid"
+    )
+    pareto.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
+    pareto.add_argument("--n", type=int, required=True)
+    pareto.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="evaluation budget for the frontier search (default: unbounded)",
+    )
+    pareto.add_argument(
+        "--max-cost",
+        type=float,
+        default=None,
+        help="only keep frontier points with dollar cost <= this cap",
+    )
+    pareto.add_argument(
+        "--rates",
+        default=None,
+        help=(
+            "JSON rate card (repro.cost.model format); default: the cluster's "
+            "own card, else the paper-era published card"
+        ),
     )
 
     advise = sub.add_parser(
@@ -309,8 +350,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--op",
         required=True,
         choices=[
-            "estimate", "optimize", "whatif", "models", "stats", "reload",
-            "ping", "calibration", "fleet_status",
+            "estimate", "optimize", "whatif", "pareto", "models", "stats",
+            "reload", "ping", "calibration", "fleet_status",
         ],
     )
     client.add_argument("--pipeline", default=None, help="pipeline name on the server")
@@ -323,7 +364,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", default=None, help="search backend tag (optimize/whatif)"
     )
     client.add_argument(
-        "--budget", type=int, default=None, help="evaluation budget (optimize/whatif)"
+        "--budget",
+        type=int,
+        default=None,
+        help="evaluation budget (optimize/whatif/pareto)",
+    )
+    client.add_argument(
+        "--max-cost",
+        type=float,
+        default=None,
+        help="dollar cap (optimize/pareto)",
+    )
+    client.add_argument(
+        "--objective",
+        default=None,
+        help="'time' or 'weighted:ALPHA' scalarization (optimize)",
     )
 
     export = sub.add_parser(
@@ -346,6 +401,33 @@ def _spec(args: argparse.Namespace):
 
         return load_cluster(args.cluster)
     return kishimoto_cluster(mpich=args.mpich, network=args.network)
+
+
+def _priced_pipeline(args: argparse.Namespace) -> EstimationPipeline:
+    """A pipeline whose cluster carries a rate card: ``--rates FILE`` when
+    given, the cluster's own card when priced, else the published
+    paper-era card (with a note, so the fallback is never silent)."""
+    spec = _spec(args)
+    rates = getattr(args, "rates", None)
+    if rates is not None:
+        import json as _json
+
+        from repro.cost.model import cost_model_from_dict
+
+        with open(rates, "r", encoding="utf-8") as handle:
+            data = _json.load(handle)
+        spec = spec.with_cost(cost_model_from_dict(data, origin=rates))
+    elif spec.cost is None:
+        from repro.cost.presets import kishimoto_rate_card
+
+        print(
+            f"note: cluster {spec.name!r} has no rate card; using the "
+            "published paper-era card (override with --rates FILE)"
+        )
+        spec = spec.with_cost(kishimoto_rate_card())
+    return EstimationPipeline(
+        spec, PipelineConfig(protocol=args.protocol, seed=args.seed)
+    )
 
 
 def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
@@ -625,11 +707,17 @@ def _run_client(args: argparse.Namespace) -> None:
         params["ns"] = list(args.n)
     if args.op == "optimize":
         params["top"] = args.top
+        if args.objective is not None:
+            params["objective"] = args.objective
     if args.op in ("optimize", "whatif"):
         if args.backend is not None:
             params["backend"] = args.backend
+    if args.op in ("optimize", "whatif", "pareto"):
         if args.budget is not None:
             params["budget"] = args.budget
+    if args.op in ("optimize", "pareto"):
+        if args.max_cost is not None:
+            params["max_cost"] = args.max_cost
     try:
         client = ServeClient(args.host, args.port)
     except OSError as exc:
@@ -712,7 +800,22 @@ def _dispatch(args: argparse.Namespace) -> None:
         print(ascii_scatter(data, adjusted=adjusted))
     elif args.command == "optimize":
         pipeline = _pipeline(args)
-        outcome = pipeline.optimize(args.n, backend=args.backend, budget=args.budget)
+        alpha = None
+        if args.objective is not None:
+            from repro.cost.pareto import parse_objective
+
+            alpha = parse_objective(args.objective)
+        if (args.max_cost is not None or alpha is not None) and (
+            pipeline.cost_model is None
+        ):
+            pipeline = _priced_pipeline(args)
+        outcome = pipeline.optimize(
+            args.n,
+            backend=args.backend,
+            budget=args.budget,
+            max_cost=args.max_cost,
+            alpha=alpha,
+        )
         kinds = pipeline.plan.kinds
         print(
             f"Top {args.top} of {len(outcome.ranking)} configurations at "
@@ -733,6 +836,45 @@ def _dispatch(args: argparse.Namespace) -> None:
                 detail += " (exhausted)" if stats.exhausted else " (not exhausted)"
             if not outcome.complete:
                 detail += " [partial ranking]"
+            print(detail)
+            if stats.stuck:
+                print(
+                    "warning: search stopped structurally stuck at a local "
+                    "optimum without covering the space; treat the winner "
+                    "as a lower-confidence suggestion"
+                )
+        if args.profile:
+            print()
+            print(pipeline.perf.render())
+    elif args.command == "pareto":
+        pipeline = _pipeline(args)
+        if args.rates is not None or pipeline.cost_model is None:
+            pipeline = _priced_pipeline(args)
+        outcome = pipeline.pareto(args.n, budget=args.budget, max_cost=args.max_cost)
+        kinds = pipeline.plan.kinds
+        cap = f", cost <= ${args.max_cost:g}" if args.max_cost is not None else ""
+        print(
+            f"Pareto frontier at N={args.n}{cap}: {len(outcome.points)} points "
+            f"({outcome.search_seconds * 1e3:.1f} ms search)"
+        )
+        print(f"{'':>5s}{'config':>12s}  {'time [s]':>12s}  {'cost [$]':>12s}  "
+              f"{'energy [Wh]':>12s}")
+        for i, point in enumerate(outcome.points, 1):
+            print(
+                f"{i:3d}. {point.config.label(kinds):>12s}  "
+                f"{point.time_s:12.2f}  {point.dollars:12.6f}  "
+                f"{point.energy_wh:12.4f}"
+            )
+        stats = outcome.stats
+        if stats is not None:
+            detail = f"search: {stats.backend}, {stats.evaluations} evaluations"
+            if stats.pruned_candidates:
+                detail += (
+                    f", pruned {stats.pruned_candidates} candidates "
+                    f"in {stats.pruned_subtrees} subtrees"
+                )
+            if not outcome.complete:
+                detail += " [budget-exhausted: frontier covers visited candidates only]"
             print(detail)
     elif args.command == "advise":
         from repro.measure.advisor import advise as run_advisor

@@ -24,7 +24,11 @@ from repro.cluster.spec import ClusterSpec
 from repro.errors import ClusterError
 from repro.simnet.mpich import MPICHVersion
 
-_FORMAT = 1
+#: Format 2 added the optional ``cost`` rate-card stanza; format-1
+#: documents (no such stanza) still load, with ``cost=None`` — an
+#: unpriced cluster behaves exactly as it did before the bump.
+_FORMAT = 2
+_READABLE_FORMATS = (1, 2)
 
 
 def kind_to_dict(kind: PEKind) -> Dict[str, object]:
@@ -97,8 +101,9 @@ def mpich_from_dict(data: Mapping[str, object]) -> MPICHVersion:
 
 def cluster_to_dict(spec: ClusterSpec) -> Dict[str, object]:
     """Schema: ``{format, name, kinds: [...], nodes: [{name, kind, cpus,
-    memory_bytes, os_reserved_bytes}], network: {...}, intranode: {...}}``."""
-    return {
+    memory_bytes, os_reserved_bytes}], network: {...}, intranode: {...},
+    cost?: {rates: [...]}}`` — ``cost`` is present only on priced specs."""
+    out: Dict[str, object] = {
         "format": _FORMAT,
         "name": spec.name,
         "kinds": [kind_to_dict(kind) for kind in spec.kinds],
@@ -115,11 +120,18 @@ def cluster_to_dict(spec: ClusterSpec) -> Dict[str, object]:
         "network": network_to_dict(spec.network),
         "intranode": mpich_to_dict(spec.intranode),
     }
+    if spec.cost is not None:
+        # Imported at call time: repro.cost sits above the cluster layer
+        # in the import graph (its package init reaches repro.core).
+        from repro.cost.model import cost_model_to_dict
+
+        out["cost"] = cost_model_to_dict(spec.cost)
+    return out
 
 
 def cluster_from_dict(data: Mapping[str, object]) -> ClusterSpec:
     """Inverse of :func:`cluster_to_dict`; validates kind references."""
-    if data.get("format") != _FORMAT:
+    if data.get("format") not in _READABLE_FORMATS:
         raise ClusterError(f"unsupported cluster format {data.get('format')!r}")
     kinds = {}
     for kind_data in data["kinds"]:  # type: ignore[union-attr]
@@ -141,11 +153,17 @@ def cluster_from_dict(data: Mapping[str, object]) -> ClusterSpec:
                 os_reserved_bytes=int(node_data.get("os_reserved_bytes", 0)),
             )
         )
+    cost = None
+    if "cost" in data:
+        from repro.cost.model import cost_model_from_dict
+
+        cost = cost_model_from_dict(data["cost"], origin="cost")  # type: ignore[arg-type]
     return ClusterSpec(
         name=str(data["name"]),
         nodes=tuple(nodes),
         network=network_from_dict(data["network"]),  # type: ignore[arg-type]
         intranode=mpich_from_dict(data["intranode"]),  # type: ignore[arg-type]
+        cost=cost,
     )
 
 

@@ -9,13 +9,16 @@ construction so the rest of the code can assume a well-formed cluster.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 
 from repro.cluster.network import NetworkSpec
 from repro.cluster.node import Node
 from repro.cluster.pe import PEKind
 from repro.errors import ClusterError
 from repro.simnet.mpich import MPICHVersion
+
+if TYPE_CHECKING:  # repro.cost imports the cluster layer, never the reverse
+    from repro.cost.model import CostModel
 
 
 @dataclass(frozen=True)
@@ -34,12 +37,17 @@ class ClusterSpec:
     intranode:
         MPI shared-memory transport model (per-MPICH-version curves); used
         for messages between processes on the same *node*.
+    cost:
+        Optional rate card (:class:`repro.cost.model.CostModel`) pricing
+        the cluster's PE kinds; ``None`` means the cluster is unpriced
+        and behaves exactly as before the cost subsystem existed.
     """
 
     name: str
     nodes: Tuple[Node, ...]
     network: NetworkSpec
     intranode: MPICHVersion
+    cost: Optional["CostModel"] = None
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -57,6 +65,16 @@ class ClusterSpec:
                     "definitions across nodes"
                 )
             seen[node.kind.name] = node.kind
+        if self.cost is not None:
+            # Duck-typed: anything with kind_names() naming a subset of
+            # this cluster's kinds (a rate for hardware the cluster does
+            # not have is a description error, not a free default).
+            for kind_name in self.cost.kind_names():
+                if kind_name not in seen:
+                    raise ClusterError(
+                        f"{self.name}: rate card prices unknown kind "
+                        f"{kind_name!r} (cluster kinds: {sorted(seen)})"
+                    )
 
     # -- inventory queries ---------------------------------------------------
 
@@ -107,6 +125,10 @@ class ClusterSpec:
         """Same cluster with a different MPI shared-memory transport."""
         return replace(self, intranode=intranode)
 
+    def with_cost(self, cost: Optional["CostModel"]) -> "ClusterSpec":
+        """Same cluster under a different rate card (None = unpriced)."""
+        return replace(self, cost=cost)
+
     def describe(self) -> str:
         """Multi-line human-readable inventory (the paper's Table 1 analog)."""
         lines = [f"Cluster {self.name!r}"]
@@ -118,4 +140,7 @@ class ClusterSpec:
             )
         lines.append(f"  network: {self.network.name}")
         lines.append(f"  intranode MPI: {self.intranode.name}")
+        if self.cost is not None:
+            for line in self.cost.describe().splitlines():
+                lines.append(f"  {line}")
         return "\n".join(lines)

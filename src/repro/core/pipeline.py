@@ -26,7 +26,7 @@ per-kind estimates with the adjustment into :class:`ConfigEstimate`, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,10 @@ from repro.measure.dataset import Dataset
 from repro.measure.grids import CampaignPlan, plan_by_name
 from repro.perf.cache import EstimateCache
 from repro.perf.report import PerfReport
+
+if TYPE_CHECKING:  # repro.cost imports the core layer, never the reverse
+    from repro.cost.model import CostModel
+    from repro.cost.pareto import FrontierOutcome
 
 
 @dataclass(frozen=True)
@@ -99,6 +103,11 @@ class PipelineConfig:
     #: pruning; "beam"/"greedy"/"hill-climb"/"anneal", heuristic).
     #: Per-call ``backend=`` arguments override it.
     search_backend: str = "exhaustive"
+    #: Rate card (:class:`repro.cost.model.CostModel`) for cost-aware
+    #: optimization.  ``None`` defers to the cluster spec's own card
+    #: (``spec.cost``); setting it here overrides the spec — e.g. to
+    #: price a what-if scenario without editing the cluster description.
+    cost: Optional["CostModel"] = None
 
 
 @dataclass(frozen=True)
@@ -302,30 +311,73 @@ class EstimationPipeline:
         candidates: Optional[Sequence[ClusterConfig]] = None,
         backend: Optional[str] = None,
         budget: Optional[int] = None,
+        **options,
     ):
         """A ready-to-run search backend over the candidate grid
         (``backend=None`` uses the config's ``search_backend``)."""
-        return self._engine.optimizer(candidates, backend=backend, budget=budget)
+        return self._engine.optimizer(
+            candidates, backend=backend, budget=budget, **options
+        )
 
     def optimize(
         self,
         n: int,
         backend: Optional[str] = None,
         budget: Optional[int] = None,
+        max_cost: Optional[float] = None,
+        alpha: Optional[float] = None,
     ) -> SearchOutcome:
         # Resolving the engine forces campaign/fit/adjust through their
         # own timed stages, so the search timing is pure search.
-        return self._engine.optimize(n, backend=backend, budget=budget)
+        return self._engine.optimize(
+            n, backend=backend, budget=budget, max_cost=max_cost, alpha=alpha
+        )
 
     def optimize_many(
         self,
         ns: Sequence[int],
         backend: Optional[str] = None,
         budget: Optional[int] = None,
+        max_cost: Optional[float] = None,
+        alpha: Optional[float] = None,
     ) -> List[SearchOutcome]:
         """Rank the candidate grid at every size in one batched search —
         the fast path for sweeps and what-if studies."""
-        return self._engine.optimize_many(ns, backend=backend, budget=budget)
+        return self._engine.optimize_many(
+            ns, backend=backend, budget=budget, max_cost=max_cost, alpha=alpha
+        )
+
+    # -- cost axis ----------------------------------------------------------------
+
+    @property
+    def cost_model(self) -> Optional["CostModel"]:
+        """The rate card in effect: the pipeline config's, else the
+        cluster spec's, else ``None`` (unpriced)."""
+        if self.config.cost is not None:
+            return self.config.cost
+        return self.spec.cost
+
+    def pareto(
+        self,
+        n: int,
+        budget: Optional[int] = None,
+        max_cost: Optional[float] = None,
+    ) -> "FrontierOutcome":
+        """The exact (time, dollars) Pareto frontier over the candidate
+        grid at order ``n`` (restricted to ``dollars <= max_cost`` when
+        given).  Uses the ``budget-frontier`` backend; an unpriced
+        pipeline still works — the frontier then degenerates to the
+        minimum-time point."""
+        return self._engine.pareto(n, budget=budget, max_cost=max_cost)
+
+    def pareto_many(
+        self,
+        ns: Sequence[int],
+        budget: Optional[int] = None,
+        max_cost: Optional[float] = None,
+    ) -> List["FrontierOutcome"]:
+        """One frontier per size (the serve layer's batched ``pareto`` op)."""
+        return self._engine.pareto_many(ns, budget=budget, max_cost=max_cost)
 
     # -- stage 6: verification --------------------------------------------------------------
 

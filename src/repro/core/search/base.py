@@ -74,6 +74,11 @@ class SearchStats:
     budget: Optional[int] = None
     #: True when the run stopped because the budget ran out.
     exhausted: bool = False
+    #: True when a greedy/local run stopped at a local optimum without
+    #: having seen most of the space — the "structurally stuck" failure
+    #: mode the PR-7 benches documented.  Callers should surface it (the
+    #: CLI prints a one-line warning) instead of trusting the result.
+    stuck: bool = False
 
     def record(self, config: ClusterConfig, estimate: float) -> None:
         self.evaluations += 1
@@ -99,6 +104,8 @@ class SearchStats:
         }
         if self.budget is not None:
             out["budget"] = self.budget
+        if self.stuck:
+            out["stuck"] = True
         if include_trace:
             out["trace"] = list(self.trace)
         return out
@@ -251,6 +258,10 @@ class SearchProblem:
     #: :class:`repro.core.search.bounds.KindTimeBound`); without one,
     #: branch-and-bound cannot prune and refuses to run.
     bounds: Optional[object] = None
+    #: Rate card for the cost-aware backends (duck-typed
+    #: :class:`repro.cost.model.CostModel`); None means every kind is
+    #: free and the frontier degenerates to the minimum-time point.
+    cost: Optional[object] = None
     allow_unestimable: bool = True
     #: Seed for the stochastic backends (hill climbing, annealing).
     seed: int = 0

@@ -283,7 +283,12 @@ class GreedyGrowth(LocalSearchBase):
                     break
                 best_move = min(moves, key=lambda s: self._evaluate(s, n, stats))
                 if self._evaluate(best_move, n, stats) >= current_value:
-                    break  # local optimum
+                    # Local optimum.  Greedy has no restarts, so stopping
+                    # here with most of the space unseen is the
+                    # "structurally stuck" failure mode — flag it rather
+                    # than return a silently bad result.
+                    stats.stuck = stats.evaluations < self.space.size
+                    break
                 current = best_move
         except _BudgetExhausted:
             stats.exhausted = True

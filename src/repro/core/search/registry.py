@@ -16,6 +16,7 @@ Importing :mod:`repro.core.search` registers the shipped backends
 
 from __future__ import annotations
 
+import importlib
 from typing import Dict, Iterator, Tuple, Type
 
 from repro.core.search.base import SearchBackend, SearchProblem
@@ -26,6 +27,14 @@ from repro.errors import SearchError
 DEFAULT_BACKEND = "exhaustive"
 
 _REGISTRY: Dict[str, Type[SearchBackend]] = {}
+
+#: Backends that live outside :mod:`repro.core.search` (tag -> module).
+#: Importing the module registers the tag; resolving one of these on
+#: demand keeps the core layer free of upward imports (``repro.cost``
+#: imports the search core, never the reverse).
+_LAZY_BACKENDS: Dict[str, str] = {
+    "budget-frontier": "repro.cost.search",
+}
 
 
 def register_search(tag: str):
@@ -48,16 +57,18 @@ def register_search(tag: str):
 
 
 def registered_search_backends() -> Tuple[str, ...]:
-    """Every registered backend tag, sorted."""
-    return tuple(sorted(_REGISTRY))
+    """Every registered or lazily-loadable backend tag, sorted."""
+    return tuple(sorted(set(_REGISTRY) | set(_LAZY_BACKENDS)))
 
 
 def search_backend_class(tag: str) -> Type[SearchBackend]:
     """The backend class registered under ``tag`` (SearchError if none)."""
+    if tag not in _REGISTRY and tag in _LAZY_BACKENDS:
+        importlib.import_module(_LAZY_BACKENDS[tag])
     try:
         return _REGISTRY[tag]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        known = ", ".join(registered_search_backends()) or "(none)"
         raise SearchError(
             f"unknown search backend {tag!r} (registered: {known})"
         ) from None

@@ -61,6 +61,7 @@ from repro.core.search import (
     estimator_bounds,
 )
 from repro.core.search import actual_best as _actual_best
+from repro.errors import SearchError
 from repro.hpl.schedule import walker_stats
 from repro.measure.campaign import CampaignResult, run_campaign, run_evaluation
 from repro.measure.dataset import Dataset
@@ -436,6 +437,11 @@ class SearchStage(Stage):
             perf=ctx.perf,
             default_backend=getattr(ctx.config, "search_backend", DEFAULT_BACKEND),
             seed=getattr(ctx.config, "seed", 0),
+            cost_model=(
+                getattr(ctx.config, "cost", None)
+                if getattr(ctx.config, "cost", None) is not None
+                else getattr(ctx.spec, "cost", None)
+            ),
         )
 
 
@@ -525,6 +531,7 @@ class SearchEngine:
         perf: PerfReport,
         default_backend: str = DEFAULT_BACKEND,
         seed: int = 0,
+        cost_model: Optional[object] = None,
     ):
         self.facade = facade
         self.adjustment = adjustment
@@ -535,6 +542,8 @@ class SearchEngine:
         self.perf = perf
         self.default_backend = default_backend
         self.seed = seed
+        #: Duck-typed :class:`repro.cost.model.CostModel` (None = unpriced).
+        self.cost_model = cost_model
         self._cache: Optional[EstimateCache] = None
 
     @property
@@ -612,6 +621,7 @@ class SearchEngine:
         candidates: Optional[Sequence[ClusterConfig]] = None,
         backend: Optional[str] = None,
         budget: Optional[int] = None,
+        **options,
     ) -> SearchBackend:
         """A ready-to-run search backend over the candidate grid.
 
@@ -619,14 +629,18 @@ class SearchEngine:
         ``search_backend``); the plain exhaustive default keeps its
         vectorized grid fast path.  Any other tag goes through the search
         registry with a :class:`SearchProblem` carrying the model-derived
-        bound oracle (so ``branch-bound`` can prune) and the pipeline
-        seed (so stochastic backends are reproducible).
+        bound oracle (so ``branch-bound`` can prune), the rate card (so
+        ``budget-frontier`` can price), and the pipeline seed (so
+        stochastic backends are reproducible).  Extra ``options`` go to
+        the backend's ``from_problem`` (e.g. ``max_cost=``/``alpha=`` for
+        ``budget-frontier``); a backend that rejects one raises
+        :class:`~repro.errors.SearchError`.
         """
         tag = backend if backend is not None else self.default_backend
         pool = (
             list(candidates) if candidates is not None else self._candidates()
         )
-        if tag == "exhaustive" and budget is None:
+        if tag == "exhaustive" and budget is None and not options:
             return ExhaustiveOptimizer(
                 self.estimator(), pool, batch_estimator=self.batch_estimator()
             )
@@ -640,9 +654,36 @@ class SearchEngine:
             bounds=estimator_bounds(
                 self.facade, self.adjustment, p_max=space.max_total_processes
             ),
+            cost=self.cost_model,
             seed=self.seed,
         )
-        return create_search(tag, problem, budget=budget)
+        return create_search(tag, problem, budget=budget, **options)
+
+    @staticmethod
+    def _cost_options(
+        backend: Optional[str],
+        max_cost: Optional[float],
+        alpha: Optional[float],
+    ) -> tuple:
+        """Resolve (tag, options) for a possibly cost-constrained call.
+
+        A ``max_cost`` or ``alpha`` needs the multi-objective backend;
+        combining either with an explicitly different backend is a typed
+        error rather than a silently ignored constraint.
+        """
+        if max_cost is None and alpha is None:
+            return backend, {}
+        if backend is not None and backend != "budget-frontier":
+            raise SearchError(
+                f"max_cost/alpha need the 'budget-frontier' backend, "
+                f"not {backend!r}"
+            )
+        options = {}
+        if max_cost is not None:
+            options["max_cost"] = max_cost
+        if alpha is not None:
+            options["alpha"] = alpha
+        return "budget-frontier", options
 
     def _record(self, outcome: SearchOutcome) -> SearchOutcome:
         self.perf.record_search(outcome.stats)
@@ -653,10 +694,13 @@ class SearchEngine:
         n: int,
         backend: Optional[str] = None,
         budget: Optional[int] = None,
+        max_cost: Optional[float] = None,
+        alpha: Optional[float] = None,
     ) -> SearchOutcome:
+        tag, options = self._cost_options(backend, max_cost, alpha)
         with self.perf.stage("search"):
             return self._record(
-                self.optimizer(backend=backend, budget=budget).optimize(n)
+                self.optimizer(backend=tag, budget=budget, **options).optimize(n)
             )
 
     def optimize_many(
@@ -664,12 +708,54 @@ class SearchEngine:
         ns: Sequence[int],
         backend: Optional[str] = None,
         budget: Optional[int] = None,
+        max_cost: Optional[float] = None,
+        alpha: Optional[float] = None,
     ) -> List[SearchOutcome]:
+        tag, options = self._cost_options(backend, max_cost, alpha)
         with self.perf.stage("search"):
             outcomes = self.optimizer(
-                backend=backend, budget=budget
+                backend=tag, budget=budget, **options
             ).optimize_many(ns)
             return [self._record(outcome) for outcome in outcomes]
+
+    # -- Pareto frontiers ----------------------------------------------------
+
+    def _frontier_backend(
+        self, budget: Optional[int], max_cost: Optional[float]
+    ):
+        options = {} if max_cost is None else {"max_cost": max_cost}
+        return self.optimizer(
+            backend="budget-frontier", budget=budget, **options
+        )
+
+    def pareto(
+        self,
+        n: int,
+        budget: Optional[int] = None,
+        max_cost: Optional[float] = None,
+    ):
+        """The exact (time, dollars) frontier at order ``n`` (a
+        :class:`repro.cost.pareto.FrontierOutcome`)."""
+        with self.perf.stage("search"):
+            outcome = self._frontier_backend(budget, max_cost).frontier(n)
+            self.perf.record_search(outcome.stats)
+            self.perf.record_frontier(outcome)
+            return outcome
+
+    def pareto_many(
+        self,
+        ns: Sequence[int],
+        budget: Optional[int] = None,
+        max_cost: Optional[float] = None,
+    ) -> List:
+        """One frontier per size, sharing a single backend construction."""
+        with self.perf.stage("search"):
+            backend = self._frontier_backend(budget, max_cost)
+            outcomes = backend.frontier_many(ns)
+            for outcome in outcomes:
+                self.perf.record_search(outcome.stats)
+                self.perf.record_frontier(outcome)
+            return outcomes
 
 
 # -- verification -------------------------------------------------------------

@@ -1,0 +1,68 @@
+"""Cost- and budget-aware optimization (`repro.cost`).
+
+The paper's optimizer answers "which configuration is fastest"; on a
+real heterogeneous cluster the fastest configuration is rarely the
+cheapest one.  This package makes resource cost a first-class axis:
+
+* :mod:`repro.cost.model` — per-kind rate cards (``$ / PE-hour`` plus
+  optional ``W / PE``) attached to cluster descriptions through a
+  backward-compatible :class:`CostModel` (old serialized specs load
+  with zero-cost defaults);
+* :mod:`repro.cost.evaluate` — a vectorized
+  ``(execution time, dollars, energy)`` evaluator riding the batched
+  ``estimate_totals`` path;
+* :mod:`repro.cost.pareto` — the exact Pareto-front machinery:
+  dominance tests, frontier assembly, brute-force enumeration and the
+  weighted scalarization used by ``optimize --objective weighted:a``;
+* :mod:`repro.cost.search` — the ``budget-frontier`` backend in the
+  PR-7 search registry: branch-and-bound frontier enumeration pruning
+  with the existing max-profile *time* lower bounds **and** a cost
+  lower bound, plus ``max_cost``-constrained minimum-time search;
+* :mod:`repro.cost.presets` — published rate cards for the paper's
+  testbed and the synthetic datacenter instances.
+
+Importing this package registers the ``budget-frontier`` backend.
+"""
+
+from repro.cost.evaluate import CostEvaluator, config_dollar_rate, config_watts
+from repro.cost.model import (
+    CostModel,
+    KindRate,
+    ZERO_COST,
+    cost_model_from_dict,
+    cost_model_to_dict,
+)
+from repro.cost.pareto import (
+    FRONTIER_OBJECTIVES,
+    FrontierOutcome,
+    FrontierPoint,
+    dominates,
+    enumerate_frontier,
+    pareto_front,
+    parse_objective,
+    select_weighted,
+)
+from repro.cost.presets import kishimoto_rate_card, synthetic_rate_card
+from repro.cost.search import BudgetFrontierSearch
+
+__all__ = [
+    "BudgetFrontierSearch",
+    "CostEvaluator",
+    "CostModel",
+    "FRONTIER_OBJECTIVES",
+    "FrontierOutcome",
+    "FrontierPoint",
+    "KindRate",
+    "ZERO_COST",
+    "config_dollar_rate",
+    "config_watts",
+    "cost_model_from_dict",
+    "cost_model_to_dict",
+    "dominates",
+    "enumerate_frontier",
+    "kishimoto_rate_card",
+    "pareto_front",
+    "parse_objective",
+    "select_weighted",
+    "synthetic_rate_card",
+]

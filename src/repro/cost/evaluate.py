@@ -1,0 +1,78 @@
+"""Vectorized ``(execution time, dollars, energy)`` evaluation.
+
+For one configuration the dollar and energy costs are *linear in wall
+time*: billing covers every allocated PE for the run's duration, so
+
+    dollars(config, N)   = T(config, N) * dollar_rate(config)      [$]
+    energy_wh(config, N) = T(config, N) * power(config) / 3600     [Wh]
+
+with ``dollar_rate`` and ``power`` pure functions of the allocation.
+That structure lets the evaluator ride the existing batched
+``estimate_totals`` path untouched: one vectorized time evaluation per
+configuration, then two scalar multiplies — the cost axes add no model
+evaluations at all.
+
+Unestimable configurations (time ``+inf``) get ``+inf`` dollars and
+energy as well, even at zero rates: a configuration outside the model's
+domain must rank last on *every* objective, never "free".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cost.model import CostModel
+
+
+def _active_allocations(config: ClusterConfig) -> Tuple[Tuple[str, int], ...]:
+    return tuple((a.kind_name, a.pe_count) for a in config.active)
+
+
+def config_dollar_rate(model: CostModel, config: ClusterConfig) -> float:
+    """Dollars per second of wall time under ``config`` (idle kinds are
+    not billed — only allocated PEs meter)."""
+    return model.dollar_rate(_active_allocations(config))
+
+
+def config_watts(model: CostModel, config: ClusterConfig) -> float:
+    """Electrical draw in watts of the PEs ``config`` allocates."""
+    return model.power_watts(_active_allocations(config))
+
+
+def costs_of_times(
+    model: CostModel, config: ClusterConfig, times: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``(dollars, energy_wh)`` for one configuration's time
+    array (the output of ``estimate_totals``)."""
+    times = np.asarray(times, dtype=float)
+    finite = np.isfinite(times)
+    dollar_rate = config_dollar_rate(model, config)
+    watts = config_watts(model, config)
+    dollars = np.where(finite, times * dollar_rate, np.inf)
+    energy_wh = np.where(finite, times * watts / 3600.0, np.inf)
+    return dollars, energy_wh
+
+
+class CostEvaluator:
+    """Batched ``(time, dollars, energy)`` over a time oracle.
+
+    ``batch_times`` is any ``(config, ns) -> array`` callable — in the
+    pipeline it is :meth:`EstimationPipeline.estimate_totals`, so every
+    cost query shares the estimate cache and the vectorized polynomial
+    path with plain estimation.
+    """
+
+    def __init__(self, model: CostModel, batch_times) -> None:
+        self.model = model
+        self._batch_times = batch_times
+
+    def totals(
+        self, config: ClusterConfig, ns: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(times_s, dollars, energy_wh)`` arrays over ``ns``."""
+        times = np.asarray(self._batch_times(config, ns), dtype=float)
+        dollars, energy_wh = costs_of_times(self.model, config, times)
+        return times, dollars, energy_wh

@@ -1,0 +1,206 @@
+"""Rate cards: what one PE of each kind costs to run.
+
+A :class:`CostModel` is a set of per-kind :class:`KindRate` entries —
+``dollars_per_pe_hour`` (the EC2/EMR shape of per-machine-type
+accounting) and an optional ``watts_per_pe`` for energy reporting.
+Kinds without an entry are free: a cluster description without a rate
+card behaves exactly as before the cost subsystem existed, which is
+what makes the serialization bump backward compatible.
+
+This module sits *below* :mod:`repro.cluster` in the import graph (the
+cluster spec holds an optional ``cost`` field), so it speaks about kinds
+only by name and imports nothing but the error types.
+
+Serialization follows the PR-3 persistence convention: unknown fields in
+a stored rate card are a :class:`~repro.errors.ModelError` naming the
+offending path — refusing to guess beats silently dropping a field a
+newer version wrote.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.errors import ModelError
+
+#: Seconds per hour, the only unit conversion in the package.
+SECONDS_PER_HOUR = 3600.0
+
+
+def _finite_rate(value: object, path: str) -> float:
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ModelError(f"{path} must be a number, got {value!r}") from None
+    if not math.isfinite(number) or number < 0:
+        raise ModelError(f"{path} must be finite and >= 0, got {number!r}")
+    return number
+
+
+@dataclass(frozen=True)
+class KindRate:
+    """Operating cost of one PE of one kind."""
+
+    kind: str
+    #: Dollars charged per PE per hour of wall time.
+    dollars_per_pe_hour: float = 0.0
+    #: Electrical draw per PE (for energy accounting; 0 = not modeled).
+    watts_per_pe: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ModelError("rate entry needs a non-empty kind name")
+        _finite_rate(self.dollars_per_pe_hour, f"rate[{self.kind}].dollars_per_pe_hour")
+        _finite_rate(self.watts_per_pe, f"rate[{self.kind}].watts_per_pe")
+
+    @property
+    def dollars_per_pe_second(self) -> float:
+        return self.dollars_per_pe_hour / SECONDS_PER_HOUR
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "dollars_per_pe_hour": self.dollars_per_pe_hour,
+            "watts_per_pe": self.watts_per_pe,
+        }
+
+
+#: A rate for kinds the card does not mention: free and unmetered.
+_FREE = KindRate(kind="(unpriced)")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A cluster's rate card: per-kind rates, free by default."""
+
+    rates: Tuple[KindRate, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [rate.kind for rate in self.rates]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate kind in rate card: {names}")
+
+    @classmethod
+    def of(cls, **kind_to_rate: Tuple[float, float] | float) -> "CostModel":
+        """Shorthand: ``CostModel.of(athlon=(0.14, 110), pentium2=0.04)``
+        maps kind -> ``$ / PE-hour`` or ``($ / PE-hour, W / PE)``."""
+        rates = []
+        for kind, value in kind_to_rate.items():
+            if isinstance(value, tuple):
+                dollars, watts = value
+            else:
+                dollars, watts = value, 0.0
+            rates.append(
+                KindRate(
+                    kind=kind, dollars_per_pe_hour=dollars, watts_per_pe=watts
+                )
+            )
+        return cls(rates=tuple(rates))
+
+    @property
+    def is_free(self) -> bool:
+        """True when no kind carries a non-zero dollar or energy rate."""
+        return all(
+            rate.dollars_per_pe_hour == 0.0 and rate.watts_per_pe == 0.0
+            for rate in self.rates
+        )
+
+    def kind_names(self) -> Tuple[str, ...]:
+        return tuple(rate.kind for rate in self.rates)
+
+    def rate_for(self, kind: str) -> KindRate:
+        """The kind's rate entry; kinds without one are free."""
+        for rate in self.rates:
+            if rate.kind == kind:
+                return rate
+        return _FREE
+
+    def dollars_per_pe_second(self, kind: str) -> float:
+        return self.rate_for(kind).dollars_per_pe_second
+
+    def watts_per_pe(self, kind: str) -> float:
+        return self.rate_for(kind).watts_per_pe
+
+    def dollar_rate(self, allocations: Iterable[Tuple[str, int]]) -> float:
+        """Dollars per *second* of wall time for ``(kind, pe_count)``
+        allocations — billing covers every allocated PE for the whole
+        run, which is how per-machine-type cloud accounting works."""
+        return sum(
+            self.dollars_per_pe_second(kind) * pes for kind, pes in allocations
+        )
+
+    def power_watts(self, allocations: Iterable[Tuple[str, int]]) -> float:
+        """Total draw in watts of ``(kind, pe_count)`` allocations."""
+        return sum(self.watts_per_pe(kind) * pes for kind, pes in allocations)
+
+    def describe(self) -> str:
+        if not self.rates:
+            return "rate card: (free)"
+        lines = ["rate card:"]
+        for rate in self.rates:
+            lines.append(
+                f"  {rate.kind}: ${rate.dollars_per_pe_hour:.4f}/PE-hour"
+                + (
+                    f", {rate.watts_per_pe:.0f} W/PE"
+                    if rate.watts_per_pe
+                    else ""
+                )
+            )
+        return "\n".join(lines)
+
+
+#: The implicit rate card of every cluster without one.
+ZERO_COST = CostModel()
+
+_RATE_FIELDS = ("kind", "dollars_per_pe_hour", "watts_per_pe")
+_MODEL_FIELDS = ("rates",)
+
+
+def cost_model_to_dict(model: CostModel) -> Dict[str, object]:
+    """Schema: ``{rates: [{kind, dollars_per_pe_hour, watts_per_pe}]}``."""
+    return {"rates": [rate.to_dict() for rate in model.rates]}
+
+
+def cost_model_from_dict(
+    data: Mapping[str, object], origin: str = "cost"
+) -> CostModel:
+    """Inverse of :func:`cost_model_to_dict`, strict about unknown fields.
+
+    A field this version does not know (``{origin}.rates[i].surge`` …)
+    raises :class:`~repro.errors.ModelError` naming the offending path,
+    so version skew surfaces as a typed error instead of a silently
+    dropped rate.
+    """
+    if not isinstance(data, Mapping):
+        raise ModelError(f"{origin} must be an object, got {type(data).__name__}")
+    for key in data:
+        if key not in _MODEL_FIELDS:
+            raise ModelError(f"unknown field {origin}.{key} in stored rate card")
+    entries = data.get("rates", [])
+    if not isinstance(entries, (list, tuple)):
+        raise ModelError(f"{origin}.rates must be a list")
+    rates = []
+    for index, entry in enumerate(entries):
+        path = f"{origin}.rates[{index}]"
+        if not isinstance(entry, Mapping):
+            raise ModelError(f"{path} must be an object")
+        for key in entry:
+            if key not in _RATE_FIELDS:
+                raise ModelError(f"unknown field {path}.{key} in stored rate card")
+        if "kind" not in entry:
+            raise ModelError(f"{path} needs a 'kind' name")
+        rates.append(
+            KindRate(
+                kind=str(entry["kind"]),
+                dollars_per_pe_hour=_finite_rate(
+                    entry.get("dollars_per_pe_hour", 0.0),
+                    f"{path}.dollars_per_pe_hour",
+                ),
+                watts_per_pe=_finite_rate(
+                    entry.get("watts_per_pe", 0.0), f"{path}.watts_per_pe"
+                ),
+            )
+        )
+    return CostModel(rates=tuple(rates))

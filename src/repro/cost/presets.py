@@ -1,0 +1,57 @@
+"""Published rate cards for the paper's testbed and the synthetic fleet.
+
+The Kishimoto-Ichikawa cluster predates per-machine-type cloud billing,
+so its card is *derived*, not quoted: dollars follow the measured peak
+rates from Table 1 (an Athlon 1333 delivers ~4.6x a Pentium II 400's
+GFLOPS and is priced at 4x per PE-hour), and watts are the processors'
+documented typical draw.  What matters for the golden tests is not the
+absolute numbers but that the card is fixed and versioned here — the
+frontier it induces is part of the repo's reproducible surface.
+
+The synthetic card prices the geometric speed ladder of
+:func:`repro.core.search.synthetic.synthetic_kind_params`
+*superlinearly*: a kind ``1.45x`` faster costs ``1.45**1.25`` more per
+PE-hour.  Faster therefore never implies cheaper, the time and dollar
+objectives genuinely conflict, and the Pareto frontier has interior
+points — the regime the ``budget-frontier`` benchmark gates pruning in.
+"""
+
+from __future__ import annotations
+
+from repro.cost.model import CostModel, KindRate
+from repro.rng import stream
+
+
+def kishimoto_rate_card() -> CostModel:
+    """The fixed rate card of the paper's Athlon/Pentium-II cluster."""
+    return CostModel(
+        rates=(
+            KindRate(kind="athlon", dollars_per_pe_hour=0.144, watts_per_pe=110.0),
+            KindRate(kind="pentium2", dollars_per_pe_hour=0.036, watts_per_pe=28.0),
+        )
+    )
+
+
+def synthetic_rate_card(n_kinds: int = 10, seed: int = 2004) -> CostModel:
+    """Deterministic rate card for the synthetic ``kind0..kindN`` ladder.
+
+    Uses the same :func:`repro.rng.stream` discipline as the synthetic
+    search problems: ``(n_kinds, seed)`` names one exact card forever.
+    Kind indices match :func:`~repro.core.search.synthetic.
+    synthetic_kind_params`, so a card built with the same arguments
+    prices exactly the kinds the synthetic problem searches over.
+    """
+    rates = []
+    for index in range(n_kinds):
+        rng = stream(seed, "synthetic-cost", index)
+        speed = 1.45**index
+        dollars = 0.03 * speed**1.25 * float(rng.uniform(0.9, 1.1))
+        watts = 60.0 * speed**0.6 * float(rng.uniform(0.9, 1.1))
+        rates.append(
+            KindRate(
+                kind=f"kind{index}",
+                dollars_per_pe_hour=dollars,
+                watts_per_pe=watts,
+            )
+        )
+    return CostModel(rates=tuple(rates))

@@ -39,6 +39,49 @@ class StageTiming:
         self.calls += 1
 
 
+@dataclass
+class CostStats:
+    """Accumulated Pareto-frontier accounting of one pipeline.
+
+    One entry per :meth:`PerfReport.record_frontier` call; sizes add up
+    across runs so a batched ``pareto_many`` sweep reports its total
+    frontier yield alongside the search counters that produced it.
+    """
+
+    frontiers: int = 0
+    points: int = 0
+    #: Frontier runs restricted by a ``max_cost`` budget.
+    constrained: int = 0
+    #: Frontier runs stopped early by an evaluation budget (their points
+    #: are exact only over the visited candidates).
+    incomplete: int = 0
+
+    def record(self, outcome) -> None:
+        """Fold one duck-typed :class:`repro.cost.pareto.FrontierOutcome`."""
+        self.frontiers += 1
+        self.points += len(outcome.points)
+        if getattr(outcome, "max_cost", None) is not None:
+            self.constrained += 1
+        if not getattr(outcome, "complete", True):
+            self.incomplete += 1
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "frontiers": self.frontiers,
+            "points": self.points,
+            "constrained": self.constrained,
+            "incomplete": self.incomplete,
+        }
+
+    def describe(self) -> str:
+        detail = f"{self.frontiers} frontiers, {self.points} points"
+        if self.constrained:
+            detail += f", {self.constrained} cost-constrained"
+        if self.incomplete:
+            detail += f", {self.incomplete} incomplete"
+        return detail
+
+
 class PerfReport:
     """Per-stage wall-clock ledger of one pipeline (plus cache stats)."""
 
@@ -53,6 +96,8 @@ class PerfReport:
         #: :class:`repro.core.search.SearchStats` — same layering rule as
         #: the walker), accumulated across every optimize call.
         self.search_backends: Dict[str, Dict[str, int]] = {}
+        #: Pareto-frontier accounting (None until a frontier is computed).
+        self.cost: Optional[CostStats] = None
 
     def record_search(self, stats) -> None:
         """Fold one search run's :class:`SearchStats` into the per-backend
@@ -68,6 +113,7 @@ class PerfReport:
                 "pruned_candidates": 0,
                 "bound_evaluations": 0,
                 "exhausted": 0,
+                "stuck": 0,
             },
         )
         entry["runs"] += 1
@@ -76,6 +122,16 @@ class PerfReport:
         entry["pruned_candidates"] += stats.pruned_candidates
         entry["bound_evaluations"] += stats.bound_evaluations
         entry["exhausted"] += int(stats.exhausted)
+        entry["stuck"] += int(getattr(stats, "stuck", False))
+
+    def record_frontier(self, outcome) -> None:
+        """Fold one Pareto-frontier outcome (duck-typed
+        :class:`repro.cost.pareto.FrontierOutcome`) into :attr:`cost`."""
+        if outcome is None:
+            return
+        if self.cost is None:
+            self.cost = CostStats()
+        self.cost.record(outcome)
 
     def record_walker(self, stats) -> None:
         """Fold a walker-stats delta (``snapshot``/``delta``/``merge``
@@ -137,6 +193,8 @@ class PerfReport:
                 name: dict(entry)
                 for name, entry in sorted(self.search_backends.items())
             }
+        if self.cost is not None:
+            out["cost"] = self.cost.to_dict()
         return out
 
     def render(self) -> str:
@@ -162,5 +220,9 @@ class PerfReport:
                 )
             if entry["exhausted"]:
                 detail += f", {entry['exhausted']} budget-exhausted"
+            if entry.get("stuck"):
+                detail += f", {entry['stuck']} stuck"
             lines.append(detail)
+        if self.cost is not None:
+            lines.append(f"cost: {self.cost.describe()}")
         return "\n".join(lines)

@@ -12,11 +12,16 @@ results back out to per-request futures:
   (one polynomial evaluation over the union instead of one call per
   request — element-wise, so each request's numbers are bitwise those of
   a direct call);
-* ``optimize`` requests grouping on ``(pipeline, backend, budget)``
-  merge their orders into one
+* ``optimize`` requests grouping on ``(pipeline, backend, budget,
+  max_cost, alpha)`` merge their orders into one
   :meth:`~repro.core.pipeline.EstimationPipeline.optimize_many` batched
-  search under that backend (requests asking different backends or
-  budgets never share a search run);
+  search under that backend (requests asking different backends,
+  budgets or cost constraints never share a search run);
+* ``pareto`` requests grouping on ``(pipeline, budget, max_cost)``
+  merge their orders into one
+  :meth:`~repro.core.pipeline.EstimationPipeline.pareto_many` frontier
+  sweep, each reply carrying the full (untruncated) frontier with its
+  provenance fingerprint;
 * ``whatif`` requests evaluate one configuration across *every*
   registered pipeline, reusing the same per-entry cached path.
 
@@ -170,8 +175,9 @@ class MicroBatcher:
     def _group(self, batch: List[_WorkItem]):
         """Partition a batch into (items, runner) work groups."""
         estimate_groups: Dict[Tuple[str, tuple], List[_WorkItem]] = {}
-        optimize_groups: Dict[
-            Tuple[str, Optional[str], Optional[int]], List[_WorkItem]
+        optimize_groups: Dict[Tuple, List[_WorkItem]] = {}
+        pareto_groups: Dict[
+            Tuple[str, Optional[int], Optional[float]], List[_WorkItem]
         ] = {}
         out = []
         for item in batch:
@@ -184,8 +190,17 @@ class MicroBatcher:
                     item.request.pipeline,
                     item.request.backend,
                     item.request.budget,
+                    item.request.max_cost,
+                    item.request.alpha,
                 )
                 optimize_groups.setdefault(search_key, []).append(item)
+            elif op == "pareto":
+                pareto_key = (
+                    item.request.pipeline,
+                    item.request.budget,
+                    item.request.max_cost,
+                )
+                pareto_groups.setdefault(pareto_key, []).append(item)
             elif op == "whatif":
                 out.append(([item], lambda it=item: [self._run_whatif(it.request)]))
             else:
@@ -201,6 +216,8 @@ class MicroBatcher:
             out.append((items, lambda group=items: self._run_estimates(group)))
         for items in optimize_groups.values():
             out.append((items, lambda group=items: self._run_optimizes(group)))
+        for items in pareto_groups.values():
+            out.append((items, lambda group=items: self._run_paretos(group)))
         return out
 
     def _run_estimates(self, items: List[_WorkItem]) -> List[Dict[str, object]]:
@@ -247,7 +264,11 @@ class MicroBatcher:
                     seen.add(n)
                     union.append(n)
         outcomes = entry.pipeline.optimize_many(
-            union, backend=first.backend, budget=first.budget
+            union,
+            backend=first.backend,
+            budget=first.budget,
+            max_cost=first.max_cost,
+            alpha=first.alpha,
         )
         by_n = {n: outcome for n, outcome in zip(union, outcomes)}
         for outcome in outcomes:
@@ -284,6 +305,40 @@ class MicroBatcher:
                     "pipeline": entry.name,
                     "fingerprint": entry.fingerprint,
                     "sizes": sizes,
+                }
+            )
+        return results
+
+    def _run_paretos(self, items: List[_WorkItem]) -> List[Dict[str, object]]:
+        """One batched ``pareto_many`` for every request of one
+        ``(pipeline, budget, max_cost)`` group.  Each reply carries its
+        sizes' *entire* frontiers — truncation would silently drop
+        non-dominated points, so the protocol does not offer ``top``
+        here — plus the serving fingerprint as per-point provenance."""
+        first = items[0].request
+        entry = self.registry.get(first.pipeline)
+        union: List[int] = []
+        seen = set()
+        for item in items:
+            for n in item.request.ns:
+                if n not in seen:
+                    seen.add(n)
+                    union.append(n)
+        outcomes = entry.pipeline.pareto_many(
+            union, budget=first.budget, max_cost=first.max_cost
+        )
+        by_n = {n: outcome for n, outcome in zip(union, outcomes)}
+        for outcome in outcomes:
+            self.metrics.record_search(outcome.stats)
+            self.metrics.record_frontier(outcome)
+        kinds = entry.pipeline.plan.kinds
+        results = []
+        for item in items:
+            results.append(
+                {
+                    "pipeline": entry.name,
+                    "fingerprint": entry.fingerprint,
+                    "sizes": [by_n[n].to_dict(kinds) for n in item.request.ns],
                 }
             )
         return results

@@ -87,9 +87,33 @@ class ServeClient:
             )
         )
 
-    def optimize(self, pipeline: str, n: int, top: int = 10) -> dict:
+    def optimize(
+        self,
+        pipeline: str,
+        n: int,
+        top: int = 10,
+        max_cost: Optional[float] = None,
+        objective: Optional[str] = None,
+    ) -> dict:
         return _raise_or_result(
-            self.request("optimize", pipeline=pipeline, n=n, top=top)
+            self.request(
+                "optimize", pipeline=pipeline, n=n, top=top,
+                max_cost=max_cost, objective=objective,
+            )
+        )
+
+    def pareto(
+        self,
+        pipeline: str,
+        ns: Sequence[int],
+        budget: Optional[int] = None,
+        max_cost: Optional[float] = None,
+    ) -> dict:
+        return _raise_or_result(
+            self.request(
+                "pareto", pipeline=pipeline, ns=list(ns),
+                budget=budget, max_cost=max_cost,
+            )
         )
 
     def whatif(self, config: Sequence[int], ns: Sequence[int]) -> dict:

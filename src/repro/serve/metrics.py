@@ -35,6 +35,8 @@ FLEET_COUNTER_FIELDS: Tuple[str, ...] = (
     "rollbacks",
     "search_evaluations",
     "search_pruned",
+    "frontiers",
+    "frontier_points",
 )
 
 
@@ -201,6 +203,10 @@ class ServeMetrics:
         self.search_evaluations = 0
         self.search_pruned = 0
         self.search_backends: Dict[str, Dict[str, int]] = {}
+        # Pareto-frontier counters (fed per pareto outcome by the
+        # micro-batcher; both additive, both published fleet-wide).
+        self.frontiers = 0
+        self.frontier_points = 0
 
     def endpoint(self, op: str) -> EndpointMetrics:
         if op not in self.by_op:
@@ -234,6 +240,14 @@ class ServeMetrics:
         entry["evaluations"] += stats.evaluations
         entry["pruned_candidates"] += pruned
         entry["exhausted"] += int(stats.exhausted)
+
+    def record_frontier(self, outcome) -> None:
+        """Fold one pareto outcome (duck-typed
+        :class:`repro.cost.pareto.FrontierOutcome`) into the counters."""
+        if outcome is None:
+            return
+        self.frontiers += 1
+        self.frontier_points += len(outcome.points)
 
     def record_batch(self, size: int, groups: int) -> None:
         self.batches += 1
@@ -276,6 +290,8 @@ class ServeMetrics:
             self.rollbacks,
             self.search_evaluations,
             self.search_pruned,
+            self.frontiers,
+            self.frontier_points,
         )
 
     def aggregate_latency(self) -> LatencyHistogram:
@@ -314,6 +330,10 @@ class ServeMetrics:
                     for name, entry in sorted(self.search_backends.items())
                 },
             },
+            "frontier": {
+                "frontiers": self.frontiers,
+                "points": self.frontier_points,
+            },
         }
         if cache is not None:
             payload["cache"] = cache
@@ -341,6 +361,11 @@ class ServeMetrics:
                 f"{entry['evaluations']} evaluations, "
                 f"{entry['pruned_candidates']} pruned, "
                 f"{entry['exhausted']} budget-exhausted"
+            )
+        if self.frontiers:
+            lines.append(
+                f"  frontier: {self.frontiers} frontiers, "
+                f"{self.frontier_points} points"
             )
         if self.observations:
             lines.append(

@@ -16,6 +16,7 @@ op-specific parameters::
     {"id": 8, "op": "observe",  "pipeline": "ns7", "record": {...measurement...}}
     {"id": 9, "op": "calibration", "pipeline": "ns7"}
     {"id": 10, "op": "fleet_status"}
+    {"id": 11, "op": "pareto",  "pipeline": "ns7", "n": 3200, "max_cost": 0.01}
 
 Replies are ``{"id": ..., "ok": true, "result": {...}}`` or
 ``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}``.
@@ -23,6 +24,11 @@ The error ``type`` is machine-dispatchable; :data:`ERROR_OVERLOADED` in
 particular is the service's typed load-shedding reply — a client seeing
 it should back off for the suggested ``retry_after_ms`` instead of
 treating the service as broken.
+
+Requests are validated *strictly*: a top-level field the op does not
+define is a typed ``InvalidRequest`` error, never silently ignored —
+so a new field (``max_cost``, say) sent to an older server fails loudly
+instead of being dropped by version skew.
 
 Estimates can legitimately be ``inf`` (a configuration outside every
 model's trustworthy domain ranks unestimable, never cheap), so encoding
@@ -38,17 +44,46 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.search import registered_search_backends
-from repro.errors import ReproError
+from repro.cost.pareto import parse_objective
+from repro.errors import ReproError, SearchError
 
-#: Ops the service understands.  estimate/optimize/whatif flow through the
-#: micro-batcher; the rest are control-plane ops answered immediately.
-BATCHED_OPS = ("estimate", "optimize", "whatif")
+#: Ops the service understands.  estimate/optimize/whatif/pareto flow
+#: through the micro-batcher; the rest are control-plane ops answered
+#: immediately.
+BATCHED_OPS = ("estimate", "optimize", "whatif", "pareto")
 CONTROL_OPS = (
     "models", "stats", "reload", "ping", "observe", "calibration", "fleet_status",
 )
 ALL_OPS = BATCHED_OPS + CONTROL_OPS
 
+#: Top-level request fields each op accepts ("id"/"op" are implicit).
+#: parse_request rejects anything outside the op's set with a typed
+#: :data:`ERROR_INVALID_REQUEST` reply, so a misspelled or version-skewed
+#: field can never be silently ignored.
+_OP_FIELDS: Dict[str, frozenset] = {
+    "estimate": frozenset({"pipeline", "config", "ns", "n"}),
+    "optimize": frozenset(
+        {"pipeline", "ns", "n", "top", "backend", "budget", "max_cost", "objective"}
+    ),
+    "whatif": frozenset({"config", "ns", "n", "backend", "budget"}),
+    # No "top" for pareto: a served frontier is complete by construction
+    # (truncating it would silently drop non-dominated points).
+    "pareto": frozenset({"pipeline", "ns", "n", "budget", "max_cost"}),
+    "models": frozenset({"pipeline"}),
+    "calibration": frozenset({"pipeline"}),
+    "reload": frozenset({"force"}),
+    "observe": frozenset({"pipeline", "record", "source"}),
+    "stats": frozenset(),
+    "ping": frozenset(),
+    "fleet_status": frozenset(),
+}
+
+#: Allowed fields that travel to handlers via ``Request.params`` rather
+#: than a dedicated dataclass slot.
+_PARAM_FIELDS = ("force", "record", "source")
+
 ERROR_BAD_REQUEST = "BadRequest"
+ERROR_INVALID_REQUEST = "InvalidRequest"
 ERROR_UNKNOWN_PIPELINE = "UnknownPipeline"
 ERROR_MODEL = "ModelError"
 ERROR_OVERLOADED = "Overloaded"
@@ -102,6 +137,11 @@ class Request:
     backend: Optional[str] = None
     #: Evaluation budget for budget-capable backends (None = unbounded).
     budget: Optional[int] = None
+    #: Dollar budget for optimize/pareto (None = unconstrained).
+    max_cost: Optional[float] = None
+    #: Scalarization weight decoded from the wire field ``objective``
+    #: (None = pure time; see :func:`repro.cost.pareto.parse_objective`).
+    alpha: Optional[float] = None
     params: Dict[str, object] = field(default_factory=dict)
 
 
@@ -150,6 +190,15 @@ def parse_request(line: str) -> Request:
             f"unknown op {op!r} (known: {', '.join(ALL_OPS)})"
         )
 
+    allowed = _OP_FIELDS[op] | {"id", "op"}
+    unknown = sorted(key for key in payload if key not in allowed)
+    if unknown:
+        raise ProtocolError(
+            f"op {op!r} does not accept field(s) {', '.join(map(repr, unknown))} "
+            f"(allowed: {', '.join(sorted(_OP_FIELDS[op])) or 'none'})",
+            ERROR_INVALID_REQUEST,
+        )
+
     pipeline = payload.get("pipeline")
     if pipeline is not None and not isinstance(pipeline, str):
         raise ProtocolError("'pipeline' must be a string")
@@ -159,6 +208,8 @@ def parse_request(line: str) -> Request:
     top = 10
     backend: Optional[str] = None
     budget: Optional[int] = None
+    max_cost: Optional[float] = None
+    alpha: Optional[float] = None
 
     if op in ("optimize", "whatif"):
         backend = payload.get("backend")
@@ -171,10 +222,28 @@ def parse_request(line: str) -> Request:
                     f"unknown search backend {backend!r} "
                     f"(known: {', '.join(known_backends)})"
                 )
+    if op in ("optimize", "whatif", "pareto"):
         budget = payload.get("budget")
         if budget is not None:
             if isinstance(budget, bool) or not isinstance(budget, int) or budget < 1:
                 raise ProtocolError("'budget' must be a positive integer")
+    if op in ("optimize", "pareto"):
+        max_cost = payload.get("max_cost")
+        if max_cost is not None:
+            if isinstance(max_cost, bool) or not isinstance(max_cost, (int, float)):
+                raise ProtocolError("'max_cost' must be a number")
+            max_cost = float(max_cost)
+            if not math.isfinite(max_cost) or max_cost < 0:
+                raise ProtocolError("'max_cost' must be finite and >= 0")
+    if op == "optimize":
+        objective = payload.get("objective")
+        if objective is not None:
+            if not isinstance(objective, str):
+                raise ProtocolError("'objective' must be a string")
+            try:
+                alpha = parse_objective(objective)
+            except SearchError as exc:
+                raise ProtocolError(str(exc)) from exc
 
     if op in ("estimate", "whatif"):
         config = tuple(_require_int_list(payload, "config", minimum=0))
@@ -188,6 +257,10 @@ def parse_request(line: str) -> Request:
         top = payload.get("top", 10)
         if isinstance(top, bool) or not isinstance(top, int) or top < 1:
             raise ProtocolError("'top' must be a positive integer")
+    if op == "pareto":
+        if pipeline is None:
+            raise ProtocolError("'pareto' needs a 'pipeline' name")
+        ns = _sizes_of(payload)
     if op == "models" and pipeline is None:
         raise ProtocolError("'models' needs a 'pipeline' name")
     if op == "observe":
@@ -198,11 +271,11 @@ def parse_request(line: str) -> Request:
                 "'observe' needs a 'record' object (a serialized measurement)"
             )
 
-    known = {"id", "op", "pipeline", "config", "ns", "n", "top", "backend", "budget"}
-    extra = {key: value for key, value in payload.items() if key not in known}
+    params = {key: payload[key] for key in _PARAM_FIELDS if key in payload}
     return Request(
         id=request_id, op=op, pipeline=pipeline, config=config, ns=ns, top=top,
-        backend=backend, budget=budget, params=extra,
+        backend=backend, budget=budget, max_cost=max_cost, alpha=alpha,
+        params=params,
     )
 
 

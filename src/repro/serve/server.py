@@ -40,6 +40,7 @@ from repro.measure.record import MeasurementRecord
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (
+    BATCHED_OPS,
     ERROR_SHUTTING_DOWN,
     ProtocolError,
     Request,
@@ -239,7 +240,7 @@ class EstimationServer:
     # -- dispatch -----------------------------------------------------------
 
     async def _dispatch(self, request: Request) -> str:
-        if request.op in ("estimate", "optimize", "whatif"):
+        if request.op in BATCHED_OPS:
             future = self.batcher.submit(request)
             result = await future
             return encode_ok(request.id, result)

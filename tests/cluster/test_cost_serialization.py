@@ -1,0 +1,71 @@
+"""Cluster serialization across the cost-field format bump (1 -> 2).
+
+Backward compatibility is the contract: a format-1 description (written
+before rate cards existed) must load with ``cost=None`` and behave
+exactly as before, while a format-2 description round-trips its card
+bitwise.  Unknown fields inside a stored card are version skew and must
+raise a typed error naming the offending path.
+"""
+
+import pytest
+
+from repro.cluster.presets import kishimoto_cluster
+from repro.cluster.serialize import cluster_from_dict, cluster_to_dict
+from repro.cost.model import CostModel
+from repro.cost.presets import kishimoto_rate_card
+from repro.errors import ClusterError, ModelError
+
+
+@pytest.fixture()
+def priced_spec():
+    return kishimoto_cluster().with_cost(kishimoto_rate_card())
+
+
+class TestFormatBump:
+    def test_unpriced_spec_round_trips_without_cost_key(self):
+        spec = kishimoto_cluster()
+        data = cluster_to_dict(spec)
+        assert data["format"] == 2
+        assert "cost" not in data
+        loaded = cluster_from_dict(data)
+        assert loaded.cost is None
+        assert loaded.name == spec.name
+
+    def test_priced_spec_round_trips_bitwise(self, priced_spec):
+        loaded = cluster_from_dict(cluster_to_dict(priced_spec))
+        assert loaded.cost == priced_spec.cost
+        assert loaded.cost.dollars_per_pe_second("athlon") == (
+            priced_spec.cost.dollars_per_pe_second("athlon")
+        )
+
+    def test_old_format_loads_with_zero_cost_default(self):
+        data = cluster_to_dict(kishimoto_cluster())
+        data["format"] = 1
+        loaded = cluster_from_dict(data)
+        assert loaded.cost is None
+
+    def test_unknown_future_format_rejected(self):
+        data = cluster_to_dict(kishimoto_cluster())
+        data["format"] = 3
+        with pytest.raises(ClusterError):
+            cluster_from_dict(data)
+
+
+class TestStrictness:
+    def test_unknown_cost_field_raises_naming_path(self, priced_spec):
+        data = cluster_to_dict(priced_spec)
+        data["cost"]["rates"][0]["surge_multiplier"] = 2.0
+        with pytest.raises(
+            ModelError,
+            match=r"unknown field cost\.rates\[0\]\.surge_multiplier",
+        ):
+            cluster_from_dict(data)
+
+    def test_card_pricing_unknown_kind_rejected(self):
+        with pytest.raises(ClusterError, match="unknown kind 'xeon'"):
+            kishimoto_cluster().with_cost(CostModel.of(xeon=1.0))
+
+    def test_describe_includes_rate_card(self, priced_spec):
+        text = priced_spec.describe()
+        assert "rate card" in text
+        assert "athlon" in text

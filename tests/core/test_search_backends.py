@@ -195,6 +195,22 @@ class TestLocalBackends:
             assert a.best.config.key() == b.best.config.key(), tag
             assert a.best.estimate_s == b.best.estimate_s, tag
 
+    def test_greedy_flags_structural_stuck(self, small_problem):
+        """Greedy growth stopping at a local optimum without covering
+        the space must say so — ``stats.stuck`` is the typed form of
+        the 'structurally stuck' failure the PR-7 benches documented."""
+        outcome = create_search("greedy", small_problem).optimize(3000)
+        stats = outcome.stats
+        assert stats.evaluations < small_problem.space.size
+        assert stats.stuck
+        assert stats.to_dict()["stuck"] is True
+
+    def test_exact_backends_never_stuck(self, small_problem):
+        for tag in ("exhaustive", "branch-bound"):
+            stats = create_search(tag, small_problem).optimize(3000).stats
+            assert not stats.stuck, tag
+            assert "stuck" not in stats.to_dict(), tag
+
 
 class TestRankingSemantics:
     def test_inf_ties_rank_deterministically(self):
@@ -250,7 +266,37 @@ class TestPerfReportWiring:
         assert entry["evaluations"] == 2
         assert entry["pruned_candidates"] == 14
         assert entry["exhausted"] == 2
+        assert entry["stuck"] == 0
         assert "search[branch-bound]" in report.render()
+
+    def test_stuck_runs_counted_and_rendered(self):
+        report = PerfReport()
+        stats = SearchStats(backend="greedy", stuck=True)
+        stats.record(cfg(1, 1, 0, 0), 2.0)
+        report.record_search(stats)
+        assert report.to_dict()["search_backends"]["greedy"]["stuck"] == 1
+        assert "1 stuck" in report.render()
+
+    def test_mixed_backend_run_aggregates_per_backend(self, ns_pipeline):
+        """One pipeline run mixing backends (branch-bound then anneal)
+        keeps separate per-backend entries — counters never blend."""
+        before = {
+            name: dict(entry)
+            for name, entry in ns_pipeline.perf.search_backends.items()
+        }
+        ns_pipeline.optimize(8000, backend="branch-bound")
+        ns_pipeline.optimize(8000, backend="anneal")
+        backends = ns_pipeline.perf.search_backends
+        for tag in ("branch-bound", "anneal"):
+            assert backends[tag]["runs"] == (
+                before.get(tag, {}).get("runs", 0) + 1
+            ), tag
+        assert backends["branch-bound"]["pruned_candidates"] > before.get(
+            "branch-bound", {}
+        ).get("pruned_candidates", 0)
+        rendered = ns_pipeline.perf.render()
+        assert "search[branch-bound]" in rendered
+        assert "search[anneal]" in rendered
 
 
 class TestPipelineDispatch:

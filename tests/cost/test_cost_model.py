@@ -1,0 +1,75 @@
+"""Rate cards: validation, lookup semantics, strict serialization."""
+
+import math
+
+import pytest
+
+from repro.cost.model import (
+    CostModel,
+    KindRate,
+    ZERO_COST,
+    cost_model_from_dict,
+    cost_model_to_dict,
+)
+from repro.errors import ModelError
+
+
+class TestKindRate:
+    def test_hourly_to_per_second(self):
+        rate = KindRate(kind="athlon", dollars_per_pe_hour=0.144)
+        assert rate.dollars_per_pe_second == 0.144 / 3600.0
+
+    def test_rejects_negative_and_non_finite(self):
+        with pytest.raises(ModelError, match="dollars_per_pe_hour"):
+            KindRate(kind="x", dollars_per_pe_hour=-1.0)
+        with pytest.raises(ModelError, match="watts_per_pe"):
+            KindRate(kind="x", watts_per_pe=math.inf)
+        with pytest.raises(ModelError, match="kind name"):
+            KindRate(kind="")
+
+
+class TestCostModel:
+    def test_unpriced_kinds_are_free(self):
+        model = CostModel.of(athlon=(0.144, 110.0))
+        assert model.dollars_per_pe_second("pentium2") == 0.0
+        assert model.watts_per_pe("pentium2") == 0.0
+
+    def test_dollar_rate_is_additive_over_allocations(self):
+        model = CostModel.of(a=3.6, b=7.2)
+        # 2 PEs of a + 1 PE of b: (2*3.6 + 1*7.2) / 3600 $/s.
+        assert model.dollar_rate([("a", 2), ("b", 1)]) == pytest.approx(
+            (2 * 3.6 + 7.2) / 3600.0
+        )
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ModelError, match="duplicate kind"):
+            CostModel(rates=(KindRate(kind="a"), KindRate(kind="a")))
+
+    def test_zero_cost_is_free(self):
+        assert ZERO_COST.is_free
+        assert not CostModel.of(a=1.0).is_free
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        model = CostModel.of(athlon=(0.144, 110.0), pentium2=(0.036, 28.0))
+        loaded = cost_model_from_dict(cost_model_to_dict(model))
+        assert loaded == model
+
+    def test_unknown_model_field_names_path(self):
+        data = cost_model_to_dict(CostModel.of(a=1.0))
+        data["surge"] = 2.0
+        with pytest.raises(ModelError, match=r"unknown field cost\.surge"):
+            cost_model_from_dict(data)
+
+    def test_unknown_rate_field_names_path(self):
+        data = cost_model_to_dict(CostModel.of(a=1.0))
+        data["rates"][0]["surge_multiplier"] = 2.0
+        with pytest.raises(
+            ModelError, match=r"unknown field cost\.rates\[0\]\.surge_multiplier"
+        ):
+            cost_model_from_dict(data)
+
+    def test_origin_prefixes_error_paths(self):
+        with pytest.raises(ModelError, match=r"cluster\.cost\.bogus"):
+            cost_model_from_dict({"bogus": 1}, origin="cluster.cost")

@@ -1,0 +1,100 @@
+"""Golden Pareto frontiers on the paper's cluster with the published card.
+
+The acceptance contract of the cost subsystem: at every evaluation size
+of every protocol, (1) each frontier point is non-dominated against the
+*entire* candidate grid (not just its frontier peers), and (2) the
+frontier's minimum-time endpoint is **bitwise** the exhaustive
+optimizer's winner — same configuration key, same float, ``==`` with no
+tolerances.  The frontier engine may prune; it may never drift.
+"""
+
+import pytest
+
+from repro.cluster.presets import kishimoto_cluster
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.cost.evaluate import config_dollar_rate
+from repro.cost.pareto import dominates
+from repro.cost.presets import kishimoto_rate_card
+
+PROTOCOLS = ("basic", "nl", "ns")
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    spec = kishimoto_cluster().with_cost(kishimoto_rate_card())
+    return {
+        protocol: EstimationPipeline(
+            spec, PipelineConfig(protocol=protocol, seed=7)
+        )
+        for protocol in PROTOCOLS
+    }
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestParetoGolden:
+    def test_min_time_endpoint_bitwise_equals_exhaustive_winner(
+        self, pipelines, protocol
+    ):
+        """The endpoint's *time* is bitwise the exhaustive winner's
+        estimate at every size.  The configuration matches too, except
+        when the exhaustive key-tie-break winner is itself dominated (an
+        exact time tie against a strictly cheaper configuration — the
+        frontier must keep the cheaper one); then the endpoint carries
+        the identical float and costs no more."""
+        model = pipelines[protocol].cost_model
+        pipeline = pipelines[protocol]
+        for n in pipeline.plan.evaluation_sizes:
+            exhaustive = pipeline.optimize(n)  # default: exhaustive
+            frontier = pipeline.pareto(n)
+            endpoint = frontier.min_time
+            assert endpoint.time_s == exhaustive.best.estimate_s, (
+                f"{protocol} min-time estimate drifted at N={n}"
+            )
+            if endpoint.config.key() != exhaustive.best.config.key():
+                # Only an exact time tie may substitute the winner, and
+                # only for a strictly cheaper configuration.
+                assert exhaustive.estimate_for(endpoint.config) == (
+                    exhaustive.best.estimate_s
+                ), f"{protocol} endpoint is not time-tied at N={n}"
+                winner_dollars = exhaustive.best.estimate_s * (
+                    config_dollar_rate(model, exhaustive.best.config)
+                )
+                assert endpoint.dollars < winner_dollars, (
+                    f"{protocol} endpoint substitution not cheaper at N={n}"
+                )
+
+    def test_every_point_non_dominated_against_full_grid(
+        self, pipelines, protocol
+    ):
+        pipeline = pipelines[protocol]
+        model = pipeline.cost_model
+        n = pipeline.plan.evaluation_sizes[-1]
+        exhaustive = pipeline.optimize(n)
+        grid = [
+            (entry.estimate_s,
+             entry.estimate_s * config_dollar_rate(model, entry.config))
+            for entry in exhaustive.ranking
+        ]
+        frontier = pipeline.pareto(n)
+        for point in frontier.points:
+            for objectives in grid:
+                assert not dominates(
+                    objectives, (point.time_s, point.dollars)
+                ), (
+                    f"{protocol} frontier point {point.config.label()} "
+                    f"dominated at N={n}"
+                )
+
+    def test_frontier_points_sorted_and_mutually_non_dominated(
+        self, pipelines, protocol
+    ):
+        pipeline = pipelines[protocol]
+        n = pipeline.plan.evaluation_sizes[0]
+        frontier = pipeline.pareto(n)
+        times = [p.time_s for p in frontier.points]
+        dollars = [p.dollars for p in frontier.points]
+        assert times == sorted(times)
+        assert dollars == sorted(dollars, reverse=True)
+        for p in frontier.points:
+            for q in frontier.points:
+                assert not dominates(p.objectives(), q.objectives())

@@ -1,0 +1,199 @@
+"""Serving the cost axis: strict request validation and the pareto op.
+
+Two contracts: (1) a top-level field an op does not define is a typed
+``InvalidRequest`` reply, never silently ignored; (2) a served frontier
+is *bitwise* the direct :meth:`EstimationPipeline.pareto` call on the
+same loaded pipeline — same points, same floats, untruncated.
+"""
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.persistence import load_pipeline, save_pipeline
+from repro.core.pipeline import EstimationPipeline
+from repro.cost.presets import kishimoto_rate_card
+from repro.serve import EstimationServer, ModelRegistry, fire_concurrent
+
+FIXTURE = Path(__file__).parent.parent / "golden" / "format1_pipeline"
+
+
+@pytest.fixture(scope="module")
+def costed_dir(tmp_path_factory):
+    """The golden pipeline re-saved with the published rate card."""
+    base = load_pipeline(FIXTURE)
+    priced = EstimationPipeline(
+        base.spec.with_cost(kishimoto_rate_card()), base.config, base.plan
+    )
+    out = tmp_path_factory.mktemp("costed") / "pipeline"
+    save_pipeline(priced, out)
+    return out
+
+
+def serve(costed_dir, coro_factory):
+    async def main():
+        registry = ModelRegistry()
+        registry.add("costed", costed_dir)
+        server = EstimationServer(registry, port=0, refresh_interval_s=None)
+        host, port = await server.start()
+        try:
+            return await coro_factory(server, host, port)
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(main())
+
+
+async def roundtrip(reader, writer, payload):
+    writer.write((json.dumps(payload) + "\n").encode())
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+class TestStrictValidation:
+    @pytest.mark.parametrize(
+        "payload, offender",
+        [
+            ({"op": "estimate", "pipeline": "costed", "config": [1, 1, 0, 0],
+              "n": 3200, "bogus": 1}, "bogus"),
+            ({"op": "pareto", "pipeline": "costed", "n": 3200, "top": 5},
+             "top"),
+            ({"op": "ping", "pipeline": "costed"}, "pipeline"),
+            ({"op": "optimize", "pipeline": "costed", "n": 3200,
+              "objektive": "time"}, "objektive"),
+        ],
+    )
+    def test_unknown_field_is_typed_invalid_request(
+        self, costed_dir, payload, offender
+    ):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            reply = await roundtrip(reader, writer, {"id": 1, **payload})
+            writer.close()
+            return reply
+
+        reply = serve(costed_dir, scenario)
+        assert reply["ok"] is False
+        assert reply["error"]["type"] == "InvalidRequest"
+        assert offender in reply["error"]["message"]
+
+    def test_known_fields_still_accepted(self, costed_dir):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            reply = await roundtrip(
+                reader,
+                writer,
+                {"id": 1, "op": "optimize", "pipeline": "costed", "n": 3200,
+                 "top": 3, "backend": "branch-bound", "budget": 100},
+            )
+            writer.close()
+            return reply
+
+        assert serve(costed_dir, scenario)["ok"] is True
+
+
+class TestServedPareto:
+    def test_served_frontier_bitwise_equals_direct_call(self, costed_dir):
+        pipeline = load_pipeline(costed_dir)
+        sizes = [1600, 3200]
+        direct = {
+            outcome.n: outcome
+            for outcome in pipeline.pareto_many(sizes)
+        }
+
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            reply = await roundtrip(
+                reader,
+                writer,
+                {"id": 1, "op": "pareto", "pipeline": "costed", "ns": sizes},
+            )
+            writer.close()
+            return reply
+
+        reply = serve(costed_dir, scenario)
+        assert reply["ok"] is True
+        result = reply["result"]
+        assert result["pipeline"] == "costed"
+        assert result["fingerprint"]  # per-point provenance
+        kinds = pipeline.plan.kinds
+        for size_result in result["sizes"]:
+            outcome = direct[size_result["n"]]
+            assert size_result["complete"] is True
+            served = [
+                (tuple(p["config"]), p["time_s"], p["dollars"], p["energy_wh"])
+                for p in size_result["points"]
+            ]
+            want = [
+                (tuple(p.config.as_flat_tuple(kinds)), p.time_s, p.dollars,
+                 p.energy_wh)
+                for p in outcome.points
+            ]
+            assert served == want
+
+    def test_max_cost_is_honored_and_echoed(self, costed_dir):
+        pipeline = load_pipeline(costed_dir)
+        cap = pipeline.pareto(3200).min_cost.dollars * 1.01
+
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            reply = await roundtrip(
+                reader,
+                writer,
+                {"id": 1, "op": "pareto", "pipeline": "costed", "n": 3200,
+                 "max_cost": cap},
+            )
+            writer.close()
+            return reply
+
+        result = serve(costed_dir, scenario)["result"]
+        size_result = result["sizes"][0]
+        assert size_result["max_cost"] == cap
+        assert all(p["dollars"] <= cap for p in size_result["points"])
+
+    def test_concurrent_paretos_coalesce_and_count(self, costed_dir):
+        payloads = [
+            {"op": "pareto", "pipeline": "costed", "n": 1600 + 80 * i}
+            for i in range(16)
+        ]
+
+        async def scenario(server, host, port):
+            replies, _ = await fire_concurrent(host, port, payloads, 8)
+            return replies, server.metrics
+
+        replies, metrics = serve(costed_dir, scenario)
+        assert len(replies) == len(payloads)
+        assert all(reply["ok"] for reply in replies)
+        assert metrics.frontiers == 16
+        assert metrics.frontier_points >= 16
+        assert "budget-frontier" in metrics.search_backends
+
+    def test_weighted_objective_over_the_wire(self, costed_dir):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            fast = await roundtrip(
+                reader, writer,
+                {"id": 1, "op": "optimize", "pipeline": "costed", "n": 3200,
+                 "objective": "weighted:0.0", "top": 1},
+            )
+            cheap = await roundtrip(
+                reader, writer,
+                {"id": 2, "op": "optimize", "pipeline": "costed", "n": 3200,
+                 "objective": "weighted:1.0", "top": 1},
+            )
+            writer.close()
+            return fast, cheap
+
+        fast, cheap = serve(costed_dir, scenario)
+        assert fast["ok"] and cheap["ok"]
+        pipeline = load_pipeline(costed_dir)
+        frontier = pipeline.pareto(3200)
+        kinds = pipeline.plan.kinds
+        assert tuple(fast["result"]["sizes"][0]["ranking"][0]["config"]) == (
+            tuple(frontier.min_time.config.as_flat_tuple(kinds))
+        )
+        assert tuple(cheap["result"]["sizes"][0]["ranking"][0]["config"]) == (
+            tuple(frontier.min_cost.config.as_flat_tuple(kinds))
+        )

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Cost subsystem smoke check: fast CI guard for ``repro.cost``.
+
+A trimmed-down version of the cost test suite that runs in seconds with
+no pytest dependency:
+
+* a costed cluster description round-trips through the format-2
+  serialization bitwise, and a format-1 description still loads (with
+  ``cost=None``),
+* the paper's cluster with the published rate card yields a frontier of
+  at least 3 points whose objective vectors are mutually non-dominated,
+* the same frontier served over a real socket (``pareto`` op) is
+  *bitwise* the direct ``EstimationPipeline.pareto`` call, and a
+  request with an unknown field is refused with a typed
+  ``InvalidRequest`` reply.
+
+Exit status is non-zero on any failure.  Run it as::
+
+    PYTHONPATH=src python tools/cost_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cluster.presets import kishimoto_cluster
+from repro.cluster.serialize import cluster_from_dict, cluster_to_dict
+from repro.core.persistence import save_pipeline
+from repro.core.pipeline import EstimationPipeline, PipelineConfig
+from repro.cost.pareto import dominates
+from repro.cost.presets import kishimoto_rate_card
+from repro.serve import EstimationServer, ModelRegistry
+
+N = 5000
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_serialization() -> None:
+    spec = kishimoto_cluster().with_cost(kishimoto_rate_card())
+    data = cluster_to_dict(spec)
+    if data.get("format") != 2:
+        fail(f"costed cluster should serialize as format 2, got {data.get('format')}")
+    loaded = cluster_from_dict(data)
+    if loaded.cost != spec.cost:
+        fail("rate card did not round-trip bitwise")
+    old = cluster_to_dict(kishimoto_cluster())
+    old["format"] = 1
+    if cluster_from_dict(old).cost is not None:
+        fail("format-1 description should load with cost=None")
+    print("serialization: costed round-trip OK, format-1 compatible")
+
+
+def check_frontier(pipeline: EstimationPipeline):
+    frontier = pipeline.pareto(N)
+    if len(frontier.points) < 3:
+        fail(f"expected >= 3 frontier points at N={N}, got {len(frontier.points)}")
+    for p in frontier.points:
+        for q in frontier.points:
+            if dominates(p.objectives(), q.objectives()):
+                fail(
+                    f"frontier point {q.config.label()} is dominated by "
+                    f"{p.config.label()}"
+                )
+    exhaustive = pipeline.optimize(N)
+    if frontier.min_time.time_s != exhaustive.best.estimate_s:
+        fail("frontier min-time endpoint drifted from the exhaustive winner")
+    print(
+        f"frontier: {len(frontier.points)} mutually non-dominated points, "
+        "min-time endpoint bitwise exhaustive"
+    )
+    return frontier
+
+
+async def check_served(pipeline_dir: Path, direct) -> None:
+    registry = ModelRegistry()
+    registry.add("costed", pipeline_dir)
+    server = EstimationServer(registry, port=0, refresh_interval_s=None)
+    host, port = await server.start()
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+
+        async def ask(payload):
+            writer.write((json.dumps(payload) + "\n").encode())
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        bad = await ask({"id": 1, "op": "pareto", "pipeline": "costed",
+                         "n": N, "top": 3})
+        if bad.get("ok") or bad["error"]["type"] != "InvalidRequest":
+            fail(f"unknown field should be InvalidRequest, got {bad!r}")
+
+        reply = await ask({"id": 2, "op": "pareto", "pipeline": "costed",
+                           "n": N})
+        if not reply.get("ok"):
+            fail(f"served pareto failed: {reply!r}")
+        served = [
+            (p["time_s"], p["dollars"], p["energy_wh"])
+            for p in reply["result"]["sizes"][0]["points"]
+        ]
+        want = [(p.time_s, p.dollars, p.energy_wh) for p in direct.points]
+        if served != want:
+            fail(f"served frontier not bitwise direct: {served} != {want}")
+        writer.close()
+    finally:
+        await server.shutdown()
+    print(
+        f"serving: InvalidRequest typed rejection OK, served frontier "
+        f"bitwise direct ({len(want)} points)"
+    )
+
+
+def main() -> int:
+    check_serialization()
+    spec = kishimoto_cluster().with_cost(kishimoto_rate_card())
+    pipeline = EstimationPipeline(spec, PipelineConfig(protocol="basic", seed=7))
+    frontier = check_frontier(pipeline)
+    with tempfile.TemporaryDirectory() as tmp:
+        pipeline_dir = Path(tmp) / "costed"
+        save_pipeline(pipeline, pipeline_dir)
+        asyncio.run(check_served(pipeline_dir, frontier))
+    print("cost smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
