@@ -108,7 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "print the per-stage PerfReport (walker time, batch sizes, "
-            "panel-table hits) after the run"
+            "panel-table hits, grid-kernel blocks) after the run"
         ),
     )
 
@@ -149,7 +149,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="'time' (default) or 'weighted:ALPHA' time/cost scalarization",
     )
     opt.add_argument(
-        "--profile", action="store_true", help="print the pipeline's PerfReport"
+        "--profile",
+        action="store_true",
+        help=(
+            "print the pipeline's PerfReport (cache hit rates, per-backend "
+            "search stats, grid-kernel block/fallback counters)"
+        ),
     )
 
     pareto = sub.add_parser(

@@ -1,0 +1,284 @@
+"""The candidate-axis vectorized estimation kernel.
+
+Every search backend used to pay one Python-level estimator call per
+candidate configuration; only the size axis was vectorized.  This module
+vectorizes the *candidate* axis too: :class:`GridKernel` packs the
+coefficients of every routed N-T / P-T model into tensors (grown lazily
+as new ``(kind, P, Mi)`` queries appear, re-packed only when a new model
+is routed) and evaluates the polynomial fits, the max-over-kinds
+composition and the linear adjustment for a whole ``(C, S)`` block of
+candidates x sizes in a handful of NumPy passes.
+
+**Bitwise-equivalence contract.**  Cell ``[i, j]`` of
+:meth:`GridKernel.evaluate` is bitwise the value of
+``EstimationPipeline.estimate_totals(configs[i], ns)[j]`` (itself
+documented element-identical to ``estimate(config, n).total``):
+
+* polynomial rows use the same Horner recurrence as
+  :func:`repro.core.lsq.polyval` (``np.polyval``), evaluated per packed
+  row — elementwise float64 ops, identical bits;
+* the P-T formulas replicate :meth:`repro.core.pt_model.PTModel.predict_ta`
+  / ``predict_tc`` operation-for-operation, association order included;
+* per-kind validity is checked on the *pre-clamp* sum ``(Ta + Tc) > 0``
+  and the phases are clamped with ``np.maximum(x, 0.0)``, exactly as
+  :meth:`repro.core.estimator.Estimator.estimate_kind_batch`;
+* composition scatters with ``np.maximum.at`` / ``np.logical_and.at``
+  from identities (``-inf`` / ``True``) — max over non-negative
+  (or NaN/inf) values is order-independent bitwise, so the scatter
+  equals the scalar loop's sequential ``np.maximum`` over
+  ``config.active``;
+* the adjustment multiplies ``scale_for(max Mi)`` per candidate row and
+  invalid cells become ``+inf``, the same ``np.where`` the scalar path
+  applies.
+
+Configurations the kernel cannot vectorize — a non-binned backend
+(:class:`~repro.core.estimator.UnifiedBackend`) or active memory bins —
+take the per-candidate ``batch_fallback`` instead, preserving the
+contract at reduced speed; :class:`~repro.perf.report.GridKernelStats`
+makes the split observable (``--profile`` renders it).
+
+Errors surface exactly as the scalar loop would: candidates are
+validated and routed in block order, so the first failing candidate
+raises the same :class:`~repro.errors.ConfigurationError` /
+:class:`~repro.errors.ModelError` the scalar estimator would have raised
+when it reached that candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import BinnedBackend, Estimator
+from repro.errors import ModelError
+
+
+def polyval_rows(coeffs: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Horner evaluation of many highest-power-first polynomials over one
+    shared size axis: row ``k`` is bitwise ``np.polyval(coeffs[k], sizes)``
+    (the same ``y = y * x + c`` recurrence, elementwise float64)."""
+    out = np.zeros((coeffs.shape[0], sizes.size), dtype=float)
+    for k in range(coeffs.shape[1]):
+        out = out * sizes[None, :] + coeffs[:, k][:, None]
+    return out
+
+
+class GridKernel:
+    """Vectorized ``(configs, sizes) -> (C, S)`` adjusted-estimate block.
+
+    Parameters
+    ----------
+    facade:
+        The :class:`~repro.core.estimator.Estimator` whose models answer
+        the queries; only a :class:`BinnedBackend` without memory bins
+        takes the vectorized path (anything else rides ``batch_fallback``).
+    adjustment:
+        The pipeline's :class:`~repro.core.adjustment.LinearAdjustment`.
+    validate:
+        Optional per-configuration validation hook (the pipeline passes
+        ``config.validate_against(spec)``), called in block order so
+        validation errors match the scalar path's.
+    stats:
+        Optional :class:`~repro.perf.report.GridKernelStats` sink.
+    batch_fallback:
+        Per-candidate vectorized objective ``(config, ns) -> (S,)`` used
+        when the kernel cannot vectorize the candidate axis (the
+        pipeline's ``estimate_totals``).  Required for non-binned or
+        memory-binned facades.
+    """
+
+    def __init__(
+        self,
+        facade: Estimator,
+        adjustment,
+        validate: Optional[Callable[[object], None]] = None,
+        stats=None,
+        batch_fallback: Optional[Callable[[object, Sequence[int]], np.ndarray]] = None,
+    ):
+        self.facade = facade
+        self.adjustment = adjustment
+        self.validate = validate
+        self.stats = stats
+        self.batch_fallback = batch_fallback
+        #: Whether the candidate axis is vectorizable at all.
+        self.vectorized = isinstance(facade.backend, BinnedBackend) and not (
+            facade.memory_bins
+        )
+        # Routing memo: (kind, P, Mi) -> ("nt" | "pt", packed row index).
+        # Routing goes through facade.select once per distinct query, so a
+        # routing failure raises the authentic ModelError in block order.
+        self._routes: Dict[Tuple[str, int, int], Tuple[str, int]] = {}
+        self._pt_keys: Dict[Tuple[str, int], int] = {}
+        self._nt_models: List[object] = []
+        self._pt_models: List[object] = []
+        # Packed coefficient tensors, rebuilt only when a new model routes.
+        self._nt_pack: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._pt_pack: Optional[Tuple[np.ndarray, ...]] = None
+        self._scales: Dict[int, float] = {}
+
+    # -- routing & packing -------------------------------------------------
+
+    def _route(self, kind: str, p: int, mi: int) -> Tuple[str, int]:
+        key = (kind, p, mi)
+        hit = self._routes.get(key)
+        if hit is not None:
+            return hit
+        label, model = self.facade.select(kind, p, mi)
+        if label == "nt":
+            row = len(self._nt_models)
+            self._nt_models.append(model)
+            self._nt_pack = None
+        elif label == "pt":
+            # One P-T model serves every P > Mi of a (kind, Mi) pair —
+            # share its packed row across those routes.
+            pt_key = (kind, mi)
+            row = self._pt_keys.get(pt_key, -1)
+            if row < 0:
+                row = len(self._pt_models)
+                self._pt_models.append(model)
+                self._pt_keys[pt_key] = row
+                self._pt_pack = None
+        else:  # pragma: no cover - BinnedBackend only emits nt/pt
+            raise ModelError(
+                f"grid kernel cannot vectorize model label {label!r}"
+            )
+        self._routes[key] = (label, row)
+        return label, row
+
+    def _nt_tensors(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._nt_pack is None:
+            count = len(self._nt_models)
+            self._nt_pack = (
+                np.array(
+                    [m.ka for m in self._nt_models], dtype=float
+                ).reshape(count, 4),
+                np.array(
+                    [m.kc for m in self._nt_models], dtype=float
+                ).reshape(count, 3),
+            )
+        return self._nt_pack
+
+    def _pt_tensors(self) -> Tuple[np.ndarray, ...]:
+        if self._pt_pack is None:
+            count = len(self._pt_models)
+            self._pt_pack = (
+                np.array(
+                    [m.ta_ref for m in self._pt_models], dtype=float
+                ).reshape(count, 4),
+                np.array(
+                    [m.tc_ref for m in self._pt_models], dtype=float
+                ).reshape(count, 3),
+                np.array([m.k7 for m in self._pt_models], dtype=float),
+                np.array([m.k8 for m in self._pt_models], dtype=float),
+                np.array([m.k9 for m in self._pt_models], dtype=float),
+                np.array([m.k10 for m in self._pt_models], dtype=float),
+                np.array([m.k11 for m in self._pt_models], dtype=float),
+            )
+        return self._pt_pack
+
+    def _scale_for(self, max_mi: int) -> float:
+        scale = self._scales.get(max_mi)
+        if scale is None:
+            scale = self.adjustment.scale_for(max_mi)
+            self._scales[max_mi] = scale
+        return scale
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, configs: Sequence[object], ns: Sequence[int]) -> np.ndarray:
+        """Adjusted estimates of every ``(config, n)`` cell, ``(C, S)``."""
+        sizes = np.asarray([float(n) for n in ns], dtype=float)
+        count, width = len(configs), sizes.size
+        if not self.vectorized:
+            return self._fallback(configs, ns, count, width)
+
+        nt_cand: List[int] = []
+        nt_row: List[int] = []
+        pt_cand: List[int] = []
+        pt_row: List[int] = []
+        pt_p: List[int] = []
+        scale = np.empty(count, dtype=float)
+        for i, config in enumerate(configs):
+            if self.validate is not None:
+                self.validate(config)
+            p = config.total_processes
+            max_mi = 0
+            for alloc in config.active:
+                label, row = self._route(alloc.kind_name, p, alloc.procs_per_pe)
+                if label == "nt":
+                    nt_cand.append(i)
+                    nt_row.append(row)
+                else:
+                    pt_cand.append(i)
+                    pt_row.append(row)
+                    pt_p.append(p)
+                if alloc.procs_per_pe > max_mi:
+                    max_mi = alloc.procs_per_pe
+            if not config.active:
+                # Match the scalar path: estimate_kinds_batch asserts on a
+                # configuration with no active allocations.
+                raise AssertionError(
+                    f"configuration {config.label()} has no active kinds"
+                )
+            scale[i] = self._scale_for(max_mi)
+
+        # Composition identities: max over clamped (>= 0) kind totals and
+        # AND over validity — scatter order cannot change a single bit.
+        total = np.full((count, width), -np.inf)
+        valid = np.ones((count, width), dtype=bool)
+
+        if nt_cand:
+            ka, kc = self._nt_tensors()
+            rows = np.asarray(nt_row)
+            uniq, inverse = np.unique(rows, return_inverse=True)
+            ta = polyval_rows(ka[uniq], sizes)
+            tc = polyval_rows(kc[uniq], sizes)
+            kind_valid = (ta + tc) > 0.0
+            kind_total = np.maximum(ta, 0.0) + np.maximum(tc, 0.0)
+            idx = np.asarray(nt_cand)
+            np.maximum.at(total, idx, kind_total[inverse])
+            np.logical_and.at(valid, idx, kind_valid[inverse])
+
+        if pt_cand:
+            ta_ref, tc_ref, k7, k8, k9, k10, k11 = self._pt_tensors()
+            rows = np.asarray(pt_row)
+            uniq, inverse = np.unique(rows, return_inverse=True)
+            ta_rows = polyval_rows(ta_ref[uniq], sizes)[inverse]
+            tc_rows = polyval_rows(tc_ref[uniq], sizes)[inverse]
+            p_col = np.asarray(pt_p, dtype=float)[:, None]
+            k7c = k7[rows][:, None]
+            k8c = k8[rows][:, None]
+            k9c = k9[rows][:, None]
+            k10c = k10[rows][:, None]
+            k11c = k11[rows][:, None]
+            # Operation-for-operation PTModel.predict_ta / predict_tc:
+            # ((k7 * ref) / P) + k8 and ((k9 * P) * ref) + ((k10 * ref) / P) + k11.
+            ta = k7c * ta_rows / p_col + k8c
+            tc = k9c * p_col * tc_rows + k10c * tc_rows / p_col + k11c
+            kind_valid = (ta + tc) > 0.0
+            kind_total = np.maximum(ta, 0.0) + np.maximum(tc, 0.0)
+            idx = np.asarray(pt_cand)
+            np.maximum.at(total, idx, kind_total)
+            np.logical_and.at(valid, idx, kind_valid)
+
+        adjusted = scale[:, None] * total
+        out = np.where(valid, adjusted, np.inf)
+        if self.stats is not None:
+            self.stats.record_block(count, width)
+        return out
+
+    def _fallback(
+        self, configs: Sequence[object], ns: Sequence[int], count: int, width: int
+    ) -> np.ndarray:
+        if self.batch_fallback is None:
+            raise ModelError(
+                "grid kernel cannot vectorize this estimator "
+                "(non-binned backend or memory bins) and has no fallback"
+            )
+        out = np.empty((count, width), dtype=float)
+        for i, config in enumerate(configs):
+            out[i] = np.asarray(self.batch_fallback(config, ns), dtype=float)
+        if self.stats is not None:
+            self.stats.record_fallback(count)
+        return out

@@ -306,6 +306,22 @@ class EstimationPipeline:
         ``(config, [n...]) -> array of seconds``."""
         return self._engine.batch_estimator()
 
+    def estimate_grid(
+        self, configs: Sequence[ClusterConfig], ns: Sequence[int]
+    ) -> np.ndarray:
+        """Candidate-axis vectorized estimates: the ``(C, S)`` block of
+        adjusted totals for ``configs x ns``, each cell bitwise
+        ``estimate(configs[i], ns[j]).total``.  One kernel pass over
+        packed model-coefficient tensors replaces ``C`` per-candidate
+        evaluations (see :mod:`repro.core.grid_kernel`); cached cells are
+        served from :attr:`estimate_cache`."""
+        return self._engine.estimate_grid(configs, ns)
+
+    def grid_estimator(self):
+        """The candidate-axis objective for search backends:
+        ``(configs, [n...]) -> (C, S) array`` (see :meth:`estimate_grid`)."""
+        return self._engine.grid_estimator()
+
     def optimizer(
         self,
         candidates: Optional[Sequence[ClusterConfig]] = None,

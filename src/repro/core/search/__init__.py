@@ -28,6 +28,7 @@ backend.
 from repro.core.search.base import (
     BatchEstimator,
     Estimator,
+    GridEstimator,
     RankedEstimate,
     SearchBackend,
     SearchOutcome,
@@ -36,6 +37,7 @@ from repro.core.search.base import (
     actual_best,
     rank_evaluations,
     validated_estimate,
+    validated_estimates,
 )
 from repro.core.search.bounds import KindTimeBound, estimator_bounds
 from repro.core.search.branch_bound import BranchBoundSearch
@@ -71,6 +73,7 @@ __all__ = [
     "Estimator",
     "ExhaustiveOptimizer",
     "GreedyGrowth",
+    "GridEstimator",
     "HillClimber",
     "KindTimeBound",
     "LocalSearchBase",
@@ -94,4 +97,5 @@ __all__ = [
     "synthetic_kind_time",
     "synthetic_problem",
     "validated_estimate",
+    "validated_estimates",
 ]

@@ -43,6 +43,16 @@ Estimator = Callable[[ClusterConfig, int], float]
 #: :meth:`repro.core.pipeline.EstimationPipeline.batch_estimator`).
 BatchEstimator = Callable[[ClusterConfig, Sequence[int]], "np.ndarray"]
 
+#: A grid estimator maps (configurations, [n1, n2, ...]) -> a ``(C, S)``
+#: array of estimated seconds — the candidate-axis vectorized kernel
+#: (see :meth:`repro.core.pipeline.EstimationPipeline.estimate_grid`).
+#: Contract: element ``[i, j]`` is **bitwise** the scalar estimator's
+#: value for ``(configs[i], ns[j])``, so backends may freely mix block
+#: and scalar evaluation without changing any produced number.
+GridEstimator = Callable[
+    [Sequence[ClusterConfig], Sequence[int]], "np.ndarray"
+]
+
 
 @dataclass
 class SearchStats:
@@ -79,6 +89,11 @@ class SearchStats:
     #: mode the PR-7 benches documented.  Callers should surface it (the
     #: CLI prints a one-line warning) instead of trusting the result.
     stuck: bool = False
+    #: States a local searcher skipped before evaluation because they
+    #: were duplicated within a neighbor frontier or already evaluated
+    #: earlier in the run — the saving the frontier dedup makes
+    #: observable (always 0 for backends without frontiers).
+    dedup_hits: int = 0
 
     def record(self, config: ClusterConfig, estimate: float) -> None:
         self.evaluations += 1
@@ -101,6 +116,7 @@ class SearchStats:
             "bound_evaluations": self.bound_evaluations,
             "best_estimate": self.best_estimate,
             "exhausted": self.exhausted,
+            "dedup_hits": self.dedup_hits,
         }
         if self.budget is not None:
             out["budget"] = self.budget
@@ -199,6 +215,33 @@ def validated_estimate(
     return value
 
 
+def validated_estimates(
+    values: "np.ndarray",
+    configs: Sequence[ClusterConfig],
+    n: int,
+    allow_unestimable: bool = True,
+) -> "np.ndarray":
+    """Vectorized :func:`validated_estimate` over one block of candidates.
+
+    Checks the whole array at once and, when something is wrong, raises
+    the *identical* :class:`SearchError` the scalar loop would have
+    raised at the first offending candidate in ``configs`` order — so a
+    grid-evaluating backend reports the same failure, on the same
+    candidate, as its scalar reference.
+    """
+    arr = np.asarray(values, dtype=float)
+    bad = np.isnan(arr) | (arr < 0)
+    if not allow_unestimable:
+        bad |= np.isinf(arr)
+    if bad.any():
+        index = int(np.flatnonzero(bad)[0])
+        validated_estimate(
+            float(arr[index]), configs[index], n, allow_unestimable
+        )
+        raise AssertionError("validated_estimate must have raised")
+    return arr
+
+
 def rank_evaluations(
     n: int,
     entries: Sequence[Tuple[ClusterConfig, float]],
@@ -215,8 +258,11 @@ def rank_evaluations(
     """
     if not entries:
         raise SearchError(f"no candidate was evaluated at N={n}")
+    # Precompute the tie-break keys once: recomputing config.key() inside
+    # the sort lambda costs O(n log n) key constructions per ranking.
+    keys = [config.key() for config, _ in entries]
     order = sorted(
-        range(len(entries)), key=lambda i: (entries[i][1], entries[i][0].key())
+        range(len(entries)), key=lambda i: (entries[i][1], keys[i])
     )
     ranking = [
         RankedEstimate(config=entries[i][0], n=n, estimate_s=entries[i][1])
@@ -254,6 +300,12 @@ class SearchProblem:
     space: Optional[SearchSpace] = None
     kinds: Optional[Sequence[str]] = None
     batch_estimator: Optional[BatchEstimator] = None
+    #: Candidate-axis vectorized objective ``(configs, [n...]) -> (C, S)``
+    #: array; when present every backend evaluates candidate blocks in
+    #: one kernel call (exhaustive: the full grid; local searchers: each
+    #: round's neighbor frontier; branch-and-bound: leaf blocks) while
+    #: staying bitwise-identical to the scalar ``estimator``.
+    grid_estimator: Optional[GridEstimator] = None
     #: Lower-bound oracle for branch-and-bound (duck-typed
     #: :class:`repro.core.search.bounds.KindTimeBound`); without one,
     #: branch-and-bound cannot prune and refuses to run.

@@ -31,6 +31,14 @@ Conservativeness notes (each keeps the bound a true lower bound):
 * a tiny slack factor (``1 - 1e-9``) absorbs any last-ulp difference
   between the vectorized profile evaluation and the scalar estimator, so
   pruning never relies on exact float reproduction across code paths.
+
+The bounds themselves stay scalar and incremental — they are queried
+once per tree node with node-specific ``[p_lo, p_hi]`` intervals, which
+is exactly the access pattern the per-``(kind, Mi, N)`` profiles answer
+in O(1).  Only the *leaves* ride the candidate-axis grid kernel
+(:mod:`repro.core.grid_kernel`): branch-and-bound batches each node's
+surviving leaf children into one block evaluation while the bound oracle
+keeps pruning the interior of the tree unchanged.
 """
 
 from __future__ import annotations

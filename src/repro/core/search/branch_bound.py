@@ -43,6 +43,7 @@ import numpy as np
 from repro.cluster.config import ClusterConfig
 from repro.core.search.base import (
     Estimator,
+    GridEstimator,
     SearchBackend,
     SearchOutcome,
     SearchProblem,
@@ -65,6 +66,7 @@ class BranchBoundSearch(SearchBackend):
         estimator: Estimator,
         space: SearchSpace,
         bounds: KindTimeBound,
+        grid_estimator: Optional[GridEstimator] = None,
         allow_unestimable: bool = True,
         budget: Optional[int] = None,
         work_factor: int = 256,
@@ -81,6 +83,10 @@ class BranchBoundSearch(SearchBackend):
         self.estimator = estimator
         self.space = space
         self.bounds = bounds
+        #: Candidate-axis kernel: leaf blocks are prefetched through it
+        #: while the bounds stay incremental (the DFS walk, pruning and
+        #: budget decisions replay over bitwise-equal values).
+        self.grid_estimator = grid_estimator
         self.allow_unestimable = allow_unestimable
         self.budget = budget
         self.work_factor = work_factor
@@ -141,6 +147,7 @@ class BranchBoundSearch(SearchBackend):
             problem.estimator,
             space,
             problem.bounds,
+            grid_estimator=problem.grid_estimator,
             allow_unestimable=problem.allow_unestimable,
             budget=budget,
             work_factor=work_factor,
@@ -203,6 +210,11 @@ class BranchBoundSearch(SearchBackend):
         space = self.space
         n_kinds = len(space.kinds)
         assignment: List[Tuple[int, int]] = []
+        # Leaf values prefetched through the grid kernel, keyed by the
+        # full choice assignment; the leaf branch consumes (pops) them in
+        # its original DFS order, so pruning, incumbents and the budget
+        # replay identically over bitwise-equal values.
+        leaf_values: dict = {}
         work_cap = (
             None if self.budget is None else self.budget * self.work_factor
         )
@@ -224,9 +236,11 @@ class BranchBoundSearch(SearchBackend):
                     stats.exhausted = True
                     return False
                 config = space.config_of(assignment)
+                raw = leaf_values.pop(tuple(assignment), None)
+                if raw is None:
+                    raw = float(self.estimator(config, n))
                 value = validated_estimate(
-                    float(self.estimator(config, n)),
-                    config, n, self.allow_unestimable,
+                    raw, config, n, self.allow_unestimable
                 )
                 stats.record(config, value)
                 evaluated.append((config, value))
@@ -259,6 +273,39 @@ class BranchBoundSearch(SearchBackend):
             # Most promising subtree first: tighter incumbents earlier
             # mean more pruning later (and better anytime behavior).
             children.sort(key=lambda item: (item[0], item[1]))
+            if self.grid_estimator is not None and depth + 1 == n_kinds:
+                # Prefetch the leaf block this node will evaluate: every
+                # runnable child that survives the *pre-block* incumbent
+                # check, capped at the remaining budget.  A mid-block
+                # incumbent improvement only prunes *more* during replay,
+                # so the prefetched set is a superset of the consumed one
+                # and unconsumed cells are simply discarded.
+                remaining = (
+                    None
+                    if self.budget is None
+                    else self.budget - stats.evaluations
+                )
+                block: List[Tuple[Tuple[int, int], ...]] = []
+                for bound, choice, child_p, _, _ in children:
+                    if bound > incumbent[0]:
+                        break
+                    if child_p == 0:
+                        continue
+                    if remaining is not None and len(block) >= remaining:
+                        break
+                    block.append(tuple(assignment) + (choice,))
+                if len(block) > 1:
+                    configs = [space.config_of(key) for key in block]
+                    values = np.asarray(
+                        self.grid_estimator(configs, [n]), dtype=float
+                    )
+                    if values.shape != (len(block), 1):
+                        raise SearchError(
+                            f"grid estimator returned shape {values.shape},"
+                            f" expected ({len(block)}, 1)"
+                        )
+                    for key, value in zip(block, values[:, 0]):
+                        leaf_values[key] = float(value)
             for index, (bound, choice, child_p, child_mi, child_profile) in (
                 enumerate(children)
             ):

@@ -21,6 +21,7 @@ from repro.cluster.config import ClusterConfig
 from repro.core.search.base import (
     BatchEstimator,
     Estimator,
+    GridEstimator,
     RankedEstimate,
     SearchBackend,
     SearchOutcome,
@@ -28,6 +29,7 @@ from repro.core.search.base import (
     SearchStats,
     rank_evaluations,
     validated_estimate,
+    validated_estimates,
 )
 from repro.core.search.registry import register_search
 from repro.errors import SearchError
@@ -51,6 +53,15 @@ class ExhaustiveOptimizer(SearchBackend):
         ``len(candidates) * len(sizes)`` scalar calls.  Must agree
         numerically with ``estimator`` (the pipeline's implementations
         are element-for-element identical).
+    grid_estimator:
+        Optional candidate-axis vectorized objective
+        ``(configs, sizes) -> (C, S) array``.  When present both
+        :meth:`optimize` and :meth:`optimize_many` evaluate the entire
+        candidate block in one kernel call and rank the columns with a
+        vectorized ``(estimate, key)`` lexsort — bitwise the scalar
+        ranking (the grid contract guarantees bitwise-equal cells, and
+        the precomputed key ranks make the lexsort tie-break identical
+        to sorting on the canonical keys themselves).
     allow_unestimable:
         ``+inf`` is the pipeline estimator's sanctioned "model outside its
         domain" signal, and by default such candidates simply rank last
@@ -67,6 +78,7 @@ class ExhaustiveOptimizer(SearchBackend):
         estimator: Estimator,
         candidates: Sequence[ClusterConfig],
         batch_estimator: Optional[BatchEstimator] = None,
+        grid_estimator: Optional[GridEstimator] = None,
         allow_unestimable: bool = True,
     ):
         if not candidates:
@@ -74,9 +86,11 @@ class ExhaustiveOptimizer(SearchBackend):
         self.estimator = estimator
         self.candidates = list(candidates)
         self.batch_estimator = batch_estimator
+        self.grid_estimator = grid_estimator
         self.allow_unestimable = allow_unestimable
         # Sort keys are recomputed on every optimize(); cache them once.
         self._candidate_keys = [config.key() for config in self.candidates]
+        self._key_rank_cache: Optional[np.ndarray] = None
         self.stats = None
 
     @classmethod
@@ -93,6 +107,7 @@ class ExhaustiveOptimizer(SearchBackend):
             problem.estimator,
             problem.resolved_candidates(),
             batch_estimator=problem.batch_estimator,
+            grid_estimator=problem.grid_estimator,
             allow_unestimable=problem.allow_unestimable,
         )
 
@@ -105,6 +120,29 @@ class ExhaustiveOptimizer(SearchBackend):
         )
         self.stats = stats
         return stats
+
+    def _outcome(
+        self,
+        n: int,
+        ranking: List[RankedEstimate],
+        started: float,
+        stats: Optional[SearchStats] = None,
+    ) -> SearchOutcome:
+        if not np.isfinite(ranking[0].estimate_s):
+            raise SearchError(
+                f"no candidate could be estimated at N={n} "
+                "(all models out of domain)"
+            )
+        stats = stats if stats is not None else self._new_stats()
+        stats.best_config = ranking[0].config
+        stats.best_estimate = ranking[0].estimate_s
+        return SearchOutcome(
+            n=n,
+            ranking=ranking,
+            search_seconds=time.perf_counter() - started,
+            stats=stats,
+            complete=True,
+        )
 
     def _rank(
         self,
@@ -123,26 +161,64 @@ class ExhaustiveOptimizer(SearchBackend):
             range(len(ranking)),
             key=lambda i: (ranking[i].estimate_s, self._candidate_keys[i]),
         )
-        ranking = [ranking[i] for i in order]
-        if not np.isfinite(ranking[0].estimate_s):
-            raise SearchError(
-                f"no candidate could be estimated at N={n} "
-                "(all models out of domain)"
+        return self._outcome(n, [ranking[i] for i in order], started, stats)
+
+    @property
+    def _key_ranks(self) -> np.ndarray:
+        """Ordinal of each candidate's canonical key in sorted-key order.
+
+        Sorting by ``(estimate, key_rank)`` equals sorting by
+        ``(estimate, key)``: the ranks are a strictly monotone relabeling
+        of the keys (equal keys get distinct ranks in original-index
+        order, which is exactly the stable-sort tie-break the scalar
+        ranking applies)."""
+        if self._key_rank_cache is None:
+            order = sorted(
+                range(len(self._candidate_keys)),
+                key=lambda i: self._candidate_keys[i],
             )
-        stats = stats if stats is not None else self._new_stats()
-        stats.best_config = ranking[0].config
-        stats.best_estimate = ranking[0].estimate_s
-        return SearchOutcome(
-            n=n,
-            ranking=ranking,
-            search_seconds=time.perf_counter() - started,
-            stats=stats,
-            complete=True,
-        )
+            ranks = np.empty(len(order), dtype=np.int64)
+            ranks[np.asarray(order, dtype=np.int64)] = np.arange(
+                len(order), dtype=np.int64
+            )
+            self._key_rank_cache = ranks
+        return self._key_rank_cache
+
+    def _rank_grid(
+        self, n: int, values: np.ndarray, started: float
+    ) -> SearchOutcome:
+        """The vectorized ranking: ``np.lexsort`` on (estimate, key rank)
+        — the identical ordering :meth:`_rank` produces, without the
+        per-candidate Python tuple comparisons."""
+        order = np.lexsort((self._key_ranks, values))
+        ranking = [
+            RankedEstimate(
+                config=self.candidates[i], n=n, estimate_s=float(values[i])
+            )
+            for i in order
+        ]
+        return self._outcome(n, ranking, started)
+
+    def _grid(self, sizes: Sequence[int]) -> np.ndarray:
+        assert self.grid_estimator is not None
+        grid = np.asarray(self.grid_estimator(self.candidates, sizes), dtype=float)
+        expected = (len(self.candidates), len(sizes))
+        if grid.shape != expected:
+            raise SearchError(
+                f"grid estimator returned shape {grid.shape}, "
+                f"expected {expected}"
+            )
+        return grid
 
     def optimize(self, n: int) -> SearchOutcome:
         """Rank all candidates for problem order ``n`` (ascending time)."""
         started = time.perf_counter()
+        if self.grid_estimator is not None:
+            column = self._grid([int(n)])[:, 0]
+            values_arr = validated_estimates(
+                column, self.candidates, n, self.allow_unestimable
+            )
+            return self._rank_grid(n, values_arr, started)
         values: List[float] = []
         for config in self.candidates:
             # +inf is the estimator's "I cannot estimate this configuration"
@@ -163,6 +239,20 @@ class ExhaustiveOptimizer(SearchBackend):
         sizes = [int(n) for n in ns]
         if not sizes:
             raise SearchError("optimize_many needs at least one size")
+        if self.grid_estimator is not None:
+            started = time.perf_counter()
+            grid = self._grid(sizes)
+            eval_share = (time.perf_counter() - started) / len(sizes)
+            outcomes = []
+            for j, n in enumerate(sizes):
+                column_started = time.perf_counter()
+                values_arr = validated_estimates(
+                    grid[:, j], self.candidates, n, self.allow_unestimable
+                )
+                outcome = self._rank_grid(n, values_arr, column_started)
+                outcome.search_seconds += eval_share
+                outcomes.append(outcome)
+            return outcomes
         if self.batch_estimator is None:
             return [self.optimize(n) for n in sizes]
         started = time.perf_counter()

@@ -29,7 +29,7 @@ import inspect
 import math
 import time
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.cluster.config import ClusterConfig, KindAllocation
 from repro.cluster.spec import ClusterSpec
 from repro.core.search.base import (
     Estimator,
+    GridEstimator,
     SearchBackend,
     SearchOutcome,
     SearchProblem,
@@ -106,6 +107,13 @@ class LocalSearchBase(SearchBackend):
         self._pe_values = {k: self.space.pe_values(k) for k in self.kinds}
         self._m_values = {k: self.space.m_values(k) for k in self.kinds}
         self._cache: Dict[Tuple[State, int], float] = {}
+        #: Candidate-axis grid kernel (None = scalar evaluation).  The
+        #: kernel is a pure value oracle: frontiers are *prefetched* as
+        #: blocks, then the search consumes the values in its original
+        #: scalar control flow, so stats, trace, budget exhaustion and
+        #: cache contents are identical with or without it.
+        self._grid: Optional[GridEstimator] = None
+        self._prefetched: Dict[Tuple[State, int], float] = {}
         self._allow_unestimable = True
         self._budget: Optional[int] = None
         self._seed = 0
@@ -119,6 +127,7 @@ class LocalSearchBase(SearchBackend):
         if budget is not None and budget < 1:
             raise SearchError(f"budget must be >= 1, got {budget}")
         instance = cls(problem.resolved_space(), problem.estimator)
+        instance._grid = problem.grid_estimator
         instance._allow_unestimable = problem.allow_unestimable
         instance._budget = budget
         instance._seed = problem.seed
@@ -137,15 +146,60 @@ class LocalSearchBase(SearchBackend):
             (k, config.pe_count(k), config.procs_per_pe(k)) for k in self.kinds
         )
 
+    def _prefetch(
+        self, frontier: Sequence[State], n: int, stats: SearchStats
+    ) -> None:
+        """Deduplicate a neighbor frontier and, with a grid kernel, block-
+        evaluate the fresh states in one call.
+
+        States duplicated within the frontier or already evaluated this
+        run are counted as ``dedup_hits`` (the counting runs in scalar
+        mode too, so the stats do not depend on the kernel).  Prefetched
+        values sit in ``self._prefetched`` until :meth:`_evaluate`
+        consumes them in the searcher's original order — unconsumed cells
+        never touch the cache, the stats or the budget, which is what
+        keeps block evaluation bitwise-identical to the scalar path.
+        """
+        fresh: List[State] = []
+        seen: set = set()
+        for state in frontier:
+            key = (state, n)
+            if state in seen or key in self._cache:
+                stats.dedup_hits += 1
+                continue
+            seen.add(state)
+            if key in self._prefetched:
+                # Already block-evaluated by an earlier frontier (grid
+                # mode only) — not re-counted, but still marked seen so
+                # an in-frontier duplicate counts exactly as it would in
+                # the scalar run (where this state would be fresh).
+                continue
+            fresh.append(state)
+        if self._grid is None or not fresh:
+            return
+        configs = [self._to_config(state) for state in fresh]
+        block = np.asarray(self._grid(configs, [n]), dtype=float)
+        if block.shape != (len(fresh), 1):
+            raise SearchError(
+                f"grid estimator returned shape {block.shape}, "
+                f"expected ({len(fresh)}, 1)"
+            )
+        for state, value in zip(fresh, block[:, 0]):
+            self._prefetched[(state, n)] = float(value)
+
     def _evaluate(self, state: State, n: int, stats: SearchStats) -> float:
         key = (state, n)
         if key not in self._cache:
             if self._budget is not None and stats.evaluations >= self._budget:
                 raise _BudgetExhausted()
             config = self._to_config(state)
+            prefetched = self._prefetched.pop(key, None)
+            if prefetched is None:
+                raw = float(self.estimator(config, n))
+            else:
+                raw = prefetched
             value = validated_estimate(
-                float(self.estimator(config, n)),
-                config, n, self._allow_unestimable,
+                raw, config, n, self._allow_unestimable
             )
             self._cache[key] = value
             stats.record(config, value)
@@ -275,12 +329,14 @@ class GreedyGrowth(LocalSearchBase):
         if not starts:
             raise SearchError("cluster has no PEs")
         try:
+            self._prefetch(starts, n, stats)
             current = min(starts, key=lambda s: self._evaluate(s, n, stats))
             for _ in range(max_steps):
                 current_value = self._evaluate(current, n, stats)
                 moves = self._moves(current)
                 if not moves:
                     break
+                self._prefetch(moves, n, stats)
                 best_move = min(moves, key=lambda s: self._evaluate(s, n, stats))
                 if self._evaluate(best_move, n, stats) >= current_value:
                     # Local optimum.  Greedy has no restarts, so stopping
@@ -311,6 +367,7 @@ class HillClimber(LocalSearchBase):
                     current_value = self._evaluate(current, n, stats)
                     moves = self._moves(current)
                     rng.shuffle(moves)
+                    self._prefetch(moves, n, stats)
                     improved = False
                     for move in moves:
                         if self._evaluate(move, n, stats) < current_value:
@@ -362,11 +419,19 @@ class SimulatedAnnealing(LocalSearchBase):
         if not starts:
             raise SearchError("cluster has no PEs")
         try:
+            self._prefetch(starts, n, stats)
             current = min(starts, key=lambda s: self._evaluate(s, n, stats))
             current_value = self._evaluate(current, n, stats)
             temperature = initial_temperature * current_value
+            # Block-evaluate the whole neighborhood once per *distinct*
+            # current state: subsequent steps at the same state sample
+            # from the already-prefetched frontier.
+            prefetched_for: Optional[State] = None
             for _ in range(steps):
                 moves = self._moves(current)
+                if prefetched_for != current:
+                    self._prefetch(moves, n, stats)
+                    prefetched_for = current
                 move = moves[int(rng.integers(0, len(moves)))]
                 value = self._evaluate(move, n, stats)
                 delta = value - current_value
@@ -407,6 +472,7 @@ class BeamSearch(LocalSearchBase):
         if not starts:
             raise SearchError("cluster has no PEs")
         try:
+            self._prefetch(starts, n, stats)
             scored = sorted(
                 (self._evaluate(state, n, stats), state) for state in starts
             )
@@ -414,10 +480,19 @@ class BeamSearch(LocalSearchBase):
             best_value = scored[0][0]
             stale = 0
             for _ in range(max_rounds):
+                # Collect the round's whole frontier first so the grid
+                # kernel sees one deduplicated block; the pool below then
+                # consumes the values in the original expansion order.
+                expansions = [(state, self._moves(state)) for state in beam]
+                frontier: List[State] = []
+                for state, moves in expansions:
+                    frontier.append(state)
+                    frontier.extend(moves)
+                self._prefetch(frontier, n, stats)
                 pool: Dict[State, float] = {}
-                for state in beam:
+                for state, moves in expansions:
                     pool[state] = self._evaluate(state, n, stats)
-                    for move in self._moves(state):
+                    for move in moves:
                         if move not in pool:
                             pool[move] = self._evaluate(move, n, stats)
                 ranked = sorted(pool.items(), key=lambda kv: (kv[1], kv[0]))
@@ -436,6 +511,7 @@ class BeamSearch(LocalSearchBase):
                 moves = self._moves(current)
                 if not moves:
                     break
+                self._prefetch(moves, n, stats)
                 best_move = min(
                     moves,
                     key=lambda s: (self._evaluate(s, n, stats), s),

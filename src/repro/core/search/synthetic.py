@@ -100,6 +100,12 @@ def synthetic_problem(
         choices.append(tuple(sorted(options)))
     space = SearchSpace(kinds=tuple(kinds), choices=tuple(choices))
     kind_time = synthetic_kind_time(params)
+    # Per-kind parameter vectors for the grid estimator's gather.
+    kind_ordinal = {kind: k for k, kind in enumerate(kinds)}
+    rate_of, alpha_of, lat_of, bw_of = (
+        np.asarray([params[kind][field] for kind in kinds], dtype=float)
+        for field in range(4)
+    )
 
     def estimator(config: ClusterConfig, n: int) -> float:
         p = np.array([config.total_processes])
@@ -110,12 +116,68 @@ def synthetic_problem(
             )
         )
 
+    def grid_estimator(configs, ns) -> np.ndarray:
+        # Candidate-axis form of ``estimator``: flatten every active
+        # allocation into parallel arrays (one row per (candidate, kind)
+        # pair, with its kind's parameters gathered alongside), evaluate
+        # the model as one elementwise ufunc chain per size — the exact
+        # ``kind_time`` expression, operation for operation — and scatter
+        # the bottleneck with ``np.maximum.at``.  All times are positive
+        # float64s, so the scatter max is bitwise the scalar ``max`` over
+        # ``config.active``.
+        sizes = [int(n) for n in ns]
+        out = np.full((len(configs), len(sizes)), -np.inf)
+        counts: List[int] = []
+        p_of: List[int] = []
+        mi_list: List[int] = []
+        kind_list: List[int] = []
+        mi_append = mi_list.append
+        kind_append = kind_list.append
+        for config in configs:
+            # Single raw pass over the allocations (the property-based
+            # ``total_processes``/``active`` pair costs ~3x as much and
+            # this loop is the kernel's only per-candidate Python work).
+            # Only per-(candidate, kind) facts are appended row-wise; the
+            # candidate index and process total expand via ``np.repeat``.
+            p = 0
+            rows = 0
+            for alloc in config.allocations:
+                pe = alloc.pe_count
+                if pe > 0:
+                    mi = alloc.procs_per_pe
+                    p += pe * mi
+                    mi_append(mi)
+                    kind_append(kind_ordinal[alloc.kind_name])
+                    rows += 1
+            counts.append(rows)
+            p_of.append(p)
+        counts_arr = np.asarray(counts)
+        cand = np.repeat(np.arange(len(configs)), counts_arr)
+        gather = np.asarray(kind_list)
+        rate_arr = rate_of[gather]
+        alpha_arr = alpha_of[gather]
+        lat_arr = lat_of[gather]
+        bw_arr = bw_of[gather]
+        p_arr = np.maximum(
+            np.repeat(np.asarray(p_of, dtype=float), counts_arr), 1.0
+        )
+        mi_arr = np.asarray(mi_list, dtype=float)
+        sqrt_p = np.sqrt(p_arr)
+        penalty = 1.0 + alpha_arr * (mi_arr - 1)
+        for j, n in enumerate(sizes):
+            flops = (2.0 / 3.0) * float(n) ** 3 / 1e9
+            ta = flops / p_arr * mi_arr / rate_arr * penalty
+            tc = lat_arr * p_arr + bw_arr * float(n) ** 2 / sqrt_p
+            np.maximum.at(out[:, j], cand, ta + tc)
+        return out
+
     bounds = KindTimeBound(kind_time, p_max=space.max_total_processes)
     return SearchProblem(
         estimator=estimator,
         space=space,
         kinds=kinds,
         bounds=bounds,
+        grid_estimator=grid_estimator,
         allow_unestimable=False,
         seed=seed,
     )

@@ -61,12 +61,13 @@ from repro.core.search import (
     estimator_bounds,
 )
 from repro.core.search import actual_best as _actual_best
+from repro.core.grid_kernel import GridKernel
 from repro.errors import SearchError
 from repro.hpl.schedule import walker_stats
 from repro.measure.campaign import CampaignResult, run_campaign, run_evaluation
 from repro.measure.dataset import Dataset
 from repro.perf.cache import EstimateCache, model_fingerprint
-from repro.perf.report import PerfReport
+from repro.perf.report import GridKernelStats, PerfReport
 
 
 # -- context ------------------------------------------------------------------
@@ -427,6 +428,7 @@ class SearchStage(Stage):
         return False
 
     def build(self, ctx: PipelineContext) -> "SearchEngine":
+        spec = ctx.spec
         return SearchEngine(
             facade=ctx.artifact("estimator"),
             adjustment=ctx.artifact("adjust"),
@@ -434,6 +436,7 @@ class SearchStage(Stage):
             scalar_estimate=ctx.scalar_estimate,
             batch_estimate=ctx.batch_estimate,
             candidates=ctx.candidates,
+            validate=lambda config: config.validate_against(spec),
             perf=ctx.perf,
             default_backend=getattr(ctx.config, "search_backend", DEFAULT_BACKEND),
             seed=getattr(ctx.config, "seed", 0),
@@ -529,6 +532,7 @@ class SearchEngine:
         batch_estimate: Callable[[ClusterConfig, Sequence[int]], np.ndarray],
         candidates: Callable[[], List[ClusterConfig]],
         perf: PerfReport,
+        validate: Optional[Callable[[ClusterConfig], None]] = None,
         default_backend: str = DEFAULT_BACKEND,
         seed: int = 0,
         cost_model: Optional[object] = None,
@@ -540,11 +544,13 @@ class SearchEngine:
         self._batch = batch_estimate
         self._candidates = candidates
         self.perf = perf
+        self._validate = validate
         self.default_backend = default_backend
         self.seed = seed
         #: Duck-typed :class:`repro.cost.model.CostModel` (None = unpriced).
         self.cost_model = cost_model
         self._cache: Optional[EstimateCache] = None
+        self._grid_kernel: Optional[GridKernel] = None
 
     @property
     def estimate_cache(self) -> EstimateCache:
@@ -616,6 +622,81 @@ class SearchEngine:
 
         return batch_objective
 
+    @property
+    def grid_kernel(self) -> GridKernel:
+        """The candidate-axis vectorized kernel of this model generation.
+
+        Built once per engine — and the engine is dropped by the stage
+        graph whenever an estimate-determining stage changes, so the
+        kernel's packed coefficient tensors live exactly as long as the
+        pipeline fingerprint they were routed from.  Its
+        :class:`~repro.perf.report.GridKernelStats` are published on the
+        perf report (rendered by ``--profile``).
+        """
+        if self._grid_kernel is None:
+            stats = GridKernelStats()
+            self._grid_kernel = GridKernel(
+                self.facade,
+                self.adjustment,
+                validate=self._validate,
+                stats=stats,
+                batch_fallback=self._batch,
+            )
+            self.perf.grid = stats
+        return self._grid_kernel
+
+    def estimate_grid(
+        self, configs: Sequence[ClusterConfig], ns: Sequence[int]
+    ) -> np.ndarray:
+        """Adjusted estimates of every ``(config, n)`` cell as a
+        ``(C, S)`` array, bitwise the scalar estimates.
+
+        Cache-integrated like :meth:`batch_estimator`: every cell is
+        looked up first, the rows with at least one miss go through a
+        single kernel block, and only the missing cells are written back
+        (hit cells keep their cached values, so a warm sweep is pure
+        dictionary lookups).
+        """
+        cache = self.estimate_cache
+        sizes = [int(n) for n in ns]
+        count, width = len(configs), len(sizes)
+        out = np.empty((count, width), dtype=float)
+        hit_mask = np.zeros((count, width), dtype=bool)
+        miss_rows: List[int] = []
+        for i, config in enumerate(configs):
+            key = cache.key_of(config)
+            row_full = True
+            for j, n in enumerate(sizes):
+                hit = cache.get(key, n)
+                if hit is None:
+                    row_full = False
+                else:
+                    out[i, j] = hit
+                    hit_mask[i, j] = True
+            if not row_full:
+                miss_rows.append(i)
+        if miss_rows:
+            block_configs = [configs[i] for i in miss_rows]
+            block = self.grid_kernel.evaluate(block_configs, sizes)
+            for r, i in enumerate(miss_rows):
+                key = cache.key_of(configs[i])
+                for j, n in enumerate(sizes):
+                    if not hit_mask[i, j]:
+                        out[i, j] = block[r, j]
+                        cache.put(key, n, float(block[r, j]))
+        return out
+
+    def grid_estimator(self):
+        """The candidate-axis objective for search backends:
+        ``(configs, [n...]) -> (C, S) array`` (see :meth:`estimate_grid`)."""
+
+        def grid_objective(
+            configs: Sequence[ClusterConfig], ns: Sequence[int]
+        ) -> np.ndarray:
+            return self.estimate_grid(configs, ns)
+
+        return grid_objective
+
     def optimizer(
         self,
         candidates: Optional[Sequence[ClusterConfig]] = None,
@@ -642,7 +723,10 @@ class SearchEngine:
         )
         if tag == "exhaustive" and budget is None and not options:
             return ExhaustiveOptimizer(
-                self.estimator(), pool, batch_estimator=self.batch_estimator()
+                self.estimator(),
+                pool,
+                batch_estimator=self.batch_estimator(),
+                grid_estimator=self.grid_estimator(),
             )
         space = SearchSpace.from_candidates(pool)
         problem = SearchProblem(
@@ -651,6 +735,7 @@ class SearchEngine:
             space=space,
             kinds=list(space.kinds),
             batch_estimator=self.batch_estimator(),
+            grid_estimator=self.grid_estimator(),
             bounds=estimator_bounds(
                 self.facade, self.adjustment, p_max=space.max_total_processes
             ),

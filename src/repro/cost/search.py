@@ -42,6 +42,7 @@ import numpy as np
 from repro.cluster.config import ClusterConfig
 from repro.core.search.base import (
     Estimator,
+    GridEstimator,
     SearchOutcome,
     SearchProblem,
     SearchStats,
@@ -73,6 +74,7 @@ class BudgetFrontierSearch(BranchBoundSearch):
         space: SearchSpace,
         bounds: KindTimeBound,
         cost: Optional[CostModel] = None,
+        grid_estimator: Optional[GridEstimator] = None,
         allow_unestimable: bool = True,
         budget: Optional[int] = None,
         work_factor: int = 256,
@@ -83,6 +85,7 @@ class BudgetFrontierSearch(BranchBoundSearch):
             estimator,
             space,
             bounds,
+            grid_estimator=grid_estimator,
             allow_unestimable=allow_unestimable,
             budget=budget,
             work_factor=work_factor,
@@ -139,6 +142,7 @@ class BudgetFrontierSearch(BranchBoundSearch):
             space,
             problem.bounds,
             cost=problem.cost,
+            grid_estimator=problem.grid_estimator,
             allow_unestimable=problem.allow_unestimable,
             budget=budget,
             work_factor=work_factor,
@@ -160,6 +164,11 @@ class BudgetFrontierSearch(BranchBoundSearch):
         space = self.space
         n_kinds = len(space.kinds)
         assignment: List[Tuple[int, int]] = []
+        # Leaf values prefetched through the grid kernel (see
+        # BranchBoundSearch.optimize): the leaf branch pops them in its
+        # original DFS order, so the two-axis pruning, the archive and
+        # the budget replay identically over bitwise-equal values.
+        leaf_values: dict = {}
         work_cap = (
             None if self.budget is None else self.budget * self.work_factor
         )
@@ -215,9 +224,11 @@ class BudgetFrontierSearch(BranchBoundSearch):
                     stats.exhausted = True
                     return False
                 config = space.config_of(assignment)
+                raw = leaf_values.pop(tuple(assignment), None)
+                if raw is None:
+                    raw = float(self.estimator(config, n))
                 value = validated_estimate(
-                    float(self.estimator(config, n)),
-                    config, n, self.allow_unestimable,
+                    raw, config, n, self.allow_unestimable
                 )
                 stats.record(config, value)
                 point = build_point(self.cost, config, n, value)
@@ -260,6 +271,40 @@ class BudgetFrontierSearch(BranchBoundSearch):
             # Fast subtrees first: early archive points near the frontier's
             # fast end prune more of the slow-and-expensive bulk.
             children.sort(key=lambda item: (item[0], item[1]))
+            if self.grid_estimator is not None and depth + 1 == n_kinds:
+                # Prefetch the leaf block with the replay loop's own
+                # ``continue``-style filters.  ``corner_pruned`` only
+                # grows stronger as the archive fills mid-block, so the
+                # prefetch-time check keeps a superset of the leaves the
+                # replay will evaluate; unconsumed cells are discarded.
+                remaining = (
+                    None
+                    if self.budget is None
+                    else self.budget - stats.evaluations
+                )
+                block: List[Tuple[Tuple[int, int], ...]] = []
+                for t_lb, choice, c_lb, child_p, _, _, _ in children:
+                    if child_p == 0:
+                        continue
+                    if self.max_cost is not None and c_lb > self.max_cost:
+                        continue
+                    if corner_pruned(t_lb, c_lb):
+                        continue
+                    if remaining is not None and len(block) >= remaining:
+                        break
+                    block.append(tuple(assignment) + (choice,))
+                if len(block) > 1:
+                    configs = [space.config_of(key) for key in block]
+                    values = np.asarray(
+                        self.grid_estimator(configs, [n]), dtype=float
+                    )
+                    if values.shape != (len(block), 1):
+                        raise SearchError(
+                            f"grid estimator returned shape {values.shape},"
+                            f" expected ({len(block)}, 1)"
+                        )
+                    for key, value in zip(block, values[:, 0]):
+                        leaf_values[key] = float(value)
             for (t_lb, choice, c_lb, child_p, child_mi,
                  child_rate, child_profile) in children:
                 # Unlike the scalar walk, a pruned child does not prune

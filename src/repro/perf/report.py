@@ -82,6 +82,58 @@ class CostStats:
         return detail
 
 
+@dataclass
+class GridKernelStats:
+    """Accounting of the candidate-axis grid estimation kernel.
+
+    One :meth:`record_block` per kernel invocation (a block of candidate
+    configurations evaluated in one vectorized pass); candidates that had
+    to take the per-candidate scalar/batched path instead — unsupported
+    backend, memory bins — are counted as :attr:`scalar_fallback` rows so
+    the vectorized coverage is observable in ``--profile`` output.
+    """
+
+    #: Kernel invocations (one per evaluated candidate block).
+    blocks: int = 0
+    #: Candidate rows across all blocks (``candidates / blocks`` is the
+    #: average block width the search layer achieved).
+    block_candidates: int = 0
+    #: candidate x size cells the kernel evaluated vectorized.
+    cells: int = 0
+    #: Candidate rows that fell back to the per-candidate batched path.
+    scalar_fallback: int = 0
+
+    def record_block(self, candidates: int, sizes: int) -> None:
+        self.blocks += 1
+        self.block_candidates += candidates
+        self.cells += candidates * sizes
+
+    def record_fallback(self, candidates: int) -> None:
+        self.scalar_fallback += candidates
+
+    @property
+    def candidates_per_block(self) -> float:
+        return self.block_candidates / self.blocks if self.blocks else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "blocks": self.blocks,
+            "block_candidates": self.block_candidates,
+            "cells": self.cells,
+            "scalar_fallback": self.scalar_fallback,
+        }
+
+    def describe(self) -> str:
+        detail = (
+            f"{self.blocks} blocks, "
+            f"{self.candidates_per_block:.1f} candidates/block, "
+            f"{self.cells} kernel cells"
+        )
+        if self.scalar_fallback:
+            detail += f", {self.scalar_fallback} scalar-fallback rows"
+        return detail
+
+
 class PerfReport:
     """Per-stage wall-clock ledger of one pipeline (plus cache stats)."""
 
@@ -98,6 +150,8 @@ class PerfReport:
         self.search_backends: Dict[str, Dict[str, int]] = {}
         #: Pareto-frontier accounting (None until a frontier is computed).
         self.cost: Optional[CostStats] = None
+        #: Grid-kernel accounting (None until the engine builds a kernel).
+        self.grid: Optional[GridKernelStats] = None
 
     def record_search(self, stats) -> None:
         """Fold one search run's :class:`SearchStats` into the per-backend
@@ -112,6 +166,7 @@ class PerfReport:
                 "pruned_subtrees": 0,
                 "pruned_candidates": 0,
                 "bound_evaluations": 0,
+                "dedup_hits": 0,
                 "exhausted": 0,
                 "stuck": 0,
             },
@@ -121,6 +176,7 @@ class PerfReport:
         entry["pruned_subtrees"] += stats.pruned_subtrees
         entry["pruned_candidates"] += stats.pruned_candidates
         entry["bound_evaluations"] += stats.bound_evaluations
+        entry["dedup_hits"] += getattr(stats, "dedup_hits", 0)
         entry["exhausted"] += int(stats.exhausted)
         entry["stuck"] += int(getattr(stats, "stuck", False))
 
@@ -195,6 +251,8 @@ class PerfReport:
             }
         if self.cost is not None:
             out["cost"] = self.cost.to_dict()
+        if self.grid is not None:
+            out["grid"] = self.grid.to_dict()
         return out
 
     def render(self) -> str:
@@ -220,9 +278,13 @@ class PerfReport:
                 )
             if entry["exhausted"]:
                 detail += f", {entry['exhausted']} budget-exhausted"
+            if entry.get("dedup_hits"):
+                detail += f", {entry['dedup_hits']} dedup hits"
             if entry.get("stuck"):
                 detail += f", {entry['stuck']} stuck"
             lines.append(detail)
         if self.cost is not None:
             lines.append(f"cost: {self.cost.describe()}")
+        if self.grid is not None:
+            lines.append(f"grid: {self.grid.describe()}")
         return "\n".join(lines)

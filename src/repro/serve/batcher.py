@@ -16,7 +16,11 @@ results back out to per-request futures:
   max_cost, alpha)`` merge their orders into one
   :meth:`~repro.core.pipeline.EstimationPipeline.optimize_many` batched
   search under that backend (requests asking different backends,
-  budgets or cost constraints never share a search run);
+  budgets or cost constraints never share a search run) — and that
+  search rides the candidate-axis grid kernel
+  (:mod:`repro.core.grid_kernel`), so a micro-batch of optimize
+  requests turns into a handful of block evaluations instead of
+  thousands of scalar model calls;
 * ``pareto`` requests grouping on ``(pipeline, budget, max_cost)``
   merge their orders into one
   :meth:`~repro.core.pipeline.EstimationPipeline.pareto_many` frontier
