@@ -105,9 +105,15 @@ class Calibrator:
     def ingest(
         self, record: MeasurementRecord, source: str = "live"
     ) -> IngestResult:
-        """Log one observed run and fold its residual into the loop."""
+        """Log one observed run and fold its residual into the loop.
+
+        The logged row carries the owning pipeline's workload tag, so a
+        replayed log knows which family's simulator produced each run."""
         with self.perf.stage("ingest"):
-            observation = self.log.append(record, source=source)
+            observation = self.log.append(
+                record, source=source,
+                workload=self.pipeline.config.workload,
+            )
             result = self._absorb(self._score(observation))
         return result
 
@@ -190,6 +196,7 @@ class Calibrator:
     def status(self) -> Dict[str, object]:
         info: Dict[str, object] = {
             "name": self.name,
+            "workload": self.pipeline.config.workload,
             "fingerprint": self.pipeline.estimate_cache.fingerprint,
             "observations": len(self.log),
             "skipped": self.skipped,

@@ -48,12 +48,17 @@ class Observation:
     seq: int
     source: str
     record: MeasurementRecord
+    #: Workload family tag of the run (:mod:`repro.workloads`).  Logs
+    #: written before the workload subsystem carry no tag and read back
+    #: as ``"hpl"`` — the only family that existed then.
+    workload: str = "hpl"
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "format": _FORMAT_VERSION,
             "seq": self.seq,
             "source": self.source,
+            "workload": self.workload,
             "record": self.record.to_dict(),
         }
 
@@ -64,6 +69,7 @@ class Observation:
                 seq=int(data["seq"]),  # type: ignore[arg-type]
                 source=str(data["source"]),
                 record=MeasurementRecord.from_dict(data["record"]),  # type: ignore[arg-type]
+                workload=str(data.get("workload", "hpl")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CalibrationError(f"malformed observation: {exc!r}") from exc
@@ -115,11 +121,13 @@ class ObservationLog:
     # -- mutation -----------------------------------------------------------
 
     def append(
-        self, record: MeasurementRecord, source: str = "live"
+        self, record: MeasurementRecord, source: str = "live",
+        workload: str = "hpl",
     ) -> Observation:
         """Log one run; returns the observation with its assigned ``seq``."""
         observation = Observation(
-            seq=len(self._observations), source=source, record=record
+            seq=len(self._observations), source=source, record=record,
+            workload=workload,
         )
         self._observations.append(observation)
         if self._handle is not None:
@@ -128,11 +136,15 @@ class ObservationLog:
         return observation
 
     def extend_from_dataset(
-        self, dataset: Dataset, source: str = "dataset"
+        self, dataset: Dataset, source: str = "dataset",
+        workload: str = "hpl",
     ) -> List[Observation]:
         """The measure→observation adapter: ingest a whole campaign/replay
         dataset (e.g. ``run_hpl_batch`` output) in record order."""
-        return [self.append(record, source=source) for record in dataset]
+        return [
+            self.append(record, source=source, workload=workload)
+            for record in dataset
+        ]
 
     def close(self) -> None:
         if self._handle is not None:

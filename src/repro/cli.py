@@ -3,6 +3,7 @@
 Examples::
 
     repro describe                      # Table 1 (cluster inventory)
+    repro workloads                     # registered workload families
     repro fig1 --mpich 1.2.1            # Fig. 1(a) series
     repro fig2                          # Fig. 2 (NetPIPE curves)
     repro fig3                          # Fig. 3(a)+(b) series
@@ -78,6 +79,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("describe", help="cluster inventory (the paper's Table 1)")
 
+    workloads = sub.add_parser(
+        "workloads", help="registered workload families (tags, phases, grids)"
+    )
+    workloads.add_argument(
+        "--tag", default=None, help="show one workload family (default: all)"
+    )
+
     fig1 = sub.add_parser("fig1", help="single-PE multiprocessing Gflops (Fig. 1)")
     fig1.add_argument("--mpich-version", default=None, choices=["1.2.1", "1.2.2"])
 
@@ -101,6 +109,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--protocol", default="basic", choices=["basic", "nl", "ns"]
     )
     campaign.add_argument(
+        "--workload", default="hpl",
+        help="workload family tag (see `repro workloads`)",
+    )
+    campaign.add_argument(
         "--workers", type=int, default=1, help="process-pool width for the runs"
     )
     campaign.add_argument(
@@ -121,6 +133,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     opt = sub.add_parser("optimize", help="rank candidate configurations")
     opt.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
+    opt.add_argument(
+        "--workload", default="hpl",
+        help="workload family tag (see `repro workloads`)",
+    )
     opt.add_argument("--n", type=int, required=True)
     opt.add_argument("--top", type=int, default=10)
     opt.add_argument(
@@ -161,6 +177,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "pareto", help="time/cost Pareto frontier over the candidate grid"
     )
     pareto.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
+    pareto.add_argument(
+        "--workload", default="hpl",
+        help="workload family tag (see `repro workloads`)",
+    )
     pareto.add_argument("--n", type=int, required=True)
     pareto.add_argument(
         "--budget",
@@ -211,6 +231,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "save", help="run a pipeline and persist it for repro serve/estimate"
     )
     save.add_argument("--protocol", default="basic", choices=["basic", "nl", "ns"])
+    save.add_argument(
+        "--workload", default="hpl",
+        help="workload family tag (see `repro workloads`)",
+    )
     save.add_argument("--out", required=True, help="target directory")
 
     models = sub.add_parser(
@@ -293,6 +317,14 @@ def _build_parser() -> argparse.ArgumentParser:
         required=True,
         action="append",
         help="problem order (repeatable for several sizes)",
+    )
+    estimate.add_argument(
+        "--workload", default=None,
+        help=(
+            "assert the saved pipeline's workload family tag "
+            "(error out instead of estimating with the wrong simulator's "
+            "models)"
+        ),
     )
 
     serve = sub.add_parser(
@@ -385,6 +417,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="'time' or 'weighted:ALPHA' scalarization (optimize)",
     )
+    client.add_argument(
+        "--workload",
+        default=None,
+        help=(
+            "workload family tag asserted on the request "
+            "(estimate/optimize/whatif/pareto)"
+        ),
+    )
 
     export = sub.add_parser(
         "export", help="write every experiment's data as CSV for plotting"
@@ -431,13 +471,21 @@ def _priced_pipeline(args: argparse.Namespace) -> EstimationPipeline:
         )
         spec = spec.with_cost(kishimoto_rate_card())
     return EstimationPipeline(
-        spec, PipelineConfig(protocol=args.protocol, seed=args.seed)
+        spec,
+        PipelineConfig(
+            protocol=args.protocol, seed=args.seed,
+            workload=getattr(args, "workload", None) or "hpl",
+        ),
     )
 
 
 def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
     return EstimationPipeline(
-        _spec(args), PipelineConfig(protocol=args.protocol, seed=args.seed)
+        _spec(args),
+        PipelineConfig(
+            protocol=args.protocol, seed=args.seed,
+            workload=getattr(args, "workload", None) or "hpl",
+        ),
     )
 
 
@@ -666,6 +714,7 @@ def _run_server(args: argparse.Namespace) -> None:
         print(
             f"loaded {name!r} from {path} "
             f"(protocol {entry.pipeline.plan.name}, "
+            f"workload {entry.workload}, "
             f"fingerprint {entry.fingerprint})"
         )
 
@@ -723,6 +772,9 @@ def _run_client(args: argparse.Namespace) -> None:
     if args.op in ("optimize", "pareto"):
         if args.max_cost is not None:
             params["max_cost"] = args.max_cost
+    if args.op in ("estimate", "optimize", "whatif", "pareto"):
+        if args.workload is not None:
+            params["workload"] = args.workload
     try:
         client = ServeClient(args.host, args.port)
     except OSError as exc:
@@ -753,6 +805,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _dispatch(args: argparse.Namespace) -> None:
     if args.command == "describe":
         print(_spec(args).describe())
+    elif args.command == "workloads":
+        from repro.workloads import create_workload, iter_workloads
+
+        selected = (
+            [(args.tag, create_workload(args.tag))]
+            if args.tag is not None
+            else list(iter_workloads())
+        )
+        for tag, workload in selected:
+            info = workload.describe()
+            sizes = info["construction_sizes"]
+            eval_sizes = info["evaluation_sizes"]
+            print(f"{tag}: {info['display']}")
+            print(
+                "  phases: "
+                + ", ".join(
+                    f"{name}{'*' if name in info['comm_phases'] else ''}"
+                    for name in info["phases"]
+                )
+                + "  (* = communication)"
+            )
+            print(
+                f"  construction grid: {info['construction_configs']} configs x "
+                f"{len(sizes)} sizes (N {sizes[0]}..{sizes[-1]})"
+            )
+            print(
+                f"  evaluation grid:   {info['evaluation_configs']} configs x "
+                f"{len(eval_sizes)} sizes (N {eval_sizes[0]}..{eval_sizes[-1]})"
+            )
     elif args.command == "fig1":
         versions = (
             [args.mpich_version] if args.mpich_version else ["1.2.1", "1.2.2"]
@@ -918,6 +999,11 @@ def _dispatch(args: argparse.Namespace) -> None:
         from repro.core.persistence import load_pipeline
 
         pipeline = load_pipeline(args.dir)
+        if args.workload is not None and pipeline.config.workload != args.workload:
+            raise ReproError(
+                f"pipeline in {args.dir} serves workload "
+                f"{pipeline.config.workload!r}, not {args.workload!r}"
+            )
         values = [int(v) for v in args.config.split(",")]
         config = ClusterConfig.from_tuple(pipeline.plan.kinds, values)
         config.validate_against(pipeline.spec)

@@ -18,10 +18,14 @@ Layout of a saved pipeline directory::
     evaluation.json    (optional) ground-truth measurements
 
 **Format history.**  Format 1 stored the models as separate ``nt``/``pt``
-lists; format 2 (current) stores one flat list of type-tagged model dicts
-(the :mod:`repro.core.model_api` registry), so any registered model class
-round-trips without changes here.  :func:`load_pipeline` reads both;
-directories written by future formats are rejected with a
+lists; format 2 stores one flat list of type-tagged model dicts (the
+:mod:`repro.core.model_api` registry), so any registered model class
+round-trips without changes here; format 3 (current) adds the
+``workload`` manifest key (the :mod:`repro.workloads` family tag — the
+measurement grid and simulator the pipeline reconstitutes with).
+:func:`load_pipeline` reads all three — formats 1 and 2 predate the
+workload subsystem and load as implicit ``hpl`` — while directories
+written by future formats are rejected with a
 :class:`~repro.errors.ModelError` instead of being misread.
 
 Loading injects the saved artifacts into the pipeline's stage graph
@@ -44,14 +48,14 @@ from repro.core.stages import ComposeArtifact, FitArtifact
 from repro.errors import MeasurementError, ModelError
 from repro.measure.campaign import CampaignResult
 from repro.measure.dataset import Dataset
-from repro.measure.grids import plan_by_name
+from repro.workloads import create_workload
 
 _MANIFEST = "manifest.json"
 
 #: Manifest format this module writes.
-CURRENT_FORMAT = 2
+CURRENT_FORMAT = 3
 #: Manifest formats this module can read.
-SUPPORTED_FORMATS = (1, 2)
+SUPPORTED_FORMATS = (1, 2, 3)
 
 #: Artifacts a loadable pipeline must provide, in injection order.
 REQUIRED_ARTIFACTS = (_MANIFEST, "cluster.json", "construction.json", "models.json")
@@ -126,8 +130,16 @@ def pipeline_from_blobs(
         blobs, origins, "cluster.json", "cluster description",
         lambda text: cluster_from_dict(json.loads(text)),
     )
+    # Formats 1 and 2 predate the workload subsystem: every artifact they
+    # describe was an HPL pipeline, so the tag defaults to "hpl".
+    workload_tag = str(manifest.get("workload", "hpl"))
     try:
-        plan = plan_by_name(str(manifest["protocol"]))
+        workload = create_workload(workload_tag)
+    except ModelError as exc:
+        raise ModelError(f"{exc} in {manifest_origin}") from exc
+    try:
+        protocol = str(manifest["protocol"])
+        plan = workload.plan(protocol)
         seed = int(manifest["seed"])
         cost = {
             (str(kind), int(n)): float(value)
@@ -139,7 +151,9 @@ def pipeline_from_blobs(
             f"corrupt manifest in saved pipeline: {manifest_origin} ({exc!r})"
         ) from exc
     pipeline = EstimationPipeline(
-        spec, PipelineConfig(protocol=plan.name, seed=seed), plan=plan
+        spec,
+        PipelineConfig(protocol=plan.name, seed=seed, workload=workload_tag),
+        plan=plan,
     )
 
     dataset = _load_blob(
@@ -211,6 +225,7 @@ def save_pipeline(
     manifest = {
         "format": CURRENT_FORMAT,
         "protocol": pipeline.plan.name,
+        "workload": pipeline.config.workload,
         "seed": pipeline.config.seed,
         "adjustment": pipeline.adjustment.to_dict(),
         "cost_by_kind_and_n": [

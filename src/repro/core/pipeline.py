@@ -47,14 +47,14 @@ from repro.core.stages import (
     default_stages,
 )
 from repro.errors import ModelError
-from repro.hpl.driver import NoiseSpec, run_hpl
-from repro.hpl.memory import config_memory_ratio
+from repro.hpl.driver import NoiseSpec
 from repro.hpl.schedule import HPLParameters
 from repro.measure.campaign import CampaignResult, Runner
 from repro.measure.dataset import Dataset
-from repro.measure.grids import CampaignPlan, plan_by_name
+from repro.measure.grids import CampaignPlan
 from repro.perf.cache import EstimateCache
 from repro.perf.report import PerfReport
+from repro.workloads import create_workload
 
 if TYPE_CHECKING:  # repro.cost imports the core layer, never the reverse
     from repro.cost.model import CostModel
@@ -86,11 +86,16 @@ class PipelineConfig:
     #: when ``memory_guard`` is on (SUMMA keeps 3 matrices resident).
     guard_threshold: float = 1.0
     guard_footprint: float = 1.0
-    #: Application under study; defaults to HPL.  Any runner with the
-    #: ``run_hpl`` signature works (e.g. ``repro.exts.apps.run_summa``) —
-    #: the models never look inside the application, only at its per-kind
-    #: Ta/Tc measurements.
-    runner: Runner = run_hpl
+    #: Workload family tag (:func:`repro.workloads.registered_workloads`):
+    #: picks the simulator, phase decomposition, measurement grid and
+    #: memory model.  The tag is persisted with pipeline artifacts and
+    #: travels through served requests and observation logs.
+    workload: str = "hpl"
+    #: Explicit runner override; ``None`` (the default) uses the workload
+    #: family's own simulator.  Any runner with the ``run_hpl`` signature
+    #: works (e.g. ``repro.exts.apps.run_summa``) — the models never look
+    #: inside the application, only at its per-kind Ta/Tc measurements.
+    runner: Optional[Runner] = None
     #: Process-pool width for the measurement campaigns (1 = today's
     #: serial loop; >1 fans runs out via :mod:`repro.perf.parallel`
     #: without changing any produced number — runs are independently
@@ -158,7 +163,11 @@ class EstimationPipeline:
     ):
         self.spec = spec
         self.config = config if config is not None else PipelineConfig()
-        self.plan = plan if plan is not None else plan_by_name(self.config.protocol)
+        #: The workload family this pipeline measures and models.
+        self.workload = create_workload(self.config.workload)
+        self.plan = (
+            plan if plan is not None else self.workload.plan(self.config.protocol)
+        )
         #: Per-stage wall-clock + cache statistics (perf-engine layer 3).
         self.perf = PerfReport()
         ctx = PipelineContext(
@@ -166,6 +175,7 @@ class EstimationPipeline:
             config=self.config,
             plan=self.plan,
             perf=self.perf,
+            workload=self.workload,
             memory_ratio_fn=self._memory_ratio_for,
             scalar_estimate=lambda config, n: self.estimate(config, n).total,
             batch_estimate=self.estimate_totals,
@@ -236,7 +246,7 @@ class EstimationPipeline:
 
     def _memory_ratio_for(self, config: ClusterConfig, n: int, kind_name: str) -> float:
         """Worst-node memory pressure for a kind under this configuration."""
-        return config_memory_ratio(
+        return self.workload.memory_ratio(
             self.spec, config, n, kind_name, footprint=self.config.guard_footprint
         )
 

@@ -95,11 +95,27 @@ class PipelineContext:
     batch_estimate: Callable[[ClusterConfig, Sequence[int]], np.ndarray]
     #: Default candidate set for the optimizer.
     candidates: Callable[[], List[ClusterConfig]]
+    #: The :class:`repro.workloads.Workload` family being measured; owns
+    #: the simulator, phase decomposition and grid-kernel hook.  ``None``
+    #: (unit-test graphs) behaves as the standard HPL setup.
+    workload: object = None
     graph: "StageGraph" = field(init=False, repr=False, default=None)  # type: ignore[assignment]
 
     def artifact(self, name: str):
         """Resolve another stage's artifact (building it if needed)."""
         return self.graph.get(name)
+
+    def runner(self):
+        """The measurement runner: an explicit config override wins,
+        otherwise the workload family's own simulator."""
+        override = getattr(self.config, "runner", None)
+        if override is not None:
+            return override
+        if self.workload is not None:
+            return self.workload.runner()
+        from repro.hpl.driver import run_hpl
+
+        return run_hpl
 
 
 # -- typed artifacts ----------------------------------------------------------
@@ -273,7 +289,7 @@ class MeasureStage(Stage):
             params=ctx.config.hpl_params,
             noise=ctx.config.noise,
             seed=ctx.config.seed,
-            runner=ctx.config.runner,
+            runner=ctx.runner(),
             workers=ctx.config.workers,
         )
         # main-process counters only: pool workers keep their own
@@ -294,7 +310,7 @@ class EvaluationStage(Stage):
             params=ctx.config.hpl_params,
             noise=ctx.config.noise,
             seed=ctx.config.seed,
-            runner=ctx.config.runner,
+            runner=ctx.runner(),
             workers=ctx.config.workers,
         )
         ctx.perf.record_walker(walker_stats().delta(before))
@@ -445,6 +461,9 @@ class SearchStage(Stage):
                 if getattr(ctx.config, "cost", None) is not None
                 else getattr(ctx.spec, "cost", None)
             ),
+            grid_kernel_factory=(
+                ctx.workload.make_grid_kernel if ctx.workload is not None else None
+            ),
         )
 
 
@@ -536,6 +555,7 @@ class SearchEngine:
         default_backend: str = DEFAULT_BACKEND,
         seed: int = 0,
         cost_model: Optional[object] = None,
+        grid_kernel_factory: Optional[Callable] = None,
     ):
         self.facade = facade
         self.adjustment = adjustment
@@ -549,6 +569,10 @@ class SearchEngine:
         self.seed = seed
         #: Duck-typed :class:`repro.cost.model.CostModel` (None = unpriced).
         self.cost_model = cost_model
+        #: Per-workload kernel constructor
+        #: (:meth:`repro.workloads.Workload.make_grid_kernel`); ``None``
+        #: builds the standard :class:`GridKernel` directly.
+        self._grid_kernel_factory = grid_kernel_factory
         self._cache: Optional[EstimateCache] = None
         self._grid_kernel: Optional[GridKernel] = None
 
@@ -635,13 +659,22 @@ class SearchEngine:
         """
         if self._grid_kernel is None:
             stats = GridKernelStats()
-            self._grid_kernel = GridKernel(
-                self.facade,
-                self.adjustment,
-                validate=self._validate,
-                stats=stats,
-                batch_fallback=self._batch,
-            )
+            if self._grid_kernel_factory is not None:
+                self._grid_kernel = self._grid_kernel_factory(
+                    self.facade,
+                    self.adjustment,
+                    self._validate,
+                    stats,
+                    self._batch,
+                )
+            else:
+                self._grid_kernel = GridKernel(
+                    self.facade,
+                    self.adjustment,
+                    validate=self._validate,
+                    stats=stats,
+                    batch_fallback=self._batch,
+                )
             self.perf.grid = stats
         return self._grid_kernel
 

@@ -129,13 +129,25 @@ class Dataset:
     def load(cls, path: Path | str) -> "Dataset":
         return cls.from_json(Path(path).read_text())
 
+    def _phase_columns(self) -> List[str]:
+        """Phase column names: the first record's decomposition (HPL's
+        historical columns for HPL datasets; a dataset never mixes
+        workload families)."""
+        if not self._records:
+            return list(PHASE_NAMES)
+        first = self._records[0]
+        if not first.per_kind:
+            return list(PHASE_NAMES)
+        return list(first.per_kind[0].phases.as_dict())
+
     def to_csv(self) -> str:
         """Flat per-kind CSV (one row per record per measured kind)."""
+        phase_columns = self._phase_columns()
         out = io.StringIO()
         writer = csv.writer(out)
         writer.writerow(
             ["config", "n", "p", "wall_s", "gflops", "kind", "pe_count", "procs_per_pe", "ta", "tc"]
-            + list(PHASE_NAMES)
+            + phase_columns
         )
         for r in self._records:
             for km in r.per_kind:
@@ -152,7 +164,7 @@ class Dataset:
                         f"{km.ta:.6f}",
                         f"{km.tc:.6f}",
                     ]
-                    + [f"{getattr(km.phases, p):.6f}" for p in PHASE_NAMES]
+                    + [f"{getattr(km.phases, p):.6f}" for p in phase_columns]
                 )
         return out.getvalue()
 

@@ -26,6 +26,8 @@ class KindMeasurement:
     kind_name: str
     pe_count: int
     procs_per_pe: int
+    #: The workload family's phase vector (:class:`PhaseTimes` for HPL;
+    #: any :class:`repro.workloads.PhaseVector` subclass otherwise).
     phases: PhaseTimes
 
     @property
@@ -50,11 +52,15 @@ class KindMeasurement:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "KindMeasurement":
+        # Lazy import: the workloads package sits above the measure layer
+        # (workload modules register their batch runners with it).
+        from repro.workloads.phases import phases_from_dict
+
         return cls(
             kind_name=str(data["kind"]),
             pe_count=int(data["pe_count"]),
             procs_per_pe=int(data["procs_per_pe"]),
-            phases=PhaseTimes.from_dict(data["phases"]),  # type: ignore[arg-type]
+            phases=phases_from_dict(data["phases"]),  # type: ignore[arg-type]
         )
 
 

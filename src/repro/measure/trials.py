@@ -27,7 +27,6 @@ from repro.cluster.spec import ClusterSpec
 from repro.errors import MeasurementError
 from repro.hpl.driver import NoiseSpec, run_hpl
 from repro.hpl.schedule import HPLParameters
-from repro.hpl.timing import PHASE_NAMES, PhaseTimes
 from repro.measure.campaign import (
     BATCH_RUNNERS,
     BatchRunner,
@@ -73,8 +72,11 @@ def aggregate_records(
     wall = agg(np.array([r.wall_time_s for r in records]))
     per_kind: List[KindMeasurement] = []
     for km in first.per_kind:
+        # The record's own phase vector names the fields, so any workload
+        # family's decomposition aggregates the same way.
+        phase_cls = type(km.phases)
         phases = {}
-        for name in PHASE_NAMES:
+        for name in km.phases.as_dict():
             phases[name] = agg(
                 np.array(
                     [getattr(r.kind(km.kind_name).phases, name) for r in records]
@@ -85,7 +87,7 @@ def aggregate_records(
                 kind_name=km.kind_name,
                 pe_count=km.pe_count,
                 procs_per_pe=km.procs_per_pe,
-                phases=PhaseTimes.from_dict(phases),
+                phases=phase_cls.from_dict(phases),
             )
         )
     gflops = float(np.median([r.gflops for r in records]))

@@ -29,6 +29,12 @@ results back out to per-request futures:
 * ``whatif`` requests evaluate one configuration across *every*
   registered pipeline, reusing the same per-entry cached path.
 
+Every group key also carries the request's optional ``workload``
+assertion; a request whose workload does not match the addressed
+pipeline's family fails with a typed ``InvalidRequest`` instead of
+returning numbers from the wrong simulator's models, and a ``whatif``
+with a workload sweeps only the pipelines of that family.
+
 **Admission control.**  The pending queue is bounded; :meth:`submit`
 never blocks.  When the queue is full the request is shed immediately
 with a typed :class:`~repro.serve.protocol.Overloaded` — under overload
@@ -53,6 +59,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ReproError
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (
+    ERROR_INVALID_REQUEST,
     ERROR_SHUTTING_DOWN,
     Overloaded,
     ProtocolError,
@@ -187,7 +194,11 @@ class MicroBatcher:
         for item in batch:
             op = item.request.op
             if op == "estimate":
-                key = (item.request.pipeline, item.request.config)
+                key = (
+                    item.request.pipeline,
+                    item.request.config,
+                    item.request.workload,
+                )
                 estimate_groups.setdefault(key, []).append(item)
             elif op == "optimize":
                 search_key = (
@@ -196,6 +207,7 @@ class MicroBatcher:
                     item.request.budget,
                     item.request.max_cost,
                     item.request.alpha,
+                    item.request.workload,
                 )
                 optimize_groups.setdefault(search_key, []).append(item)
             elif op == "pareto":
@@ -203,6 +215,7 @@ class MicroBatcher:
                     item.request.pipeline,
                     item.request.budget,
                     item.request.max_cost,
+                    item.request.workload,
                 )
                 pareto_groups.setdefault(pareto_key, []).append(item)
             elif op == "whatif":
@@ -224,11 +237,33 @@ class MicroBatcher:
             out.append((items, lambda group=items: self._run_paretos(group)))
         return out
 
+    def _check_workload(self, request: Request, entry: RegistryEntry) -> None:
+        """Enforce a request's workload assertion against the entry's
+        family — a typed ``InvalidRequest``, because the caller addressed
+        a pipeline whose models answer a different workload."""
+        if request.workload is None:
+            return
+        actual = entry.workload
+        if request.workload != actual:
+            raise ProtocolError(
+                f"pipeline {entry.name!r} serves workload {actual!r}, "
+                f"not {request.workload!r}",
+                ERROR_INVALID_REQUEST,
+                extra={
+                    "field": "workload",
+                    "pipeline": entry.name,
+                    "pipeline_workload": actual,
+                    "requested_workload": request.workload,
+                },
+            )
+
     def _run_estimates(self, items: List[_WorkItem]) -> List[Dict[str, object]]:
         """One vectorized evaluation for every request of one
-        ``(pipeline, config)`` group, scattered back per request."""
+        ``(pipeline, config, workload)`` group, scattered back per
+        request."""
         first = items[0].request
         entry = self.registry.get(first.pipeline)
+        self._check_workload(first, entry)
         config = entry.parse_config(first.config)
         union: List[int] = []
         seen = set()
@@ -260,6 +295,7 @@ class MicroBatcher:
         search backend, so they legitimately share its run)."""
         first = items[0].request
         entry = self.registry.get(first.pipeline)
+        self._check_workload(first, entry)
         union: List[int] = []
         seen = set()
         for item in items:
@@ -321,6 +357,7 @@ class MicroBatcher:
         here — plus the serving fingerprint as per-point provenance."""
         first = items[0].request
         entry = self.registry.get(first.pipeline)
+        self._check_workload(first, entry)
         union: List[int] = []
         seen = set()
         for item in items:
@@ -350,10 +387,21 @@ class MicroBatcher:
     def _run_whatif(self, request: Request) -> Dict[str, object]:
         """One configuration's totals under every registered pipeline —
         the serving form of the what-if study: same question, every
-        loaded model generation answers."""
+        loaded model generation answers.  A ``workload`` field restricts
+        the sweep to pipelines of that family (comparing a sorting model
+        against an HPL model answers nothing)."""
         entries = self.registry.entries()
         if not entries:
             raise ProtocolError("no pipelines registered")
+        if request.workload is not None:
+            entries = [e for e in entries if e.workload == request.workload]
+            if not entries:
+                raise ProtocolError(
+                    f"no pipelines registered for workload {request.workload!r} "
+                    f"(serving: {', '.join(self.registry.names())})",
+                    ERROR_INVALID_REQUEST,
+                    extra={"field": "workload", "requested_workload": request.workload},
+                )
         ns = list(request.ns)
         per_pipeline: Dict[str, Dict[str, object]] = {}
         totals_by_name: Dict[str, List[float]] = {}
@@ -366,6 +414,7 @@ class MicroBatcher:
                 continue
             per_pipeline[entry.name] = {
                 "fingerprint": entry.fingerprint,
+                "workload": entry.workload,
                 "totals": totals,
             }
             totals_by_name[entry.name] = totals

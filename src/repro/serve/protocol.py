@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.search import registered_search_backends
 from repro.cost.pareto import parse_objective
 from repro.errors import ReproError, SearchError
+from repro.workloads import registered_workloads
 
 #: Ops the service understands.  estimate/optimize/whatif/pareto flow
 #: through the micro-batcher; the rest are control-plane ops answered
@@ -61,14 +62,17 @@ ALL_OPS = BATCHED_OPS + CONTROL_OPS
 #: :data:`ERROR_INVALID_REQUEST` reply, so a misspelled or version-skewed
 #: field can never be silently ignored.
 _OP_FIELDS: Dict[str, frozenset] = {
-    "estimate": frozenset({"pipeline", "config", "ns", "n"}),
+    "estimate": frozenset({"pipeline", "config", "ns", "n", "workload"}),
     "optimize": frozenset(
-        {"pipeline", "ns", "n", "top", "backend", "budget", "max_cost", "objective"}
+        {
+            "pipeline", "ns", "n", "top", "backend", "budget", "max_cost",
+            "objective", "workload",
+        }
     ),
-    "whatif": frozenset({"config", "ns", "n", "backend", "budget"}),
+    "whatif": frozenset({"config", "ns", "n", "backend", "budget", "workload"}),
     # No "top" for pareto: a served frontier is complete by construction
     # (truncating it would silently drop non-dominated points).
-    "pareto": frozenset({"pipeline", "ns", "n", "budget", "max_cost"}),
+    "pareto": frozenset({"pipeline", "ns", "n", "budget", "max_cost", "workload"}),
     "models": frozenset({"pipeline"}),
     "calibration": frozenset({"pipeline"}),
     "reload": frozenset({"force"}),
@@ -92,11 +96,25 @@ ERROR_INTERNAL = "Internal"
 
 
 class ProtocolError(ReproError):
-    """A request line the service refuses to act on, with its reply type."""
+    """A request line the service refuses to act on, with its reply type.
 
-    def __init__(self, message: str, error_type: str = ERROR_BAD_REQUEST):
+    ``extra`` is a machine-readable payload merged into the error object
+    of the reply (next to ``type``/``message``) — the uniform channel for
+    typed error details like the offending field or the known values.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        error_type: str = ERROR_BAD_REQUEST,
+        extra: Optional[Dict[str, object]] = None,
+    ):
         super().__init__(message)
         self.error_type = error_type
+        self._extra: Dict[str, object] = dict(extra) if extra else {}
+
+    def extra(self) -> Dict[str, object]:
+        return dict(self._extra)
 
 
 class Overloaded(ProtocolError):
@@ -110,17 +128,15 @@ class Overloaded(ProtocolError):
         super().__init__(
             f"service overloaded: {pending} requests pending (capacity {capacity})",
             ERROR_OVERLOADED,
+            extra={
+                "pending": pending,
+                "capacity": capacity,
+                "retry_after_ms": retry_after_ms,
+            },
         )
         self.pending = pending
         self.capacity = capacity
         self.retry_after_ms = retry_after_ms
-
-    def extra(self) -> Dict[str, object]:
-        return {
-            "pending": self.pending,
-            "capacity": self.capacity,
-            "retry_after_ms": self.retry_after_ms,
-        }
 
 
 @dataclass(frozen=True)
@@ -142,6 +158,10 @@ class Request:
     #: Scalarization weight decoded from the wire field ``objective``
     #: (None = pure time; see :func:`repro.cost.pareto.parse_objective`).
     alpha: Optional[float] = None
+    #: Workload family tag for batched ops (None = no constraint).  On
+    #: pipeline-addressed ops it asserts the named pipeline's family; on
+    #: ``whatif`` it restricts the sweep to pipelines of that family.
+    workload: Optional[str] = None
     params: Dict[str, object] = field(default_factory=dict)
 
 
@@ -210,7 +230,25 @@ def parse_request(line: str) -> Request:
     budget: Optional[int] = None
     max_cost: Optional[float] = None
     alpha: Optional[float] = None
+    workload: Optional[str] = None
 
+    if op in BATCHED_OPS:
+        workload = payload.get("workload")
+        if workload is not None:
+            if not isinstance(workload, str):
+                raise ProtocolError(
+                    "'workload' must be a string",
+                    ERROR_INVALID_REQUEST,
+                    extra={"field": "workload"},
+                )
+            known_workloads = registered_workloads()
+            if workload not in known_workloads:
+                raise ProtocolError(
+                    f"unknown workload {workload!r} "
+                    f"(known: {', '.join(known_workloads)})",
+                    ERROR_INVALID_REQUEST,
+                    extra={"field": "workload", "known": list(known_workloads)},
+                )
     if op in ("optimize", "whatif"):
         backend = payload.get("backend")
         if backend is not None:
@@ -275,7 +313,7 @@ def parse_request(line: str) -> Request:
     return Request(
         id=request_id, op=op, pipeline=pipeline, config=config, ns=ns, top=top,
         backend=backend, budget=budget, max_cost=max_cost, alpha=alpha,
-        params=params,
+        workload=workload, params=params,
     )
 
 
@@ -309,11 +347,14 @@ def encode_error(
 
 
 def encode_exception(request_id: object, exc: BaseException) -> str:
-    """The reply line for a failed request, typed by exception class."""
-    if isinstance(exc, Overloaded):
-        return encode_error(request_id, exc.error_type, str(exc), exc.extra())
+    """The reply line for a failed request, typed by exception class.
+
+    Any :class:`ProtocolError`'s ``extra()`` payload rides along in the
+    error object (``Overloaded``'s queue state, an invalid field's
+    details) — one mechanism, no per-subclass special cases.
+    """
     if isinstance(exc, ProtocolError):
-        return encode_error(request_id, exc.error_type, str(exc))
+        return encode_error(request_id, exc.error_type, str(exc), exc.extra() or None)
     if isinstance(exc, ReproError):
         return encode_error(request_id, ERROR_MODEL, str(exc))
     return encode_error(request_id, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")

@@ -98,6 +98,11 @@ class RegistryEntry:
         """The registry key: pipeline name + model fingerprint."""
         return (self.name, self.fingerprint)
 
+    @property
+    def workload(self) -> str:
+        """The workload family tag this entry's pipeline was built for."""
+        return self.pipeline.config.workload
+
     def parse_config(self, values: Sequence[int]) -> ClusterConfig:
         config = ClusterConfig.from_tuple(self.pipeline.plan.kinds, values)
         config.validate_against(self.pipeline.spec)
@@ -145,6 +150,7 @@ class RegistryEntry:
             )
         return {
             "pipeline": self.name,
+            "workload": self.workload,
             "backend": facade.backend.name,
             "fingerprint": self.fingerprint,
             "generation": self.generation,
@@ -367,6 +373,7 @@ class ModelRegistry:
                 "source": entry.source,
                 "generation": entry.generation,
                 "protocol": entry.pipeline.plan.name,
+                "workload": entry.workload,
                 "cache": entry.cache_snapshot(),
             }
         return {

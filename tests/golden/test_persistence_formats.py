@@ -53,18 +53,27 @@ class TestFormat1Compatibility:
             assert json.loads(json.dumps(got)) == expected
 
 
-class TestFormat2RoundTrip:
-    def test_resave_upgrades_to_format_2(self, tmp_path):
+class TestResaveRoundTrip:
+    def test_resave_upgrades_to_current_format(self, tmp_path):
         pipeline = load_pipeline(FIXTURE)
         out = save_pipeline(pipeline, tmp_path / "saved", include_evaluation=False)
         manifest = json.loads((out / "manifest.json").read_text())
-        assert manifest["format"] == 2
+        assert manifest["format"] == 3
+        # The old-format artifact had no workload tag; resaving records
+        # the implicit hpl it loaded as.
+        assert manifest["workload"] == "hpl"
+        # The model store keeps its own (format-2) flat tagged list.
         models = json.loads((out / "models.json").read_text())
         assert models["format"] == 2
         assert all("type" in m for m in models["models"])
         reloaded = load_pipeline(out)
         assert reloaded.store.fingerprint() == pipeline.store.fingerprint()
         assert reloaded.adjustment.to_dict() == pipeline.adjustment.to_dict()
+
+    def test_old_formats_load_as_implicit_hpl(self):
+        pipeline = load_pipeline(FIXTURE)
+        assert pipeline.config.workload == "hpl"
+        assert pipeline.workload.tag == "hpl"
 
 
 class TestFormatRejection:
@@ -80,3 +89,16 @@ class TestFormatRejection:
     def test_missing_manifest_is_measurement_error(self, tmp_path):
         with pytest.raises(MeasurementError, match="not a saved pipeline"):
             load_pipeline(tmp_path)
+
+    def test_unknown_workload_tag_is_model_error_naming_the_path(self, tmp_path):
+        bad = tmp_path / "alien"
+        shutil.copytree(FIXTURE, bad)
+        manifest = json.loads((bad / "manifest.json").read_text())
+        manifest["format"] = 3
+        manifest["workload"] = "summa"
+        (bad / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ModelError, match="unknown workload 'summa'") as err:
+            load_pipeline(bad)
+        # The error names both the known tags and the offending manifest.
+        assert "hpl" in str(err.value)
+        assert str(bad / "manifest.json") in str(err.value)

@@ -1,0 +1,99 @@
+"""Phase-vector behavior and wire-format schema dispatch."""
+
+import pytest
+
+from repro.errors import MeasurementError, SimulationError
+from repro.hpl.timing import PhaseTimes
+from repro.workloads import (
+    MonteCarloPhases,
+    PhaseVector,
+    SortingPhases,
+    phases_from_dict,
+    register_phases,
+    registered_phase_schemas,
+)
+
+
+def sorting_phases():
+    return SortingPhases(partition=0.1, scatter=0.2, local_sort=0.3, merge=0.4)
+
+
+class TestPhaseVector:
+    def test_ta_tc_partition_total(self):
+        phases = sorting_phases()
+        assert phases.ta == pytest.approx(0.1 + 0.3 + 0.4)
+        assert phases.tc == pytest.approx(0.2)
+        assert phases.total == pytest.approx(phases.ta + phases.tc)
+
+    def test_algebra(self):
+        phases = sorting_phases()
+        doubled = phases + phases
+        assert doubled.scatter == pytest.approx(0.4)
+        assert phases.scaled(0.5).merge == pytest.approx(0.2)
+        with pytest.raises(SimulationError, match="negative scale"):
+            phases.scaled(-1.0)
+
+    def test_dict_round_trip(self):
+        phases = sorting_phases()
+        assert SortingPhases.from_dict(phases.as_dict()) == phases
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(SimulationError, match="invalid time"):
+            SortingPhases(
+                partition=-0.1, scatter=0.0, local_sort=0.0, merge=0.0
+            )
+        with pytest.raises(SimulationError, match="invalid time"):
+            MonteCarloPhases(sweep=float("nan"), barrier=0.0, rebalance=0.0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SimulationError, match="unknown phases"):
+            SortingPhases.from_dict({"partition": 0.1, "pivot": 0.2})
+
+
+class TestSchemaDispatch:
+    def test_exact_schemas_route_to_their_class(self):
+        sorting = phases_from_dict(sorting_phases().as_dict())
+        assert isinstance(sorting, SortingPhases)
+        mc = phases_from_dict({"sweep": 1.0, "barrier": 0.1, "rebalance": 0.2})
+        assert isinstance(mc, MonteCarloPhases)
+
+    def test_full_hpl_schema_routes_to_phase_times(self):
+        data = {
+            "pfact": 1.0, "mxswp": 0.1, "bcast": 0.2,
+            "update": 3.0, "laswp": 0.3, "uptrsv": 0.1,
+        }
+        assert isinstance(phases_from_dict(data), PhaseTimes)
+
+    def test_hpl_subset_keeps_permissive_read(self):
+        # Pre-workload datasets could omit zero phases; they still load
+        # as PhaseTimes with the missing fields at 0.0.
+        phases = phases_from_dict({"pfact": 1.0, "update": 2.0})
+        assert isinstance(phases, PhaseTimes)
+        assert phases.bcast == 0.0
+
+    def test_unknown_schema_is_measurement_error_naming_known(self):
+        with pytest.raises(MeasurementError, match="no registered workload schema"):
+            phases_from_dict({"warmup": 1.0, "teardown": 2.0})
+
+    def test_registered_schemas_include_all_families(self):
+        schemas = registered_phase_schemas()
+        assert ("barrier", "rebalance", "sweep") in schemas
+        assert ("local_sort", "merge", "partition", "scatter") in schemas
+
+    def test_colliding_schema_is_rejected(self):
+        class FakeSort(PhaseVector):
+            PHASE_NAMES = ("partition", "scatter", "local_sort", "merge")
+            COMPUTE_PHASES = ("partition", "local_sort", "merge")
+            COMM_PHASES = ("scatter",)
+
+        with pytest.raises(MeasurementError, match="already registered"):
+            register_phases(FakeSort)
+
+    def test_nonpartitioning_schema_is_rejected(self):
+        class Broken(PhaseVector):
+            PHASE_NAMES = ("alpha", "beta")
+            COMPUTE_PHASES = ("alpha",)
+            COMM_PHASES = ("alpha",)
+
+        with pytest.raises(MeasurementError, match="must\\s+partition"):
+            register_phases(Broken)
